@@ -1,0 +1,92 @@
+// E11 — ablation of the engine's design choices (DESIGN.md section 3):
+// formula-driven feature pruning and singleton-guard extension modes. Both
+// are exactness-preserving reductions of the type universe; this bench
+// quantifies how much of the meta-theorem constant they shave off.
+#include <chrono>
+
+#include "bench_util.hpp"
+#include "bpt/engine.hpp"
+#include "bpt/plan.hpp"
+#include "bpt/tables.hpp"
+#include "graph/generators.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+#include "seq/courcelle.hpp"
+
+using namespace dmc;
+
+namespace {
+
+struct Measurement {
+  std::size_t types = 0;
+  double ms = 0;
+  bool verdict = false;
+  bool completed = false;
+};
+
+Measurement measure(const Graph& g, const mso::FormulaPtr& formula,
+                    int variant) {
+  Measurement m;
+  const auto lowered = mso::lower(formula);
+  bpt::EngineConfig cfg = bpt::config_for(*lowered);
+  if (variant >= 1) cfg = bpt::without_singleton_modes(cfg);
+  if (variant >= 2) cfg = bpt::without_feature_pruning(cfg);
+  bpt::Engine engine(cfg);
+  engine.set_type_limit(1'500'000);
+  const auto td = seq::decomposition_for(g);
+  const auto plan = bpt::build_global_plan(g, td);
+  const auto start = std::chrono::steady_clock::now();
+  try {
+    const auto root = bpt::fold_type(engine, plan, g);
+    bpt::Evaluator eval(engine, lowered);
+    m.verdict = eval.eval(root);
+    m.completed = true;
+  } catch (const std::exception&) {
+    m.completed = false;  // type-universe limit hit
+  }
+  m.ms = std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+             .count();
+  m.types = engine.num_types();
+  return m;
+}
+
+}  // namespace
+
+int main() {
+  bench::header(
+      "E11: engine ablations (DESIGN.md design choices)",
+      "Both reductions preserve exactness (same verdicts) while shrinking "
+      "the reachable type universe; 'blown' = 1.5M-type budget exceeded.");
+
+  struct Case {
+    const char* name;
+    mso::FormulaPtr formula;
+    Graph g;
+  };
+  gen::Rng rng(7);
+  const Case cases[] = {
+      {"triangle_free/P8", mso::lib::triangle_free(), gen::path(8)},
+      {"acyclic/P6", mso::lib::acyclic(), gen::path(6)},
+      {"deg3/btd(8,2)", mso::lib::has_vertex_of_degree_ge(3),
+       gen::random_bounded_treedepth(8, 2, 0.5, rng)},
+      {"connected/P16", mso::lib::connected(), gen::path(16)},
+  };
+  bench::columns({"case", "variant", "types", "ms", "verdict"});
+  const char* variants[] = {"full-opt", "no-singleton", "no-pruning-too"};
+  for (const Case& c : cases) {
+    bool base_verdict = false;
+    for (int variant = 0; variant < 3; ++variant) {
+      const Measurement m = measure(c.g, c.formula, variant);
+      if (variant == 0) base_verdict = m.verdict;
+      if (m.completed && m.verdict != base_verdict) {
+        std::printf("ABLATION VERDICT MISMATCH in %s\n", c.name);
+        return 1;
+      }
+      bench::row(std::string(c.name), std::string(variants[variant]),
+                 (long long)m.types, m.ms,
+                 m.completed ? (long long)m.verdict : -1LL);
+    }
+  }
+  return 0;
+}

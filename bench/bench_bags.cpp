@@ -1,0 +1,35 @@
+// E2 — Lemma 5.3: top-down bag construction in O(2^d) payload rounds per
+// level; bag payload sizes depend on the tree depth, not on n.
+#include "bench_util.hpp"
+#include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
+#include "graph/generators.hpp"
+
+using namespace dmc;
+
+int main() {
+  bench::header("E2: distributed canonical bags (Lemma 5.3)",
+                "Claim C9: rounds scale with the elimination-tree depth "
+                "(payloads are O(|B| log n + |B|^2) bits, fragmented); "
+                "independent of n for fixed depth.");
+
+  bench::columns({"family", "n", "d", "tree_depth", "rounds", "max_bag"});
+  for (int n : {16, 64, 256}) {
+    for (int d : {2, 3, 4}) {
+      gen::Rng rng(11);
+      const Graph g = gen::random_bounded_treedepth(n, d, 0.3, rng);
+      congest::Network net(g);
+      const auto tree = dist::run_elim_tree(net, d);
+      if (!tree.success) continue;
+      int depth = 0;
+      for (int x : tree.depth) depth = std::max(depth, x);
+      const auto bags = dist::run_bags(net, tree, {}, {});
+      std::size_t max_bag = 0;
+      for (const auto& b : bags.bags) max_bag = std::max(max_bag, b.bag.size());
+      bench::row(std::string("btd"), (long long)n, (long long)d,
+                 (long long)depth, (long long)bags.rounds, (long long)max_bag);
+    }
+  }
+  return 0;
+}

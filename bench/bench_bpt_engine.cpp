@@ -1,0 +1,89 @@
+// E8 — Theorem 4.2 realization: the BPT type engine. Reports the size of
+// the reachable class universe |C| and compose throughput as functions of
+// the formula rank and the decomposition width — the non-elementary
+// constant of the meta-theorem made visible. Uses google-benchmark for the
+// throughput entries.
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "bpt/engine.hpp"
+#include "bpt/plan.hpp"
+#include "bpt/tables.hpp"
+#include "graph/generators.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+#include "seq/courcelle.hpp"
+
+using namespace dmc;
+
+namespace {
+
+void report_universe() {
+  bench::header("E8: BPT type universe |C| vs (formula, width)",
+                "Claim C5 (Theorem 4.2): |C| is finite, independent of n, "
+                "but grows steeply with rank and width — the meta-theorem's "
+                "constant.");
+  struct Case {
+    const char* name;
+    mso::FormulaPtr formula;
+  };
+  const Case cases[] = {
+      {"connected(r1)", mso::lib::connected()},
+      {"triangle_free(r3)", mso::lib::triangle_free()},
+      {"acyclic(r4)", mso::lib::acyclic()},
+  };
+  bench::columns({"formula", "graph", "width", "|C|", "composes",
+                  "memo_hits", "invalid"});
+  for (const Case& c : cases) {
+    for (int n : {6, 8, 10}) {
+      const Graph g = gen::path(n);
+      const auto lowered = mso::lower(c.formula);
+      bpt::Engine engine(bpt::config_for(*lowered));
+      const auto td = seq::decomposition_for(g);
+      const auto plan = bpt::build_global_plan(g, td);
+      bpt::fold_type(engine, plan, g);
+      bench::row(std::string(c.name), "path" + std::to_string(n),
+                 (long long)td.width(), (long long)engine.num_types(),
+                 engine.stats().compose_calls, engine.stats().memo_hits,
+                 engine.stats().invalid_compositions);
+    }
+  }
+}
+
+void BM_FoldTriangleFree(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gen::Rng rng(1);
+  const Graph g = gen::random_bounded_treedepth(n, 2, 0.5, rng);
+  const auto lowered = mso::lower(mso::lib::triangle_free());
+  const auto td = seq::decomposition_for(g);
+  const auto plan = bpt::build_global_plan(g, td);
+  for (auto _ : state) {
+    bpt::Engine engine(bpt::config_for(*lowered));
+    benchmark::DoNotOptimize(bpt::fold_type(engine, plan, g));
+  }
+}
+BENCHMARK(BM_FoldTriangleFree)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_FoldConnected(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const Graph g = gen::path(n);
+  const auto lowered = mso::lower(mso::lib::connected());
+  const auto td = seq::decomposition_for(g);
+  const auto plan = bpt::build_global_plan(g, td);
+  for (auto _ : state) {
+    bpt::Engine engine(bpt::config_for(*lowered));
+    benchmark::DoNotOptimize(bpt::fold_type(engine, plan, g));
+  }
+}
+BENCHMARK(BM_FoldConnected)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  report_universe();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,55 @@
+// E1 — Lemma 5.1: Algorithm 2 builds an elimination tree of depth < 2^d in
+// O(2^{2d}) rounds, independent of n.
+//
+// Sweep 1 fixes d and grows n (expected: a flat rounds column).
+// Sweep 2 fixes the graph family and grows d (expected: ~4x growth per +1).
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "congest/network.hpp"
+#include "dist/elim_tree.hpp"
+#include "graph/generators.hpp"
+#include "td/elimination_forest.hpp"
+
+using namespace dmc;
+
+int main() {
+  bench::header("E1: distributed elimination tree (Algorithm 2)",
+                "Claim C8 (Lemma 5.1): rounds = O(2^{2d}), independent of n; "
+                "depth < 2^d.");
+
+  bench::columns({"family", "n", "d", "rounds", "tree_depth", "2^d"});
+  for (int n : {16, 32, 64, 128, 256, 512}) {
+    gen::Rng rng(7);
+    const Graph g = gen::random_bounded_treedepth(n, 3, 0.3, rng);
+    congest::Network net(g);
+    const auto result = dist::run_elim_tree(net, 3);
+    if (!result.success) {
+      std::printf("unexpected treedepth overflow at n=%d\n", n);
+      return 1;
+    }
+    const EliminationForest forest(result.parent);
+    bench::row(std::string("btd(d=3)"), (long long)n, 3LL,
+               (long long)result.rounds, (long long)forest.depth(), 8LL);
+  }
+
+  bench::columns({"family", "n", "d", "rounds", "rounds/4^d"});
+  for (int d = 2; d <= 6; ++d) {
+    const Graph g = gen::star(40);  // treedepth 2: always succeeds
+    congest::Network net(g);
+    const auto result = dist::run_elim_tree(net, d);
+    bench::row(std::string("star(40)"), 41LL, (long long)d,
+               (long long)result.rounds,
+               double(result.rounds) / double(1LL << (2 * d)));
+  }
+
+  bench::columns({"family", "n", "d", "outcome"});
+  // Budget violation is reported, not mis-answered (paper: "large treedepth").
+  for (int n : {15, 31}) {
+    congest::Network net(gen::path(n));
+    const auto result = dist::run_elim_tree(net, 2);
+    bench::row(std::string("path"), (long long)n, 2LL,
+               std::string(result.success ? "built" : "td>d reported"));
+  }
+  return 0;
+}

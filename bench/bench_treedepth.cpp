@@ -1,0 +1,63 @@
+// E10 — Section 2: treedepth structure results. The exact solver confirms
+// td(P_n) = ceil(log2(n+1)); the greedy (Algorithm 2 mirror) elimination
+// tree that is a subtree of G has depth < 2^td (Lemma 2.5); the balanced
+// heuristic is near-optimal on the families we use.
+#include <chrono>
+#include <cmath>
+
+#include "bench_util.hpp"
+#include "graph/generators.hpp"
+#include "td/elimination_forest.hpp"
+
+using namespace dmc;
+
+int main() {
+  bench::header("E10: treedepth structure (Section 2, Lemma 2.5)",
+                "Claims C1/C3: td(P_n) = ceil(log2(n+1)); greedy subtree "
+                "depth < 2^td; balanced heuristic close to optimal.");
+
+  std::printf("\n-- td(P_n) law --\n");
+  bench::columns({"n", "td", "ceil(log2(n+1))"});
+  for (int n : {1, 3, 7, 8, 15, 16}) {
+    bench::row((long long)n, (long long)exact_treedepth(gen::path(n)),
+               (long long)std::ceil(std::log2(n + 1)));
+  }
+
+  std::printf("\n-- Lemma 2.5: greedy subtree depth < 2^td --\n");
+  bench::columns({"family", "n", "td", "greedy_depth", "2^td", "balanced"});
+  struct Fam {
+    const char* name;
+    Graph g;
+  };
+  gen::Rng rng(3);
+  const Fam fams[] = {
+      {"path", gen::path(15)},
+      {"cycle", gen::cycle(12)},
+      {"star", gen::star(12)},
+      {"caterpillar", gen::caterpillar(5, 2)},
+      {"btd(3)", gen::random_bounded_treedepth(14, 3, 0.4, rng)},
+      {"grid3x4", gen::grid(3, 4)},
+  };
+  for (const Fam& f : fams) {
+    const int td = exact_treedepth(f.g);
+    const auto greedy = greedy_elimination_tree(f.g, (1 << td) - 1);
+    const auto balanced = balanced_elimination_forest(f.g);
+    bench::row(std::string(f.name), (long long)f.g.num_vertices(),
+               (long long)td, (long long)(greedy ? greedy->depth() : -1),
+               (long long)(1 << td), (long long)balanced.depth());
+  }
+
+  std::printf("\n-- exact solver scaling --\n");
+  bench::columns({"n", "ms"});
+  for (int n : {10, 12, 14, 16}) {
+    gen::Rng rng2(n);
+    const Graph g = gen::random_connected(n, n / 2, rng2);
+    const auto start = std::chrono::steady_clock::now();
+    exact_treedepth(g);
+    const double ms = std::chrono::duration<double, std::milli>(
+                          std::chrono::steady_clock::now() - start)
+                          .count();
+    bench::row((long long)n, ms);
+  }
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Shared table-printing helpers for the experiment harness.
+//
+// Every bench binary regenerates one experiment of EXPERIMENTS.md: it
+// prints a header naming the experiment and the paper claim it validates,
+// then one row per sweep point. Values are round counts / sizes measured in
+// the CONGEST simulator, not wall-clock times (the paper's claims are about
+// round complexity).
+#pragma once
+
+#include <concepts>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dmc::bench {
+
+inline void header(const std::string& experiment, const std::string& claim) {
+  std::printf("\n=== %s ===\n%s\n", experiment.c_str(), claim.c_str());
+}
+
+inline void columns(const std::vector<std::string>& names) {
+  for (const auto& name : names) std::printf("%14s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < names.size(); ++i) std::printf("%14s", "----");
+  std::printf("\n");
+}
+
+inline void cell(double value) { std::printf("%14.2f", value); }
+inline void cell(const std::string& value) { std::printf("%14s", value.c_str()); }
+inline void cell(const char* value) { std::printf("%14s", value); }
+template <std::integral T>
+void cell(T value) {
+  std::printf("%14lld", static_cast<long long>(value));
+}
+inline void endrow() { std::printf("\n"); }
+
+template <typename... Ts>
+void row(Ts... values) {
+  (cell(values), ...);
+  endrow();
+}
+
+}  // namespace dmc::bench

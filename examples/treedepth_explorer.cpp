@@ -1,0 +1,55 @@
+// Treedepth explorer: the structural toolbox of Section 2 on named graph
+// families — elimination forests (Figure 1's embedding), the td(P_n) law,
+// Lemma 2.5's 2^td bound for greedy subtrees, and the canonical tree
+// decomposition of Lemma 2.4.
+#include <cmath>
+#include <cstdio>
+
+#include "graph/generators.hpp"
+#include "td/elimination_forest.hpp"
+#include "td/tree_decomposition.hpp"
+
+using namespace dmc;
+
+namespace {
+
+void explore(const char* name, const Graph& g) {
+  const auto [td, forest] = exact_treedepth_forest(g);
+  const auto decomposition = canonical_tree_decomposition(g, forest);
+  const auto greedy = greedy_elimination_tree(g, (1 << td) - 1);
+  std::printf("%-14s n=%3d m=%3d  td=%d  canonical width=%d  ", name,
+              g.num_vertices(), g.num_edges(), td, decomposition.width());
+  if (greedy)
+    std::printf("greedy depth=%d (< 2^td = %d)\n", greedy->depth(), 1 << td);
+  else
+    std::printf("greedy needs depth >= 2^td\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("-- named families (Definition 2.1 / Lemma 2.4 / Lemma 2.5) --\n");
+  explore("path(15)", gen::path(15));
+  explore("cycle(12)", gen::cycle(12));
+  explore("star(10)", gen::star(10));
+  explore("clique(5)", gen::clique(5));
+  explore("binary_tree(4)", gen::binary_tree(4));
+  explore("caterpillar", gen::caterpillar(4, 2));
+  explore("grid(3,4)", gen::grid(3, 4));
+
+  std::printf("\n-- td(P_n) = ceil(log2(n+1)) --\n");
+  for (int n = 1; n <= 16; ++n) {
+    const int td = exact_treedepth(gen::path(n));
+    std::printf("P_%-3d td=%d (law: %d)\n", n, td,
+                static_cast<int>(std::ceil(std::log2(n + 1))));
+  }
+
+  std::printf("\n-- an optimal elimination tree of P_7 (Figure 1 style) --\n");
+  const Graph p7 = gen::path(7);
+  const auto [td, forest] = exact_treedepth_forest(p7);
+  for (VertexId v = 0; v < 7; ++v)
+    std::printf("vertex %d: depth %d parent %d\n", v, forest.depth(v),
+                forest.parent(v));
+  std::printf("depth %d = td %d\n", forest.depth(), td);
+  return 0;
+}

@@ -1,0 +1,241 @@
+// The Borie-Parker-Tovey regularity engine (paper Definition 4.1 and
+// Theorem 4.2), realized with hash-consed Ehrenfeucht-Fraissé types.
+//
+// A *type* of rank q for a w-terminal graph G with terminal list W and a
+// tuple of set assignments X̄ consists of:
+//   - an atomic table: everything needed to (a) evaluate quantifier-free
+//     lowered formulas over X̄ and (b) define composition under gluing; and
+//   - for q > 0, the set of rank-(q-1) types of all one-set extensions
+//     (G, W, X̄·S), separately for vertex sets and edge sets.
+//
+// Types are interned: equal types get equal ids, so the homomorphism class
+// h(G, X̄) of Definition 4.1 is simply the TypeId, and the update function
+// ⊙_f is Engine::compose. Extensions are only ever *enumerated* on the two
+// primitive graphs K1 (one terminal vertex) and K2 (one terminal edge);
+// everything bigger is composed, which is what keeps the engine tractable.
+//
+// Correctness rests on the Feferman-Vaught style composition theorem: every
+// set S over the glued graph splits uniquely into consistent child parts,
+// so the extension set of a composition is exactly the set of valid
+// pairwise compositions of child extensions. The test suite validates the
+// whole pipeline against brute-force MSO semantics.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "bpt/gluing.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::bpt {
+
+using TypeId = std::int32_t;
+inline constexpr TypeId kInvalidType = -1;
+
+/// Hard limits of the packed atomic representation.
+inline constexpr int kMaxTerminals = 11;  // pair bits fit in 64
+inline constexpr int kMaxSlots = 8;       // pairwise bits fit in 64
+
+/// Per-set-variable part of the atomic table.
+struct VarAtoms {
+  mso::Sort sort = mso::Sort::VertexSet;  // VertexSet or EdgeSet
+  std::uint32_t mask = 0;       // vertex sets: trace X ∩ W (bit per terminal)
+  std::uint64_t pair_mask = 0;  // edge sets: F ∩ E(G[W]) (bit per terminal pair)
+  std::uint8_t hidden = 0;      // min(#members outside the visible trace, 2)
+  std::uint8_t cohidden = 0;    // vertex sets: min(|V \ (X ∪ W)|, 1)
+  std::uint8_t border = 0;      // vertex sets: some G-edge leaves X
+  std::uint32_t labels = 0;     // bit l: some member carries label l
+
+  bool operator==(const VarAtoms&) const = default;
+};
+
+/// Full atomic table of a type. Pairwise relations are packed as bit
+/// (i * kMaxSlots + j).
+struct AtomicInfo {
+  std::uint8_t tau = 0;         // number of terminals
+  std::uint64_t term_adj = 0;   // bit per terminal pair: edge present in G
+  std::vector<VarAtoms> vars;   // one per slot
+  std::uint64_t adjsets = 0;    // some edge joins members of slot i and slot j
+  std::uint64_t subsets = 0;    // slot i ⊆ slot j (same sort)
+  std::uint64_t disjs = 0;      // slot i ∩ slot j == ∅ (same sort)
+  std::uint64_t incs = 0;       // some edge of F_j touches X_i
+  std::uint64_t crosses = 0;    // some edge of F_i has exactly one end in X_j
+
+  bool operator==(const AtomicInfo&) const = default;
+};
+
+/// Triangular index of the unordered terminal pair {i, j}, i < j < tau.
+int pair_index(int i, int j, int tau);
+
+/// Interned type node.
+struct TypeNode {
+  AtomicInfo atoms;
+  std::int16_t rank = 0;
+  std::vector<TypeId> vexts;  // sorted ids of vertex-set extensions
+  std::vector<TypeId> eexts;  // sorted ids of edge-set extensions
+
+  bool operator==(const TypeNode&) const = default;
+};
+
+/// Which atomic-table features the formula can observe. Features the
+/// formula never reads are canonicalized to zero in every type, which
+/// collapses the reachable type universe dramatically (the observable
+/// behaviour of Definition 4.1 is unchanged: pruned types still determine
+/// the truth of the formula and still compose).
+struct FeatureMask {
+  std::uint8_t hidden_cap = 0;  // 2 if sing() occurs, else 1 if empty()
+  bool full = false;            // cohidden tracked (full() occurs)
+  bool border = false;
+  bool adjsets = false;
+  bool subsets = false;
+  bool disjs = false;
+  bool incs = false;
+  bool crosses = false;
+  bool term_adj = false;  // needed iff edge-set slots can exist
+};
+
+/// How extension sets are generated at one quantifier depth.
+/// Lowered FO variables are singleton-guarded set quantifiers
+/// (exists X. sing(X) & ..., forall X. sing(X) -> ...); when every
+/// quantifier of a sort at some depth is guarded, extensions at that depth
+/// only need sets of size <= 1, which collapses the type universe.
+enum class ExtMode : std::uint8_t { None = 0, SingletonOnly = 1, Full = 2 };
+
+/// Engine configuration, derived from a *lowered* formula.
+struct EngineConfig {
+  int rank = 0;
+  std::vector<mso::Sort> free_sorts;        // slot sorts, in order
+  std::vector<std::string> vertex_labels;   // label universe (bit order)
+  std::vector<std::string> edge_labels;
+  bool vertex_exts = false;  // formula quantifies vertex sets
+  bool edge_exts = false;    // formula quantifies edge sets
+  /// Extension mode per quantifier depth (index 1..rank; index 0 unused).
+  std::vector<ExtMode> vertex_mode, edge_mode;
+  /// Per-free-slot mode: SingletonOnly when the formula carries a top-level
+  /// sing(var) conjunct, so assignments with |var| > 1 can never satisfy it
+  /// and the DP tables may drop them (keeps COUNT tables small for the
+  /// individual-variable counting problems of Section 6).
+  std::vector<ExtMode> free_modes;
+  FeatureMask features;
+};
+
+/// Builds a config for `lowered` whose free variables are `free_vars`
+/// (slot order = order in `free_vars`). Throws if the formula is not in
+/// set normal form or exceeds kMaxSlots.
+EngineConfig config_for(const mso::Formula& lowered,
+                        const std::vector<std::pair<std::string, mso::Sort>>&
+                            free_vars = {});
+
+/// Ablation helpers (see bench_ablation): disable the formula-driven
+/// reductions, keeping the engine exact but larger/slower.
+EngineConfig without_feature_pruning(EngineConfig cfg);
+EngineConfig without_singleton_modes(EngineConfig cfg);
+
+/// Assignment of the engine's free slots restricted to a primitive:
+/// for K1, bit 0 of entry s says whether the vertex is in slot s;
+/// for K2, vertex slots use bits 0 (smaller terminal) and 1 (larger),
+/// edge slots use bit 0 for the edge.
+using SlotBits = std::vector<std::uint8_t>;
+
+class Engine {
+ public:
+  explicit Engine(EngineConfig cfg);
+
+  const EngineConfig& config() const { return cfg_; }
+  const TypeNode& node(TypeId t) const { return nodes_.at(t); }
+  std::size_t num_types() const { return nodes_.size(); }
+
+  /// Type of the one-vertex base graph. `vertex_label_bits` is the bitmask
+  /// of the vertex's labels over cfg.vertex_labels.
+  TypeId k1(std::uint32_t vertex_label_bits, const SlotBits& slots);
+
+  /// Type of the one-edge base graph (two terminals: the smaller-id
+  /// endpoint is terminal 0).
+  TypeId k2(std::uint32_t label_bits_a, std::uint32_t label_bits_b,
+            std::uint32_t edge_label_bits, const SlotBits& slots);
+
+  /// Update function ⊙_f of Definition 4.1: type of the glued graph, or
+  /// kInvalidType if the child assignments are inconsistent on identified
+  /// terminals / shared edges.
+  TypeId compose(const GluingMatrix& f, TypeId left, TypeId right);
+
+  /// Number of distinct gluing matrices seen so far (for statistics).
+  std::size_t num_ops() const { return ops_.size(); }
+
+  /// Consistency signature of t's vertex-slot traces on the identified
+  /// terminals of f (col 0 = left child, col 1 = right child). Types whose
+  /// signatures differ can never compose consistently, so DP folds bucket
+  /// table keys by this value to avoid quadratic pairing.
+  std::uint64_t trace_signature(const GluingMatrix& f, TypeId t,
+                                int col) const;
+
+  struct Stats {
+    long compose_calls = 0;  // non-memoized compose_by_id invocations
+    long memo_hits = 0;
+    long invalid_compositions = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Safety valve: compose/primitive throw std::runtime_error once the
+  /// interner holds more than this many types (the type universe of the
+  /// meta-theorem is non-elementary in (w, rank); this turns runaway
+  /// instances into clean errors instead of OOM).
+  void set_type_limit(std::size_t limit) { type_limit_ = limit; }
+  std::size_t type_limit() const { return type_limit_; }
+
+ private:
+  TypeId intern(TypeNode node);
+  void prune(AtomicInfo& atoms) const;
+  TypeId primitive(bool is_k2, std::uint32_t la, std::uint32_t lb,
+                   std::uint32_t le, const SlotBits& slots, int rank);
+  int op_id(const GluingMatrix& f, int left_tau, int right_tau);
+  TypeId compose_by_id(int op, TypeId left, TypeId right);
+
+  EngineConfig cfg_;
+  std::vector<TypeNode> nodes_;
+  std::unordered_map<std::size_t, std::vector<TypeId>> node_index_;  // hash buckets
+  std::vector<GluingMatrix> ops_;
+  std::map<GluingMatrix, int> op_index_;
+  std::unordered_map<std::uint64_t, TypeId> compose_memo_;
+  std::map<std::tuple<bool, std::uint64_t, std::vector<std::uint8_t>, int>,
+           TypeId>
+      primitive_memo_;
+  std::size_t type_limit_ = 4'000'000;
+  Stats stats_;
+};
+
+/// Evaluates a lowered formula against types of an engine, with
+/// memoization. The formula's free variables must match the engine's slots
+/// in order and sort.
+class Evaluator {
+ public:
+  /// `free_vars` fixes the slot binding order of the formula's free
+  /// variables (must match the engine config); when empty, first-occurrence
+  /// order is used.
+  Evaluator(Engine& engine, mso::FormulaPtr lowered,
+            std::vector<std::pair<std::string, mso::Sort>> free_vars = {});
+
+  /// Truth of the formula on the graph represented by `t` (whose slot
+  /// assignment interprets the free variables).
+  bool eval(TypeId t);
+
+  const mso::Formula& formula() const { return *formula_; }
+
+ private:
+  bool eval_node(TypeId t, int formula_idx,
+                 std::map<std::string, int>& slot_of);
+
+  Engine& engine_;
+  mso::FormulaPtr formula_;
+  std::vector<std::pair<std::string, mso::Sort>> free_vars_;
+  std::vector<const mso::Formula*> nodes_;
+  std::map<const mso::Formula*, int> index_of_;
+  std::map<std::pair<TypeId, int>, bool> memo_;
+  std::map<std::string, int> vlabel_index_, elabel_index_;
+};
+
+}  // namespace dmc::bpt

@@ -1,0 +1,154 @@
+#include "bpt/plan.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmc::bpt {
+
+namespace {
+
+int index_of(const std::vector<VertexId>& list, VertexId v) {
+  auto it = std::lower_bound(list.begin(), list.end(), v);
+  if (it == list.end() || *it != v) return -1;
+  return static_cast<int>(it - list.begin());
+}
+
+void check_sorted(const std::vector<VertexId>& bag) {
+  if (bag.empty() || !std::is_sorted(bag.begin(), bag.end()) ||
+      std::adjacent_find(bag.begin(), bag.end()) != bag.end())
+    throw std::invalid_argument("plan: bag must be nonempty, sorted, unique");
+}
+
+int append_glue(Plan& plan, std::vector<VertexId> parent_terms, int left,
+                int right) {
+  PlanNode node;
+  node.kind = PlanNode::Kind::Glue;
+  node.op = matrix_for(parent_terms, plan.at(left).terminals,
+                       plan.at(right).terminals);
+  node.left = left;
+  node.right = right;
+  node.terminals = std::move(parent_terms);
+  plan.nodes.push_back(std::move(node));
+  return static_cast<int>(plan.nodes.size()) - 1;
+}
+
+}  // namespace
+
+GluingMatrix matrix_for(const std::vector<VertexId>& parent,
+                        const std::vector<VertexId>& left,
+                        const std::vector<VertexId>& right) {
+  GluingMatrix m;
+  m.rows.reserve(parent.size());
+  for (VertexId v : parent) {
+    const int li = index_of(left, v);
+    const int ri = index_of(right, v);
+    if (li < 0 && ri < 0)
+      throw std::invalid_argument(
+          "matrix_for: parent terminal in neither child");
+    m.rows.push_back({li, ri});
+  }
+  return m;
+}
+
+int append_base_bag(Plan& plan, const Graph& g,
+                    const std::vector<VertexId>& bag) {
+  check_sorted(bag);
+  // Vertices, one at a time: prefix terminal lists.
+  PlanNode first;
+  first.kind = PlanNode::Kind::K1;
+  first.v = bag[0];
+  first.terminals = {bag[0]};
+  plan.nodes.push_back(std::move(first));
+  int cur = static_cast<int>(plan.nodes.size()) - 1;
+  for (std::size_t k = 1; k < bag.size(); ++k) {
+    PlanNode next;
+    next.kind = PlanNode::Kind::K1;
+    next.v = bag[k];
+    next.terminals = {bag[k]};
+    plan.nodes.push_back(std::move(next));
+    const int k1 = static_cast<int>(plan.nodes.size()) - 1;
+    std::vector<VertexId> prefix(bag.begin(), bag.begin() + k + 1);
+    cur = append_glue(plan, std::move(prefix), cur, k1);
+  }
+  // Edges of G[bag].
+  for (std::size_t i = 0; i < bag.size(); ++i) {
+    for (std::size_t j = i + 1; j < bag.size(); ++j) {
+      const EdgeId e = g.edge_id(bag[i], bag[j]);
+      if (e < 0) continue;
+      PlanNode k2;
+      k2.kind = PlanNode::Kind::K2;
+      k2.v = bag[i];
+      k2.w = bag[j];
+      k2.e = e;
+      k2.terminals = {bag[i], bag[j]};
+      plan.nodes.push_back(std::move(k2));
+      const int idx = static_cast<int>(plan.nodes.size()) - 1;
+      cur = append_glue(plan, bag, cur, idx);
+    }
+  }
+  return cur;
+}
+
+int append_eq12(Plan& plan, const Graph& g, const std::vector<VertexId>& bag,
+                const std::vector<int>& child_nodes) {
+  check_sorted(bag);
+  const int base = append_base_bag(plan, g, bag);
+  if (child_nodes.empty()) return base;
+  int acc = -1;
+  for (int child : child_nodes) {
+    // Eq. 1: G^{=i} = f(G_{v_i}, G^base), terminals = bag.
+    const int eq = append_glue(plan, bag, child, base);
+    // Eq. 2: chain with identity gluing.
+    acc = acc < 0 ? eq : append_glue(plan, bag, acc, eq);
+  }
+  return acc;
+}
+
+Plan build_node_plan(const Graph& g, const std::vector<VertexId>& bag,
+                     const std::vector<std::vector<VertexId>>& child_bags) {
+  Plan plan;
+  std::vector<int> children;
+  for (const auto& cb : child_bags) {
+    check_sorted(cb);
+    PlanNode in;
+    in.kind = PlanNode::Kind::Input;
+    in.input = plan.num_inputs++;
+    in.terminals = cb;
+    plan.nodes.push_back(std::move(in));
+    children.push_back(static_cast<int>(plan.nodes.size()) - 1);
+  }
+  plan.root = append_eq12(plan, g, bag, children);
+  return plan;
+}
+
+Plan build_global_plan(const Graph& g, const TreeDecomposition& td) {
+  if (!td.valid_for(g))
+    throw std::invalid_argument("build_global_plan: invalid tree decomposition");
+  Plan plan;
+  const auto order = td.topological_order();
+  const auto kids = td.children();
+  std::vector<int> node_of(td.num_nodes(), -1);
+  // bottom-up: reverse topological order
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const int u = *it;
+    std::vector<int> child_nodes;
+    for (int c : kids[u]) child_nodes.push_back(node_of[c]);
+    node_of[u] = append_eq12(plan, g, td.bags[u], child_nodes);
+  }
+  // Combine decomposition roots (disconnected graphs): keep the first
+  // root's terminals and forget the rest.
+  int acc = -1;
+  for (int u = 0; u < td.num_nodes(); ++u) {
+    if (td.parent[u] >= 0) continue;
+    if (acc < 0) {
+      acc = node_of[u];
+    } else {
+      acc = append_glue(plan, plan.at(acc).terminals, acc, node_of[u]);
+    }
+  }
+  if (acc < 0) throw std::invalid_argument("build_global_plan: empty decomposition");
+  plan.root = acc;
+  return plan;
+}
+
+}  // namespace dmc::bpt

@@ -1,0 +1,74 @@
+// Gluing plans: compiled w-terminal recursive constructions (paper
+// Section 3, Eq. 1 and Eq. 2).
+//
+// A plan is a DAG of plan nodes, each denoting a w-terminal graph:
+//   - K1: one terminal vertex of the host graph;
+//   - K2: one edge with its two endpoints as terminals;
+//   - Glue: composition f(left, right) under a gluing matrix;
+//   - Input: a placeholder standing for an externally-supplied w-terminal
+//     graph (used by the distributed protocols, where a node receives the
+//     homomorphism classes of its children's subtrees as messages and
+//     composes them locally).
+//
+// Every node records its ordered terminal list as concrete vertex ids
+// (ascending). A bag's base graph G^base is itself compiled from K1/K2
+// primitives, so type extensions never enumerate more than 2 vertices.
+#pragma once
+
+#include <vector>
+
+#include "bpt/gluing.hpp"
+#include "graph/graph.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace dmc::bpt {
+
+struct PlanNode {
+  enum class Kind { K1, K2, Glue, Input };
+  Kind kind = Kind::K1;
+  VertexId v = -1;  // K1 vertex; K2 smaller endpoint
+  VertexId w = -1;  // K2 larger endpoint
+  EdgeId e = -1;    // K2 edge id in the host graph
+  int input = -1;   // Input ordinal
+  int left = -1, right = -1;  // Glue children (plan node indices)
+  GluingMatrix op;            // Glue matrix
+  std::vector<VertexId> terminals;  // ascending vertex ids
+};
+
+struct Plan {
+  std::vector<PlanNode> nodes;
+  int root = -1;
+  int num_inputs = 0;
+
+  const PlanNode& at(int i) const { return nodes.at(i); }
+};
+
+/// Gluing matrix identifying equal ids: row per parent terminal, mapping to
+/// its position in each child terminal list (-1 when absent).
+GluingMatrix matrix_for(const std::vector<VertexId>& parent,
+                        const std::vector<VertexId>& left,
+                        const std::vector<VertexId>& right);
+
+/// Appends the base graph G[bag] (bag = ascending vertex ids, nonempty)
+/// built from K1/K2 primitives; returns its plan-node index.
+int append_base_bag(Plan& plan, const Graph& g,
+                    const std::vector<VertexId>& bag);
+
+/// Appends the Eq. 1 / Eq. 2 composition for one decomposition node: glues
+/// each child (given as an existing plan node whose terminals are the child
+/// bag) with the bag's base graph, then chains with identity gluings.
+/// Returns the node index representing G_u with terminal set `bag`.
+int append_eq12(Plan& plan, const Graph& g, const std::vector<VertexId>& bag,
+                const std::vector<int>& child_nodes);
+
+/// Plan for one decomposition node with Input placeholders for the children
+/// (input i has terminals child_bags[i]); used by the distributed protocol.
+Plan build_node_plan(const Graph& g, const std::vector<VertexId>& bag,
+                     const std::vector<std::vector<VertexId>>& child_bags);
+
+/// Plan for the whole graph along a (validated) rooted tree decomposition.
+/// Multiple decomposition roots (disconnected graphs) are combined by
+/// forgetting gluings. The final terminals are the first root's bag.
+Plan build_global_plan(const Graph& g, const TreeDecomposition& td);
+
+}  // namespace dmc::bpt

@@ -1,0 +1,76 @@
+// Fragmentation of large logical messages over the CONGEST bandwidth.
+//
+// A k-bit logical payload costs ceil(k / B) rounds on one edge (the paper's
+// Theta(k / log n) remark). The simulator transfers C++ values, so
+// fragmentation is modeled: the sender emits ceil(k / (B - header)) chunk
+// messages of which only the last carries the value; the receiver exposes
+// the value when the final chunk arrives. Chunks on one port are delivered
+// in order, one per round.
+#pragma once
+
+#include <any>
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace dmc::congest {
+
+/// Chunk wire format.
+struct Fragment {
+  std::any value;  // engaged only on the final chunk
+};
+
+/// Sender side: queue logical payloads per port, pump one chunk per round.
+class FragmentSender {
+ public:
+  /// Queues a logical payload of `bits` bits for `port`.
+  void enqueue(int port, std::any value, long bits) {
+    if (bits <= 0) bits = 1;
+    queues_.resize(std::max<std::size_t>(queues_.size(), port + 1));
+    queues_[port].push_back(Pending{std::move(value), bits});
+  }
+
+  bool idle() const {
+    for (const auto& q : queues_)
+      if (!q.empty()) return false;
+    return true;
+  }
+
+  /// Sends at most one chunk per queued port; call once per round.
+  void pump(NodeCtx& ctx) {
+    constexpr int kHeaderBits = 8;
+    const int payload_budget = std::max(1, ctx.bandwidth() - kHeaderBits);
+    for (int port = 0; port < static_cast<int>(queues_.size()); ++port) {
+      auto& q = queues_[port];
+      if (q.empty()) continue;
+      Pending& p = q.front();
+      const long chunk_bits = std::min<long>(p.bits_left, payload_budget);
+      p.bits_left -= chunk_bits;
+      Fragment frag;
+      if (p.bits_left <= 0) frag.value = std::move(p.value);
+      ctx.send(port, Message(std::move(frag),
+                             static_cast<int>(chunk_bits) + kHeaderBits));
+      if (p.bits_left <= 0) q.pop_front();
+    }
+  }
+
+ private:
+  struct Pending {
+    std::any value;
+    long bits_left = 0;
+  };
+  std::vector<std::deque<Pending>> queues_;
+};
+
+/// Polls the message on `port` this round for a completed logical payload.
+inline std::optional<std::any> poll_fragment(NodeCtx& ctx, int port) {
+  const auto& msg = ctx.recv(port);
+  if (!msg.has_value()) return std::nullopt;
+  const Fragment* frag = std::any_cast<Fragment>(&msg->value);
+  if (frag == nullptr || !frag->value.has_value()) return std::nullopt;
+  return frag->value;
+}
+
+}  // namespace dmc::congest

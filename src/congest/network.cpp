@@ -1,0 +1,137 @@
+#include "congest/network.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <numeric>
+#include <random>
+#include <stdexcept>
+
+#include "graph/algorithms.hpp"
+
+namespace dmc::congest {
+
+int id_bits(int n) {
+  return std::max(1, static_cast<int>(std::bit_width(static_cast<unsigned>(std::max(1, n - 1)))));
+}
+
+int count_bits(std::uint64_t value) {
+  return std::max(1, static_cast<int>(std::bit_width(value)));
+}
+
+VertexId NodeCtx::id() const { return net_.ids_[vertex_]; }
+int NodeCtx::degree() const { return net_.graph_.degree(vertex_); }
+int NodeCtx::n() const { return net_.n(); }
+int NodeCtx::round() const { return net_.round_; }
+int NodeCtx::bandwidth() const { return net_.bandwidth_; }
+
+VertexId NodeCtx::neighbor_id(int port) const {
+  return net_.ids_[net_.graph_.incident(vertex_).at(port).first];
+}
+
+int NodeCtx::port_of(VertexId id) const {
+  const auto& inc = net_.graph_.incident(vertex_);
+  for (int port = 0; port < static_cast<int>(inc.size()); ++port)
+    if (net_.ids_[inc[port].first] == id) return port;
+  return -1;
+}
+
+void NodeCtx::send(int port, Message msg) {
+  auto& out = net_.outbox_[vertex_];
+  if (port < 0 || port >= static_cast<int>(out.size()))
+    throw std::out_of_range("NodeCtx::send: bad port");
+  if (out[port].has_value())
+    throw std::logic_error("NodeCtx::send: port already used this round");
+  if (msg.bits <= 0)
+    throw std::invalid_argument("NodeCtx::send: message must declare bits > 0");
+  if (msg.bits > net_.bandwidth_)
+    throw std::invalid_argument(
+        "NodeCtx::send: message exceeds CONGEST bandwidth (" +
+        std::to_string(msg.bits) + " > " + std::to_string(net_.bandwidth_) +
+        " bits); fragment it");
+  net_.stats_.messages += 1;
+  net_.stats_.total_bits += msg.bits;
+  net_.stats_.max_message_bits = std::max(net_.stats_.max_message_bits, msg.bits);
+  out[port] = std::move(msg);
+}
+
+void NodeCtx::send_all(const Message& msg) {
+  for (int port = 0; port < degree(); ++port) send(port, msg);
+}
+
+const std::optional<Message>& NodeCtx::recv(int port) const {
+  return net_.inbox_[vertex_].at(port);
+}
+
+Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
+  if (g.num_vertices() == 0)
+    throw std::invalid_argument("Network: empty graph");
+  if (!is_connected(g))
+    throw std::invalid_argument("Network: CONGEST networks are connected");
+  bandwidth_ = std::max(cfg_.min_bandwidth,
+                        cfg_.bandwidth_multiplier * id_bits(g.num_vertices()));
+  ids_.resize(g.num_vertices());
+  std::iota(ids_.begin(), ids_.end(), 0);
+  if (cfg_.id_seed != 0) {
+    std::mt19937_64 rng(cfg_.id_seed);
+    std::shuffle(ids_.begin(), ids_.end(), rng);
+  }
+  vertex_of_id_.resize(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) vertex_of_id_[ids_[v]] = v;
+  inbox_.resize(g.num_vertices());
+  outbox_.resize(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    inbox_[v].resize(g.degree(v));
+    outbox_[v].resize(g.degree(v));
+  }
+}
+
+long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  if (static_cast<int>(programs.size()) != n())
+    throw std::invalid_argument("Network::run: one program per vertex needed");
+  const int n_ = n();
+  long rounds_this_run = 0;
+  for (;;) {
+    // Step every node.
+    for (int v = 0; v < n_; ++v) {
+      NodeCtx ctx(*this, v);
+      programs[v]->on_round(ctx);
+    }
+    // Check completion *after* the step (so final outputs are set).
+    bool all_done = true;
+    for (int v = 0; v < n_ && all_done; ++v) {
+      NodeCtx ctx(*this, v);
+      all_done = programs[v]->done(ctx);
+    }
+    // Deliver messages: outbox of u's port (to w) lands in w's port (to u).
+    for (int v = 0; v < n_; ++v)
+      for (auto& slot : inbox_[v]) slot.reset();
+    bool any_message = false;
+    for (int v = 0; v < n_; ++v) {
+      const auto& inc = graph_.incident(v);
+      for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
+        if (!outbox_[v][port].has_value()) continue;
+        any_message = true;
+        const auto [w, e] = inc[port];
+        // Find w's port back to v.
+        const auto& winc = graph_.incident(w);
+        for (int wp = 0; wp < static_cast<int>(winc.size()); ++wp) {
+          if (winc[wp].first == v) {
+            inbox_[w][wp] = std::move(outbox_[v][port]);
+            break;
+          }
+        }
+        outbox_[v][port].reset();
+      }
+    }
+    ++round_;
+    ++rounds_this_run;
+    stats_.rounds += 1;
+    if (all_done && !any_message) break;
+    if (rounds_this_run > cfg_.max_rounds)
+      throw std::runtime_error("Network::run: round limit exceeded");
+  }
+  return rounds_this_run;
+}
+
+}  // namespace dmc::congest

@@ -1,0 +1,144 @@
+// Synchronous CONGEST model simulator (paper Section 1, model paragraph).
+//
+// The network is a connected simple graph. Every node runs the same
+// NodeProgram; computation proceeds in synchronous rounds. In each round a
+// node may send one message per incident edge; the simulator enforces a
+// per-edge-per-round bandwidth of B = max(kMinBandwidth, c * ceil(log2 n))
+// bits and rejects oversized sends (protocols fragment large payloads, see
+// fragment.hpp, paying Theta(k / log n) rounds for k-bit messages as the
+// paper prescribes).
+//
+// Node identifiers are an arbitrary permutation of 0..n-1 scaled into an
+// O(log n)-bit space (adversarial-ish ids are exercised by seeding the
+// permutation); programs must only rely on ids, their ports, and n.
+//
+// Message payloads are C++ values (std::any) with a *declared* bit size;
+// the declared size is what the bandwidth accounting uses. This is the
+// standard simulation compromise: semantics by value, costs by declaration,
+// with the declaration rules documented per protocol.
+#pragma once
+
+#include <any>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmc::congest {
+
+struct Message {
+  std::any value;
+  int bits = 0;
+
+  Message() = default;
+  Message(std::any v, int b) : value(std::move(v)), bits(b) {}
+};
+
+/// Declared bit sizes used across the protocols.
+int id_bits(int n);                    // one node identifier
+int count_bits(std::uint64_t value);   // a varint-style counter / weight
+
+struct NetworkConfig {
+  /// Bandwidth multiplier: B = max(min_bandwidth, multiplier * ceil(log2 n)).
+  int bandwidth_multiplier = 2;
+  int min_bandwidth = 32;
+  /// Seed for the id permutation; 0 = identity ids.
+  unsigned id_seed = 0;
+  /// Hard cap on rounds per run() call (guards non-terminating protocols).
+  int max_rounds = 1'000'000;
+};
+
+struct NetworkStats {
+  long rounds = 0;
+  long messages = 0;
+  long long total_bits = 0;
+  int max_message_bits = 0;
+
+  void reset() { *this = NetworkStats{}; }
+};
+
+class Network;
+
+/// Per-node view during a round.
+class NodeCtx {
+ public:
+  /// This node's unique identifier (not its graph index).
+  VertexId id() const;
+  int degree() const;
+  /// Number of nodes in the network (standard CONGEST knowledge).
+  int n() const;
+  /// Identifier of the neighbor on `port` (nodes learn neighbor ids in one
+  /// preprocessing round; provided directly for convenience).
+  VertexId neighbor_id(int port) const;
+  /// Port leading to the neighbor with identifier `id`, or -1.
+  int port_of(VertexId id) const;
+  int round() const;
+  /// Per-edge-per-round bandwidth in bits.
+  int bandwidth() const;
+
+  /// Queues a message on `port` for delivery next round. Throws if a
+  /// message was already queued on this port this round or if `bits`
+  /// exceeds the bandwidth.
+  void send(int port, Message msg);
+  void send_all(const Message& msg);
+
+  /// Message received from `port` at the end of the previous round.
+  const std::optional<Message>& recv(int port) const;
+
+ private:
+  friend class Network;
+  NodeCtx(Network& net, int vertex) : net_(net), vertex_(vertex) {}
+  Network& net_;
+  int vertex_;
+};
+
+/// A distributed algorithm: one instance per node, stepped every round.
+class NodeProgram {
+ public:
+  virtual ~NodeProgram() = default;
+  /// Executes one round: inspect ctx.recv(), update state, ctx.send().
+  /// Round 0 is the first invocation (no messages yet).
+  virtual void on_round(NodeCtx& ctx) = 0;
+  /// True when this node has finished the protocol (it may keep being
+  /// stepped while others finish; sends after done are allowed).
+  virtual bool done(const NodeCtx& ctx) const = 0;
+};
+
+class Network {
+ public:
+  Network(const Graph& g, NetworkConfig cfg = {});
+
+  int n() const { return graph_.num_vertices(); }
+  int bandwidth() const { return bandwidth_; }
+  const Graph& graph() const { return graph_; }
+  const NetworkStats& stats() const { return stats_; }
+  void reset_stats() { stats_.reset(); }
+
+  VertexId id_of_vertex(int vertex) const { return ids_[vertex]; }
+  int vertex_of_id(VertexId id) const { return vertex_of_id_.at(id); }
+
+  /// Runs one protocol to completion (all programs done) under the round
+  /// cap; `programs[v]` is the program of graph vertex v. The caller keeps
+  /// ownership (protocol outputs are read from the programs afterwards).
+  /// Returns the number of rounds this run took (stats accumulate across
+  /// runs). Throws std::runtime_error if max_rounds is exceeded.
+  long run(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+ private:
+  friend class NodeCtx;
+
+  Graph graph_;
+  NetworkConfig cfg_;
+  int bandwidth_;
+  std::vector<VertexId> ids_;           // vertex -> id
+  std::vector<int> vertex_of_id_;       // id -> vertex
+  NetworkStats stats_;
+  int round_ = 0;
+  // per vertex, per port
+  std::vector<std::vector<std::optional<Message>>> inbox_, outbox_;
+};
+
+}  // namespace dmc::congest

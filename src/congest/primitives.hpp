@@ -1,0 +1,67 @@
+// Reusable CONGEST building blocks: leader election, BFS tree,
+// broadcast, and convergecast aggregation.
+//
+// These are the "standard distributed tools" the paper leans on (e.g. the
+// leader protocol of Algorithm 2, referenced to [HiSu20]). Each primitive
+// is a NodeProgram family plus a harness that runs it and extracts the
+// per-node outputs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace dmc::congest {
+
+// --- leader election ----------------------------------------------------------
+
+struct LeaderResult {
+  VertexId leader = -1;            // the global minimum id
+  std::vector<VertexId> known;     // per vertex: the leader it learned
+  long rounds = 0;
+};
+
+/// Min-id flooding for `budget` rounds (a correct leader election whenever
+/// budget >= diameter; Algorithm 2 uses budget 2^d, sound by Lemma 2.5).
+LeaderResult run_leader_election(Network& net, int budget);
+
+// --- BFS tree -------------------------------------------------------------------
+
+struct BfsTreeResult {
+  VertexId root_id = -1;
+  std::vector<int> parent;   // per graph vertex: BFS parent vertex (-1 root)
+  std::vector<int> depth;    // hop distance from the root
+  long rounds = 0;
+};
+
+/// BFS tree rooted at the minimum-id node; floods for `budget` rounds
+/// (budget >= diameter required; nodes know n, so n is always safe).
+BfsTreeResult run_bfs_tree(Network& net, int budget);
+
+// --- broadcast ------------------------------------------------------------------
+
+struct BroadcastResult {
+  std::vector<std::int64_t> received;  // per vertex
+  long rounds = 0;
+};
+
+/// The root (minimum id, computed via the BFS tree) broadcasts `value`
+/// down the tree; every node ends up knowing it.
+BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
+                              std::int64_t value);
+
+// --- convergecast aggregation ----------------------------------------------------
+
+struct AggregateResult {
+  std::int64_t sum = 0;
+  std::int64_t max = 0;
+  long rounds = 0;
+};
+
+/// Convergecast of per-node values up the BFS tree; the root learns the sum
+/// and the max, then broadcasts them back down (all nodes know the result).
+AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
+                              const std::vector<std::int64_t>& values);
+
+}  // namespace dmc::congest

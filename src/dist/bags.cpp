@@ -1,0 +1,162 @@
+#include "dist/bags.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "congest/fragment.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+class BagsProgram : public congest::NodeProgram {
+ public:
+  BagsProgram(VertexId parent_id, std::vector<VertexId> children_ids,
+              Weight own_weight, std::uint32_t own_vlabels,
+              std::vector<std::tuple<VertexId, Weight, std::uint32_t>>
+                  incident_edges)
+      : parent_id_(parent_id),
+        children_ids_(std::move(children_ids)),
+        own_weight_(own_weight),
+        own_vlabels_(own_vlabels),
+        incident_edges_(std::move(incident_edges)) {}
+
+  const LocalBag& bag() const { return bag_; }
+  bool has_bag() const { return has_bag_; }
+
+  void on_round(NodeCtx& ctx) override {
+    if (!has_bag_) {
+      if (parent_id_ < 0) {
+        // Root: B = {self}.
+        bag_.bag = {ctx.id()};
+        bag_.weights = {own_weight_};
+        bag_.vlabel_bits = {own_vlabels_};
+        adopt_bag(ctx);
+      } else {
+        const int pport = ctx.port_of(parent_id_);
+        if (auto payload = congest::poll_fragment(ctx, pport)) {
+          const LocalBag parent_bag = std::any_cast<LocalBag>(*payload);
+          extend_from(parent_bag, ctx);
+          adopt_bag(ctx);
+        }
+      }
+    }
+    sender_.pump(ctx);
+  }
+
+  bool done(const NodeCtx&) const override {
+    return has_bag_ && sender_.idle();
+  }
+
+ private:
+  /// Bag acquired: queue it to every child.
+  void adopt_bag(NodeCtx& ctx) {
+    has_bag_ = true;
+    for (VertexId child : children_ids_) {
+      const int port = ctx.port_of(child);
+      if (port < 0) throw std::logic_error("BagsProgram: child not adjacent");
+      sender_.enqueue(port, bag_, bag_.wire_bits(ctx.n()));
+    }
+  }
+
+  /// B_self = B_parent ∪ {self}; edges gain self's links into the bag.
+  void extend_from(const LocalBag& parent, NodeCtx& ctx) {
+    const VertexId self = ctx.id();
+    bag_ = parent;
+    const auto pos =
+        std::lower_bound(bag_.bag.begin(), bag_.bag.end(), self) -
+        bag_.bag.begin();
+    bag_.bag.insert(bag_.bag.begin() + pos, self);
+    bag_.weights.insert(bag_.weights.begin() + pos, own_weight_);
+    bag_.vlabel_bits.insert(bag_.vlabel_bits.begin() + pos, own_vlabels_);
+    // Reindex existing edges across the insertion point.
+    for (auto& e : bag_.edges) {
+      if (e.i >= pos) ++e.i;
+      if (e.j >= pos) ++e.j;
+    }
+    // Add self's edges into the bag.
+    for (const auto& [nbr, w, labels] : incident_edges_) {
+      const auto it = std::lower_bound(bag_.bag.begin(), bag_.bag.end(), nbr);
+      if (it == bag_.bag.end() || *it != nbr) continue;
+      const int other = static_cast<int>(it - bag_.bag.begin());
+      LocalBag::BagEdge edge;
+      edge.i = std::min<int>(pos, other);
+      edge.j = std::max<int>(pos, other);
+      edge.weight = w;
+      edge.elabel_bits = labels;
+      bag_.edges.push_back(edge);
+    }
+    std::sort(bag_.edges.begin(), bag_.edges.end(),
+              [](const LocalBag::BagEdge& a, const LocalBag::BagEdge& b) {
+                return std::tie(a.i, a.j) < std::tie(b.i, b.j);
+              });
+  }
+
+  VertexId parent_id_;
+  std::vector<VertexId> children_ids_;
+  Weight own_weight_;
+  std::uint32_t own_vlabels_;
+  std::vector<std::tuple<VertexId, Weight, std::uint32_t>> incident_edges_;
+  LocalBag bag_;
+  bool has_bag_ = false;
+  congest::FragmentSender sender_;
+};
+
+}  // namespace
+
+long LocalBag::wire_bits(int n) const {
+  const long idb = congest::id_bits(n);
+  const long member_bits = idb + 32 + 8;  // id + weight + label bits
+  const long edge_bits = 2 * congest::count_bits(bag.size()) + 32 + 8;
+  return static_cast<long>(bag.size()) * member_bits +
+         static_cast<long>(edges.size()) * edge_bits + 16;
+}
+
+BagsResult run_bags(congest::Network& net, const ElimTreeResult& tree,
+                    const std::vector<std::string>& vlabel_names,
+                    const std::vector<std::string>& elabel_names) {
+  if (!tree.success)
+    throw std::invalid_argument("run_bags: elimination tree construction failed");
+  const Graph& g = net.graph();
+  auto vbits = [&](VertexId v) {
+    std::uint32_t bits = 0;
+    for (std::size_t i = 0; i < vlabel_names.size(); ++i)
+      if (g.vertex_has_label(vlabel_names[i], v)) bits |= 1u << i;
+    return bits;
+  };
+  auto ebits = [&](EdgeId e) {
+    std::uint32_t bits = 0;
+    for (std::size_t i = 0; i < elabel_names.size(); ++i)
+      if (g.edge_has_label(elabel_names[i], e)) bits |= 1u << i;
+    return bits;
+  };
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<BagsProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<std::tuple<VertexId, Weight, std::uint32_t>> incident;
+    for (auto [w, e] : g.incident(v))
+      incident.emplace_back(net.id_of_vertex(w), g.edge_weight(e), ebits(e));
+    std::vector<VertexId> children_ids;
+    for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
+    auto p = std::make_unique<BagsProgram>(
+        tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
+        std::move(children_ids), g.vertex_weight(v), vbits(v),
+        std::move(incident));
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  BagsResult result;
+  result.rounds = net.run(programs);
+  result.bags.resize(net.n());
+  for (int v = 0; v < net.n(); ++v) {
+    if (!handles[v]->has_bag())
+      throw std::logic_error("run_bags: node finished without a bag");
+    result.bags[v] = handles[v]->bag();
+  }
+  return result;
+}
+
+}  // namespace dmc::dist

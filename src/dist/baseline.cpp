@@ -1,0 +1,178 @@
+#include "dist/baseline.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+#include "congest/fragment.hpp"
+#include "seq/courcelle.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+struct BfsMsg {
+  VertexId root = -1;
+  int dist = 0;
+  VertexId parent = -1;  // the sender's current BFS parent
+};
+
+struct EdgeListPayload {
+  std::vector<std::pair<VertexId, VertexId>> edges;  // global id pairs
+};
+
+struct VerdictMsg {
+  bool holds = false;
+};
+
+class GatherProgram : public congest::NodeProgram {
+ public:
+  GatherProgram(const mso::FormulaPtr& formula,
+                std::vector<VertexId> neighbor_ids)
+      : formula_(formula), neighbor_ids_(std::move(neighbor_ids)) {}
+
+  bool has_verdict() const { return verdict_known_; }
+  bool verdict() const { return verdict_; }
+
+  void on_round(NodeCtx& ctx) override {
+    const int r = ctx.round() - (start_ < 0 ? (start_ = ctx.round()) : start_);
+    const int n = ctx.n();
+    const int id_bits = congest::id_bits(n);
+    if (r == 0) {
+      root_ = ctx.id();
+      dist_ = 0;
+      parent_ = -1;
+    }
+    if (r <= n) {
+      // BFS flooding: adopt (smaller root) or (equal root, shorter path).
+      for (int p = 0; p < ctx.degree(); ++p) {
+        const auto& msg = ctx.recv(p);
+        if (!msg) continue;
+        const auto* bm = std::any_cast<BfsMsg>(&msg->value);
+        if (!bm) continue;
+        if (bm->root < root_ || (bm->root == root_ && bm->dist + 1 < dist_)) {
+          root_ = bm->root;
+          dist_ = bm->dist + 1;
+          parent_ = ctx.neighbor_id(p);
+        }
+      }
+      if (r < n)
+        ctx.send_all(Message(BfsMsg{root_, dist_, parent_},
+                             2 * id_bits + congest::count_bits(n)));
+      if (r == n) {
+        // Stable: neighbors whose parent is me are my BFS children.
+        // (Their final parent pointer arrived with the last flood.)
+        for (int p = 0; p < ctx.degree(); ++p) {
+          const auto& msg = ctx.recv(p);
+          if (!msg) continue;
+          const auto* bm = std::any_cast<BfsMsg>(&msg->value);
+          if (bm && bm->parent == ctx.id())
+            children_.push_back(ctx.neighbor_id(p));
+        }
+        expected_payloads_ = static_cast<int>(children_.size());
+        // Own incident edges (deduplicated at the root).
+        for (VertexId nbr : neighbor_ids_)
+          gathered_.edges.emplace_back(std::min(ctx.id(), nbr),
+                                       std::max(ctx.id(), nbr));
+        maybe_forward(ctx);
+      }
+      return;
+    }
+    // Convergecast of edge lists.
+    for (int p = 0; p < ctx.degree(); ++p) {
+      if (auto payload = congest::poll_fragment(ctx, p)) {
+        const auto& el = std::any_cast<const EdgeListPayload&>(*payload);
+        gathered_.edges.insert(gathered_.edges.end(), el.edges.begin(),
+                               el.edges.end());
+        --expected_payloads_;
+        maybe_forward(ctx);
+      }
+      const auto& msg = ctx.recv(p);
+      if (msg) {
+        if (const auto* vm = std::any_cast<VerdictMsg>(&msg->value)) {
+          if (!verdict_known_) {
+            verdict_known_ = true;
+            verdict_ = vm->holds;
+            forward_verdict(ctx);
+          }
+        }
+      }
+    }
+    sender_.pump(ctx);
+  }
+
+  bool done(const NodeCtx&) const override {
+    return verdict_known_ && sender_.idle();
+  }
+
+ private:
+  void maybe_forward(NodeCtx& ctx) {
+    if (forwarded_ || expected_payloads_ > 0) return;
+    forwarded_ = true;
+    if (parent_ < 0) {
+      decide(ctx);
+      return;
+    }
+    const long bits =
+        16 + 2ll * congest::id_bits(ctx.n()) *
+                 static_cast<long>(gathered_.edges.size());
+    sender_.enqueue(ctx.port_of(parent_), gathered_, bits);
+  }
+
+  void decide(NodeCtx& ctx) {
+    // Root reconstructs the graph (ids are 0..n-1 in the simulator's id
+    // space) and decides sequentially.
+    Graph g(ctx.n());
+    std::set<std::pair<VertexId, VertexId>> seen;
+    for (auto [a, b] : gathered_.edges)
+      if (seen.insert({a, b}).second) g.add_edge(a, b);
+    verdict_known_ = true;
+    verdict_ = seq::decide(g, formula_);
+    forward_verdict(ctx);
+  }
+
+  void forward_verdict(NodeCtx& ctx) {
+    for (VertexId child : children_)
+      ctx.send(ctx.port_of(child), Message(VerdictMsg{verdict_}, 1));
+  }
+
+  mso::FormulaPtr formula_;
+  std::vector<VertexId> neighbor_ids_;
+  int start_ = -1;
+  VertexId root_ = -1;
+  int dist_ = 0;
+  VertexId parent_ = -1;
+  std::vector<VertexId> children_;
+  int expected_payloads_ = -1;
+  EdgeListPayload gathered_;
+  congest::FragmentSender sender_;
+  bool forwarded_ = false;
+  bool verdict_known_ = false;
+  bool verdict_ = false;
+};
+
+}  // namespace
+
+BaselineOutcome run_gather_baseline(congest::Network& net,
+                                    const mso::FormulaPtr& formula) {
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<GatherProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<VertexId> nbrs;
+    for (auto [w, e] : net.graph().incident(v))
+      nbrs.push_back(net.id_of_vertex(w));
+    auto p = std::make_unique<GatherProgram>(formula, std::move(nbrs));
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  BaselineOutcome out;
+  out.rounds = net.run(programs);
+  out.holds = true;
+  for (const auto* h : handles) out.holds = out.holds && h->verdict();
+  return out;
+}
+
+}  // namespace dmc::dist

@@ -1,0 +1,26 @@
+// Baseline: gather the whole topology at a leader and decide centrally.
+//
+// This is the generic CONGEST strategy whose round complexity *grows with
+// n* (Theta(n + m log n / log n) in the worst case): BFS-tree construction
+// from the minimum-id node (n flooding rounds — nodes know n, so n rounds
+// is a sound convergence bound), convergecast of all edge lists up the BFS
+// tree (fragmented), sequential decision at the root, verdict broadcast.
+//
+// The benchmarks compare it against the paper's O(2^{2d})-round protocol to
+// exhibit the crossover (EXPERIMENTS.md, E3).
+#pragma once
+
+#include "congest/network.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct BaselineOutcome {
+  bool holds = false;
+  long rounds = 0;
+};
+
+BaselineOutcome run_gather_baseline(congest::Network& net,
+                                    const mso::FormulaPtr& formula);
+
+}  // namespace dmc::dist

@@ -1,0 +1,80 @@
+// Distributed certification of MSO properties on bounded treedepth —
+// the companion setting the paper builds on (Bousquet, Feuilloley, Pierron,
+// PODC 2022: O(log n)-bit certificates), realized with this repository's
+// BPT engine.
+//
+// Scheme (one-round proof-labeling): the prover runs Algorithm 2's greedy
+// elimination tree (a subtree of G, depth < 2^td by Lemma 2.5) and gives
+// every node
+//   - its root path (ancestor ids, root..self),
+//   - the adjacency bitmask of G restricted to its bag (Lemma 2.4),
+//   - the homomorphism class of its subtree graph G_v (Definition 4.1),
+//   - at the root, the verdict bit.
+// The verifier is a single exchange of certificates with neighbors; each
+// node checks
+//   (1) path shape: self last, parent (second-to-last) is a neighbor whose
+//       path is its own minus the last entry;
+//   (2) every incident edge joins prefix-comparable paths (the
+//       elimination-forest property of Definition 2.1);
+//   (3) bag adjacency: its own row is truthful, and the restriction to the
+//       parent's bag equals the parent's claim;
+//   (4) its class equals the Lemma 4.3 composition of its children's
+//       claimed classes over its bag;
+//   (5) root: the class is accepting for phi.
+// Completeness and soundness are exercised by the test suite (honest
+// certificates accepted; tampered paths / adjacency / classes / verdicts
+// rejected by at least one node).
+//
+// Certificate size: O(depth·log n + depth^2 + log|C|) bits — O(log n) for
+// constant treedepth, matching the predecessor paper's headline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bpt/engine.hpp"
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct MsoCertificate {
+  std::vector<VertexId> path;     // root path ids, root first, self last
+  std::uint64_t bag_adj = 0;      // pair_index bits over `path`
+  /// Label bits of the bag members (path order) and of the bag edges
+  /// (set bits of bag_adj in i-major order) — each node certifies its own
+  /// entries truthfully and checks prefix-consistency with its parent.
+  std::vector<std::uint32_t> vlabels;
+  std::vector<std::uint32_t> elabels;
+  bpt::TypeId subtree_class = bpt::kInvalidType;
+  bool accepting = false;         // meaningful at the root only
+
+  /// Declared size in bits.
+  long bits(int n, std::size_t num_classes) const;
+};
+
+struct MsoCertification {
+  std::vector<MsoCertificate> certs;  // per vertex (ids == vertex indices)
+  std::shared_ptr<bpt::Engine> engine;
+  mso::FormulaPtr lowered;
+  long max_certificate_bits = 0;
+};
+
+/// Honest prover. Requires g connected and td(g) small enough for the
+/// greedy tree (throws otherwise). Note: the certification scheme certifies
+/// *G satisfies phi*; if G does not, the honest certificates exist but the
+/// root's verdict check fails (the verifier rejects) — exactly the
+/// completeness/soundness split of the definition in Section 1.
+MsoCertification prove_mso(const Graph& g, const mso::FormulaPtr& formula);
+
+struct VerifyResult {
+  bool all_accept = true;
+  std::vector<bool> accept;  // per vertex
+};
+
+/// One-round verifier (each node sees its own and its neighbors'
+/// certificates). Deterministic, side-effect free on the certification.
+VerifyResult verify_mso(const Graph& g, const MsoCertification& cert);
+
+}  // namespace dmc::dist

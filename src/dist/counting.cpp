@@ -1,0 +1,166 @@
+#include "dist/counting.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "bpt/tables.hpp"
+#include "congest/fragment.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
+#include "dist/local.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+struct CountTablePayload {
+  bpt::CountTable table;
+};
+
+struct TotalMsg {
+  std::uint64_t total = 0;
+};
+
+long table_bits(const bpt::Engine& engine, const bpt::CountTable& t) {
+  const int cbits = std::max(
+      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
+  long bits = 8;
+  for (const auto& [c, count] : t) bits += cbits + congest::count_bits(count);
+  return bits;
+}
+
+class CountingProgram : public congest::NodeProgram {
+ public:
+  CountingProgram(bpt::Engine& engine, bpt::Evaluator* evaluator,
+                  LocalContext lctx, VertexId parent_id,
+                  std::vector<VertexId> children_ids)
+      : engine_(engine),
+        evaluator_(evaluator),
+        local_(std::move(lctx)),
+        parent_id_(parent_id),
+        children_ids_(std::move(children_ids)) {
+    child_tables_.resize(children_ids_.size());
+    have_table_.assign(children_ids_.size(), false);
+  }
+
+  bool finished() const { return finished_; }
+  std::uint64_t total() const { return total_; }
+
+  void on_round(NodeCtx& ctx) override {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const VertexId from = ctx.neighbor_id(p);
+      if (auto payload = congest::poll_fragment(ctx, p)) {
+        const auto& tp = std::any_cast<const CountTablePayload&>(*payload);
+        for (std::size_t i = 0; i < children_ids_.size(); ++i)
+          if (children_ids_[i] == from) {
+            child_tables_[i] = tp.table;
+            have_table_[i] = true;
+          }
+        continue;
+      }
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      if (const auto* tm = std::any_cast<TotalMsg>(&msg->value)) {
+        if (from == parent_id_ && !finished_) {
+          total_ = tm->total;
+          finished_ = true;
+          forward_total(ctx);
+        }
+      }
+    }
+    if (!solved_ && std::all_of(have_table_.begin(), have_table_.end(),
+                                [](bool b) { return b; })) {
+      solved_ = true;
+      const auto tables =
+          bpt::fold_count(engine_, local_.plan, local_.graph, child_tables_);
+      const bpt::CountTable& root_table = tables[local_.plan.root];
+      if (parent_id_ < 0) {
+        total_ = 0;
+        for (const auto& [t, c] : root_table) {
+          if (!evaluator_->eval(t)) continue;
+          if (__builtin_add_overflow(total_, c, &total_))
+            throw std::overflow_error("run_count: overflow");
+        }
+        finished_ = true;
+        forward_total(ctx);
+      } else {
+        sender_.enqueue(ctx.port_of(parent_id_), CountTablePayload{root_table},
+                        table_bits(engine_, root_table));
+      }
+    }
+    sender_.pump(ctx);
+  }
+
+  bool done(const NodeCtx&) const override {
+    return finished_ && sender_.idle();
+  }
+
+ private:
+  void forward_total(NodeCtx& ctx) {
+    for (VertexId child : children_ids_)
+      ctx.send(ctx.port_of(child),
+               Message(TotalMsg{total_}, congest::count_bits(total_)));
+  }
+
+  bpt::Engine& engine_;
+  bpt::Evaluator* evaluator_;
+  LocalContext local_;
+  VertexId parent_id_;
+  std::vector<VertexId> children_ids_;
+  std::vector<bpt::CountTable> child_tables_;
+  std::vector<bool> have_table_;
+  congest::FragmentSender sender_;
+  bool solved_ = false;
+  bool finished_ = false;
+  std::uint64_t total_ = 0;
+};
+
+}  // namespace
+
+CountingOutcome run_count(
+    congest::Network& net, const mso::FormulaPtr& formula,
+    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d) {
+  CountingOutcome out;
+  const mso::FormulaPtr lowered = mso::lower(formula, vars);
+  bpt::Engine engine(bpt::config_for(*lowered, vars));
+  bpt::Evaluator evaluator(engine, lowered, vars);
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  const auto& cfg = engine.config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<CountingProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<VertexId> children_ids;
+    for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
+    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+                                           cfg.vertex_labels, cfg.edge_labels);
+    auto p = std::make_unique<CountingProgram>(
+        engine, &evaluator, std::move(lctx),
+        tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
+        std::move(children_ids));
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  out.rounds_solve = net.run(programs);
+  out.num_classes = engine.num_types();
+  out.count = handles[0]->total();
+  for (const auto* h : handles)
+    if (h->total() != out.count)
+      throw std::logic_error("run_count: inconsistent totals");
+  return out;
+}
+
+}  // namespace dmc::dist

@@ -1,0 +1,35 @@
+// Distributed MSO counting (paper Section 6, COUNT tables).
+//
+// Bottom-up convergecast of COUNT tables along the elimination tree; the
+// root sums the counts of accepting classes and broadcasts the result.
+// Works for any number of free set variables (e.g. triangle counting uses
+// three singleton vertex-set variables; the count is 6x the number of
+// triangles because assignments are ordered).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct CountingOutcome {
+  bool treedepth_exceeded = false;
+  std::uint64_t count = 0;
+  long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
+  std::size_t num_classes = 0;
+
+  long total_rounds() const { return rounds_elim + rounds_bags + rounds_solve; }
+};
+
+/// Counts satisfying assignments of the free variables (slot order =
+/// `vars`) distributively, with treedepth budget d.
+CountingOutcome run_count(
+    congest::Network& net, const mso::FormulaPtr& formula,
+    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d);
+
+}  // namespace dmc::dist

@@ -1,0 +1,159 @@
+#include "dist/decision.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "bpt/tables.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
+#include "dist/local.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+struct ClassMsg {
+  bpt::TypeId type = bpt::kInvalidType;
+};
+
+struct VerdictMsg {
+  bool holds = false;
+};
+
+int class_bits(const bpt::Engine& engine) {
+  return std::max(
+      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
+}
+
+class DecisionProgram : public congest::NodeProgram {
+ public:
+  DecisionProgram(bpt::Engine& engine, bpt::Evaluator* evaluator,
+                  LocalContext ctx, VertexId parent_id,
+                  std::vector<VertexId> children_ids, int* max_bits)
+      : engine_(engine),
+        evaluator_(evaluator),
+        local_(std::move(ctx)),
+        parent_id_(parent_id),
+        children_ids_(std::move(children_ids)),
+        max_bits_(max_bits) {
+    inputs_.assign(children_ids_.size(), bpt::kInvalidType);
+  }
+
+  bool has_verdict() const { return verdict_known_; }
+  bool verdict() const { return verdict_; }
+
+  void on_round(NodeCtx& ctx) override {
+    // Collect children classes / parent verdict.
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      if (const auto* cm = std::any_cast<ClassMsg>(&msg->value)) {
+        const VertexId from = ctx.neighbor_id(p);
+        for (std::size_t i = 0; i < children_ids_.size(); ++i)
+          if (children_ids_[i] == from) inputs_[i] = cm->type;
+      } else if (const auto* vm = std::any_cast<VerdictMsg>(&msg->value)) {
+        if (!verdict_known_) {
+          verdict_known_ = true;
+          verdict_ = vm->holds;
+          forward_verdict(ctx);
+        }
+      }
+    }
+    if (!sent_ && all_inputs_ready()) {
+      sent_ = true;
+      const bpt::TypeId my_class =
+          bpt::fold_type(engine_, local_.plan, local_.graph, inputs_);
+      if (parent_id_ < 0) {
+        verdict_known_ = true;
+        verdict_ = evaluator_->eval(my_class);
+        forward_verdict(ctx);
+      } else {
+        const int bits = class_bits(engine_);
+        *max_bits_ = std::max(*max_bits_, bits);
+        ctx.send(ctx.port_of(parent_id_), Message(ClassMsg{my_class}, bits));
+      }
+    }
+  }
+
+  bool done(const NodeCtx&) const override { return verdict_known_; }
+
+ private:
+  bool all_inputs_ready() const {
+    return std::none_of(inputs_.begin(), inputs_.end(), [](bpt::TypeId t) {
+      return t == bpt::kInvalidType;
+    });
+  }
+
+  void forward_verdict(NodeCtx& ctx) {
+    for (VertexId child : children_ids_)
+      ctx.send(ctx.port_of(child), Message(VerdictMsg{verdict_}, 1));
+  }
+
+  bpt::Engine& engine_;
+  bpt::Evaluator* evaluator_;
+  LocalContext local_;
+  VertexId parent_id_;
+  std::vector<VertexId> children_ids_;
+  std::vector<bpt::TypeId> inputs_;
+  bool sent_ = false;
+  bool verdict_known_ = false;
+  bool verdict_ = false;
+  int* max_bits_;
+};
+
+}  // namespace
+
+DecisionOutcome run_decision(congest::Network& net,
+                             const mso::FormulaPtr& formula, int d,
+                             bpt::Engine* engine) {
+  DecisionOutcome out;
+  const mso::FormulaPtr lowered = mso::lower(formula);
+  std::optional<bpt::Engine> own_engine;
+  if (engine == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered));
+    engine = &*own_engine;
+  }
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  out.tree_depth = *std::max_element(tree.depth.begin(), tree.depth.end());
+
+  const auto& cfg = engine->config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+
+  bpt::Evaluator evaluator(*engine, lowered);
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<DecisionProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<VertexId> children_ids;
+    for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
+    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+                                           cfg.vertex_labels, cfg.edge_labels);
+    auto p = std::make_unique<DecisionProgram>(
+        *engine, &evaluator, std::move(lctx),
+        tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
+        std::move(children_ids), &out.max_class_bits);
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  out.rounds_updown = net.run(programs);
+  out.num_classes = engine->num_types();
+  // Distributed decision semantics: G |= phi iff every node accepts; all
+  // nodes received the root's verdict.
+  out.holds = true;
+  for (const auto* h : handles) out.holds = out.holds && h->verdict();
+  return out;
+}
+
+}  // namespace dmc::dist

@@ -1,0 +1,41 @@
+// Distributed MSO model checking (paper Theorem 6.1, decision part).
+//
+// Pipeline: Algorithm 2 (elimination tree, O(2^{2d}) rounds) -> Lemma 5.3
+// (bags, O(2^{2d}) rounds) -> bottom-up class convergecast along the
+// elimination tree (depth(T) < 2^d rounds, messages of ceil(log |C|) bits)
+// -> verdict at the root, broadcast down (depth rounds, 1-bit messages).
+//
+// Every node's per-round computation is the local composition of Lemma 4.3,
+// performed with the shared BPT engine (the class set C and the update
+// functions are computable from (phi, w) alone — Theorem 4.2 — so sharing
+// one interner across simulated nodes is sound; class ids in messages are
+// charged ceil(log2 |C|) bits).
+#pragma once
+
+#include "bpt/engine.hpp"
+#include "congest/network.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct DecisionOutcome {
+  bool treedepth_exceeded = false;  // some node rejected during Algorithm 2
+  bool holds = false;               // G |= phi (valid unless exceeded)
+  long rounds_elim = 0;
+  long rounds_bags = 0;
+  long rounds_updown = 0;
+  int tree_depth = 0;          // depth of the constructed elimination tree
+  std::size_t num_classes = 0;      // |C| reached by the engine
+  int max_class_bits = 0;           // bits of the largest class message
+
+  long total_rounds() const { return rounds_elim + rounds_bags + rounds_updown; }
+};
+
+/// Decides the closed formula on the network, with treedepth budget d.
+/// If `engine` is non-null it is used (and filled) instead of a fresh one —
+/// useful for running many instances against one class universe.
+DecisionOutcome run_decision(congest::Network& net,
+                             const mso::FormulaPtr& formula, int d,
+                             bpt::Engine* engine = nullptr);
+
+}  // namespace dmc::dist

@@ -1,0 +1,175 @@
+#include "dist/elim_tree.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+/// Flood message during leader-election rounds.
+struct FloodMsg {
+  bool marked = false;
+  VertexId min_id = -1;
+};
+
+/// "My component leader is L" report (end of a phase's election).
+struct ReportMsg {
+  VertexId leader = -1;
+  VertexId reporter = -1;
+};
+
+/// "You become my child" (Algorithm 2, instruction 15).
+struct AdoptMsg {
+  VertexId parent = -1;
+};
+
+// Phase layout (E = election_rounds, L = E + 2):
+//   step 0        : process AdoptMsg from the previous phase (mark self,
+//                   depth = current phase); reset election state; flood.
+//   steps 1..E-1  : flood min-ids among unmarked nodes.
+//   step E        : final flood processing; in phase 0 the global minimum
+//                   marks itself as root (depth 1); in later phases
+//                   unmarked nodes report (leader, self) to neighbors.
+//   step E+1      : marked nodes of depth == phase adopt one reporter per
+//                   component (min reporter id) and send AdoptMsg.
+// Phase p (p >= 1) thereby creates the nodes of depth p+1, which mark
+// themselves at step 0 of phase p+1. Phases 0..D-1 run (D = 2^d - 1), plus
+// one extra round so the last AdoptMsg is processed.
+class ElimTreeProgram : public congest::NodeProgram {
+ public:
+  explicit ElimTreeProgram(int d) : d_(d) {
+    election_rounds_ = (1 << d_) + 1;
+    phase_len_ = election_rounds_ + 2;
+    num_phases_ = (1 << d_) - 1;  // phases 0 .. D-1
+    total_rounds_ = num_phases_ * phase_len_ + 1;
+  }
+
+  bool marked() const { return depth_ > 0; }
+  int depth() const { return depth_; }
+  VertexId parent_id() const { return parent_; }
+  const std::vector<VertexId>& children_ids() const { return children_; }
+
+  void on_round(NodeCtx& ctx) override {
+    const int r = ctx.round() - (start_round_ < 0 ? (start_round_ = ctx.round())
+                                                  : start_round_);
+    if (r >= total_rounds_) return;
+    const int phase = r / phase_len_;
+    const int step = r % phase_len_;
+    const int E = election_rounds_;
+    const int id_bits = congest::id_bits(ctx.n());
+
+    if (step == 0) {
+      if (phase >= 1 && !marked()) process_adopt(ctx, /*depth=*/phase);
+      cur_min_ = marked() ? -1 : ctx.id();
+    }
+    if (step < E) {
+      if (step > 0) absorb_floods(ctx);
+      ctx.send_all(Message(FloodMsg{marked(), cur_min_}, 1 + id_bits));
+      return;
+    }
+    if (step == E) {
+      absorb_floods(ctx);
+      if (phase == 0) {
+        if (!marked() && cur_min_ == ctx.id()) depth_ = 1;  // root, parent -1
+        return;
+      }
+      if (!marked())
+        ctx.send_all(Message(ReportMsg{cur_min_, ctx.id()}, 2 * id_bits));
+      return;
+    }
+    // step == E + 1: adoption by nodes of depth == phase.
+    if (phase >= 1 && marked() && depth_ == phase) {
+      std::map<VertexId, std::pair<VertexId, int>> best;  // leader -> (id, port)
+      for (int p = 0; p < ctx.degree(); ++p) {
+        const auto& msg = ctx.recv(p);
+        if (!msg) continue;
+        const auto* rm = std::any_cast<ReportMsg>(&msg->value);
+        if (!rm) continue;
+        auto it = best.find(rm->leader);
+        if (it == best.end() || rm->reporter < it->second.first)
+          best[rm->leader] = {rm->reporter, p};
+      }
+      for (const auto& [leader, chosen] : best) {
+        ctx.send(chosen.second, Message(AdoptMsg{ctx.id()}, id_bits));
+        children_.push_back(chosen.first);
+      }
+    }
+  }
+
+  bool done(const NodeCtx& ctx) const override {
+    return start_round_ >= 0 && ctx.round() - start_round_ >= total_rounds_;
+  }
+
+ private:
+  void absorb_floods(NodeCtx& ctx) {
+    if (marked()) return;
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      const auto* fm = std::any_cast<FloodMsg>(&msg->value);
+      if (fm && !fm->marked) cur_min_ = std::min(cur_min_, fm->min_id);
+    }
+  }
+
+  void process_adopt(NodeCtx& ctx, int depth) {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      const auto* am = std::any_cast<AdoptMsg>(&msg->value);
+      if (am) {
+        parent_ = am->parent;
+        depth_ = depth;
+      }
+    }
+  }
+
+  int d_;
+  int election_rounds_;
+  int phase_len_;
+  int num_phases_;
+  int total_rounds_;
+  int start_round_ = -1;
+  VertexId cur_min_ = -1;
+  int depth_ = 0;  // 0 = unmarked
+  VertexId parent_ = -1;
+  std::vector<VertexId> children_;
+};
+
+}  // namespace
+
+ElimTreeResult run_elim_tree(congest::Network& net, int d) {
+  if (d < 1) throw std::invalid_argument("run_elim_tree: d >= 1 required");
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<ElimTreeProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    auto p = std::make_unique<ElimTreeProgram>(d);
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  ElimTreeResult result;
+  result.rounds = net.run(programs);
+  result.success = true;
+  result.parent.assign(net.n(), -1);
+  result.depth.assign(net.n(), 0);
+  result.children.assign(net.n(), {});
+  for (int v = 0; v < net.n(); ++v) {
+    const ElimTreeProgram& p = *handles[v];
+    if (!p.marked()) {
+      result.success = false;  // this node rejects: td(G) > d
+      continue;
+    }
+    result.depth[v] = p.depth();
+    result.parent[v] =
+        p.parent_id() < 0 ? -1 : net.vertex_of_id(p.parent_id());
+    for (VertexId cid : p.children_ids())
+      result.children[v].push_back(net.vertex_of_id(cid));
+  }
+  return result;
+}
+
+}  // namespace dmc::dist

@@ -1,0 +1,37 @@
+// Distributed elimination-tree construction: the paper's Algorithm 2
+// (Lemma 5.1).
+//
+// Given a treedepth budget d, the protocol runs D-1 = 2^d - 2 phases. Each
+// phase performs a component-restricted leader election among unmarked
+// nodes (min-id flooding for 2^d + 1 rounds — enough because graphs of
+// treedepth <= d contain no path on 2^d vertices, Lemma 2.5), after which
+// each unmarked node reports its component leader to its neighbors, and
+// each marked node of the previous depth adopts, per component, the
+// minimum-id reporter as its child. If any node is still unmarked after all
+// phases, td(G) > d is reported (that node rejects).
+//
+// Total rounds: O(2^{2d}), independent of n — the quantity benchmarked in
+// EXPERIMENTS.md E1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "congest/network.hpp"
+
+namespace dmc::dist {
+
+struct ElimTreeResult {
+  bool success = false;  // false => some node rejected: td(G) > d
+  /// Per graph vertex (not id): parent vertex (-1 for the root), depth
+  /// (1-based), and children (graph vertices). Valid only on success.
+  std::vector<int> parent;
+  std::vector<int> depth;
+  std::vector<std::vector<int>> children;
+  long rounds = 0;
+};
+
+/// Runs Algorithm 2 on the network. Stats accumulate in net.stats().
+ElimTreeResult run_elim_tree(congest::Network& net, int d);
+
+}  // namespace dmc::dist

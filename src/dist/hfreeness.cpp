@@ -1,0 +1,105 @@
+#include "dist/hfreeness.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "congest/network.hpp"
+#include "dist/decision.hpp"
+#include "graph/algorithms.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc::dist {
+
+LowTdDecomposition grid_low_td_decomposition(const Graph& g, int rows,
+                                             int cols, int p) {
+  if (rows * cols != g.num_vertices())
+    throw std::invalid_argument("grid_low_td_decomposition: bad dimensions");
+  if (p < 1) throw std::invalid_argument("grid_low_td_decomposition: p >= 1");
+  const int m = p + 1;
+  LowTdDecomposition out;
+  out.p = p;
+  out.num_parts = m * m;
+  out.part.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const int r = v / cols, c = v % cols;
+    out.part[v] = (r % m) * m + (c % m);
+    // Sanity: the decomposition argument needs axis-local edges.
+  }
+  for (const Edge& e : g.edges()) {
+    const int ru = e.u / cols, cu = e.u % cols;
+    const int rv = e.v / cols, cv = e.v % cols;
+    if (std::abs(ru - rv) > 1 || std::abs(cu - cv) > 1)
+      throw std::invalid_argument(
+          "grid_low_td_decomposition: edge spans more than one cell");
+  }
+  out.rounds = 1;  // coordinates are local inputs; announcing takes O(1)
+  return out;
+}
+
+HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
+                                     const Graph& h, int td_budget) {
+  const int p = h.num_vertices();
+  if (p < 1 || !is_connected(h))
+    throw std::invalid_argument("run_h_freeness_grid: H must be connected");
+  const LowTdDecomposition decomp = grid_low_td_decomposition(g, rows, cols, p);
+
+  HFreenessOutcome out;
+  out.decomposition_rounds = decomp.rounds;
+  const mso::FormulaPtr formula = mso::lib::h_free(h);
+
+  // Shared class universe across all runs (Theorem 4.2: computable from
+  // (phi, w) alone).
+  const mso::FormulaPtr lowered = mso::lower(formula);
+  bpt::Engine engine(bpt::config_for(*lowered));
+
+  // Enumerate p-subsets I of the parts (smaller unions are contained in
+  // some p-subset union, so |I| = p suffices).
+  std::vector<int> subset(std::min(p, decomp.num_parts));
+  for (int i = 0; i < static_cast<int>(subset.size()); ++i) subset[i] = i;
+  const int k = static_cast<int>(subset.size());
+  for (;;) {
+    ++out.num_subsets;
+    // Union of the chosen parts.
+    std::vector<bool> chosen(decomp.num_parts, false);
+    for (int i : subset) chosen[i] = true;
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (chosen[decomp.part[v]]) members.push_back(v);
+    if (!members.empty()) {
+      const Graph gi = g.induced_subgraph(members);
+      // Run the decision on each connected component (the components run
+      // in parallel over disjoint vertex sets; rounds = max over them).
+      const auto comp = connected_components(gi);
+      const int num_comp =
+          comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+      for (int c = 0; c < num_comp; ++c) {
+        std::vector<VertexId> cm;
+        for (VertexId v = 0; v < gi.num_vertices(); ++v)
+          if (comp[v] == c) cm.push_back(v);
+        if (static_cast<int>(cm.size()) < p) continue;  // cannot contain H
+        const Graph gc = gi.induced_subgraph(cm);
+        congest::Network net(gc);
+        ++out.num_component_runs;
+        const DecisionOutcome res =
+            run_decision(net, formula, td_budget, &engine);
+        if (res.treedepth_exceeded)
+          throw std::logic_error(
+              "run_h_freeness_grid: td budget too small for a union "
+              "component (raise td_budget)");
+        out.max_run_rounds = std::max(out.max_run_rounds, res.total_rounds());
+        if (!res.holds) out.h_free = false;
+      }
+    }
+    // next p-subset
+    int i = k - 1;
+    while (i >= 0 && subset[i] == decomp.num_parts - k + i) --i;
+    if (i < 0) break;
+    ++subset[i];
+    for (int j = i + 1; j < k; ++j) subset[j] = subset[j - 1] + 1;
+  }
+  out.multiplexed_rounds = out.max_run_rounds * out.num_subsets;
+  return out;
+}
+
+}  // namespace dmc::dist

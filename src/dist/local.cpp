@@ -1,0 +1,58 @@
+#include "dist/local.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmc::dist {
+
+int LocalContext::local_of(VertexId global_id) const {
+  auto it = std::lower_bound(globals.begin(), globals.end(), global_id);
+  if (it == globals.end() || *it != global_id)
+    throw std::invalid_argument("LocalContext: unknown global id");
+  return static_cast<int>(it - globals.begin());
+}
+
+LocalContext make_local_context(
+    const LocalBag& bag, const std::vector<VertexId>& children_global_ids,
+    const std::vector<std::string>& vlabel_names,
+    const std::vector<std::string>& elabel_names) {
+  LocalContext ctx;
+  // Local universe: bag members plus children ids, ascending (order-
+  // preserving, so ascending local == ascending global).
+  ctx.globals = bag.bag;
+  for (VertexId c : children_global_ids) ctx.globals.push_back(c);
+  std::sort(ctx.globals.begin(), ctx.globals.end());
+  ctx.globals.erase(std::unique(ctx.globals.begin(), ctx.globals.end()),
+                    ctx.globals.end());
+  ctx.graph = Graph(static_cast<int>(ctx.globals.size()));
+  // Bag members carry weights and labels.
+  for (std::size_t i = 0; i < bag.bag.size(); ++i) {
+    const int li = ctx.local_of(bag.bag[i]);
+    ctx.bag_local.push_back(li);
+    ctx.graph.set_vertex_weight(li, bag.weights[i]);
+    for (std::size_t l = 0; l < vlabel_names.size(); ++l)
+      if (bag.vlabel_bits[i] & (1u << l))
+        ctx.graph.set_vertex_label(vlabel_names[l], li);
+  }
+  std::sort(ctx.bag_local.begin(), ctx.bag_local.end());
+  for (const auto& e : bag.edges) {
+    const int a = ctx.local_of(bag.bag[e.i]);
+    const int b = ctx.local_of(bag.bag[e.j]);
+    const EdgeId id = ctx.graph.add_edge(a, b);
+    ctx.graph.set_edge_weight(id, e.weight);
+    for (std::size_t l = 0; l < elabel_names.size(); ++l)
+      if (e.elabel_bits & (1u << l)) ctx.graph.set_edge_label(elabel_names[l], id);
+  }
+  // Child bags: B_child = B_self ∪ {child} (canonical decomposition).
+  std::vector<std::vector<VertexId>> child_bags;
+  for (VertexId c : children_global_ids) {
+    std::vector<VertexId> cb = ctx.bag_local;
+    cb.push_back(ctx.local_of(c));
+    std::sort(cb.begin(), cb.end());
+    child_bags.push_back(std::move(cb));
+  }
+  ctx.plan = bpt::build_node_plan(ctx.graph, ctx.bag_local, child_bags);
+  return ctx;
+}
+
+}  // namespace dmc::dist

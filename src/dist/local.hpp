@@ -1,0 +1,40 @@
+// Per-node local computation context for the bottom-up protocols
+// (paper Lemma 4.3 / 4.6: a node needs only its bag, the graph induced by
+// the bag, and its children's bags/classes).
+//
+// Types and gluing matrices are id-free: only the relative order of
+// terminals matters, and all protocols order terminals by ascending global
+// id. The local context therefore maps the bag (plus the children's ids)
+// to dense local indices order-preservingly and compiles the node's plan
+// (Eq. 1/2) against a small local graph holding exactly the bag's edges,
+// weights and labels.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "bpt/plan.hpp"
+#include "dist/bags.hpp"
+#include "graph/graph.hpp"
+
+namespace dmc::dist {
+
+struct LocalContext {
+  Graph graph;                      // local dense indices
+  std::vector<VertexId> globals;    // local index -> global id (ascending)
+  std::vector<VertexId> bag_local;  // the bag in local indices (ascending)
+  bpt::Plan plan;                   // Input i = i-th child (children order)
+
+  int local_of(VertexId global_id) const;
+};
+
+/// Builds the context of one node: `bag` from the bags protocol,
+/// `children_global_ids` from the elimination tree (child bag =
+/// bag ∪ {child}, Lemma 2.4). Label names fix the bit order used in
+/// LocalBag.
+LocalContext make_local_context(
+    const LocalBag& bag, const std::vector<VertexId>& children_global_ids,
+    const std::vector<std::string>& vlabel_names,
+    const std::vector<std::string>& elabel_names);
+
+}  // namespace dmc::dist

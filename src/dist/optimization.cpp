@@ -1,0 +1,265 @@
+#include "dist/optimization.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <stdexcept>
+
+#include "bpt/plan.hpp"
+#include "bpt/tables.hpp"
+#include "congest/fragment.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
+#include "dist/local.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+struct TablePayload {
+  bpt::OptTable table;
+};
+
+struct AssignMsg {
+  bpt::TypeId type = bpt::kInvalidType;
+};
+
+struct InfeasibleMsg {};
+
+int class_bits(const bpt::Engine& engine) {
+  return std::max(
+      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
+}
+
+long table_bits(const bpt::Engine& engine, const bpt::OptTable& t) {
+  long bits = 8;
+  for (const auto& [c, w] : t)
+    bits += class_bits(engine) +
+            congest::count_bits(static_cast<std::uint64_t>(std::abs(w))) + 2;
+  return bits;
+}
+
+class OptimizationProgram : public congest::NodeProgram {
+ public:
+  OptimizationProgram(bpt::Engine& engine, bpt::Evaluator* evaluator,
+                      LocalContext lctx, VertexId parent_id,
+                      std::vector<VertexId> children_ids,
+                      OptimizationOutcome* shared)
+      : engine_(engine),
+        evaluator_(evaluator),
+        local_(std::move(lctx)),
+        parent_id_(parent_id),
+        children_ids_(std::move(children_ids)),
+        shared_(shared) {
+    child_tables_.resize(children_ids_.size());
+    have_table_.assign(children_ids_.size(), false);
+  }
+
+  bool finished() const { return finished_; }
+  bool infeasible() const { return infeasible_; }
+  bpt::TypeId my_class() const { return my_class_; }
+  const LocalContext& local() const { return local_; }
+
+  void on_round(NodeCtx& ctx) override {
+    // Receive children tables (bottom-up) and class assignment (top-down).
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const VertexId from = ctx.neighbor_id(p);
+      if (auto payload = congest::poll_fragment(ctx, p)) {
+        const auto& tp = std::any_cast<const TablePayload&>(*payload);
+        for (std::size_t i = 0; i < children_ids_.size(); ++i) {
+          if (children_ids_[i] == from) {
+            child_tables_[i] = tp.table;
+            have_table_[i] = true;
+          }
+        }
+        continue;
+      }
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      if (const auto* am = std::any_cast<AssignMsg>(&msg->value)) {
+        if (from == parent_id_ && !finished_) assign(ctx, am->type);
+      } else if (std::any_cast<InfeasibleMsg>(&msg->value) != nullptr) {
+        if (!finished_) {
+          finished_ = infeasible_ = true;
+          broadcast_infeasible(ctx);
+        }
+      }
+    }
+    // Bottom-up: solve once all children reported.
+    if (!solver_ && std::all_of(have_table_.begin(), have_table_.end(),
+                                [](bool b) { return b; })) {
+      solver_ = std::make_unique<bpt::OptSolver>(engine_, local_.plan,
+                                                 local_.graph, child_tables_);
+      const bpt::OptTable& root_table = solver_->root_table();
+      shared_->max_table_entries = std::max(
+          shared_->max_table_entries, static_cast<int>(root_table.size()));
+      if (parent_id_ < 0) {
+        // Root: pick the accepting class of maximum weight.
+        bpt::TypeId best = bpt::kInvalidType;
+        Weight best_w = 0;
+        for (const auto& [t, w] : root_table) {
+          if (!evaluator_->eval(t)) continue;
+          if (best == bpt::kInvalidType || w > best_w) {
+            best = t;
+            best_w = w;
+          }
+        }
+        if (best == bpt::kInvalidType) {
+          finished_ = infeasible_ = true;
+          broadcast_infeasible(ctx);
+        } else {
+          shared_->best_weight = best_w;
+          assign(ctx, best);
+        }
+      } else {
+        sender_.enqueue(ctx.port_of(parent_id_), TablePayload{root_table},
+                        table_bits(engine_, root_table));
+      }
+    }
+    sender_.pump(ctx);
+  }
+
+  bool done(const NodeCtx&) const override {
+    return finished_ && sender_.idle();
+  }
+
+ private:
+  /// Top-down step: adopt the class chosen for this subtree, forward the
+  /// children's optimal classes (ARGOPT), mark Selected elements.
+  void assign(NodeCtx& ctx, bpt::TypeId type) {
+    my_class_ = type;
+    finished_ = true;
+    const auto sol = solver_->reconstruct(type);
+    for (std::size_t i = 0; i < children_ids_.size(); ++i) {
+      ctx.send(ctx.port_of(children_ids_[i]),
+               Message(AssignMsg{sol.input_choices[i]}, class_bits(engine_)));
+    }
+  }
+
+  void broadcast_infeasible(NodeCtx& ctx) {
+    for (VertexId child : children_ids_)
+      ctx.send(ctx.port_of(child), Message(InfeasibleMsg{}, 1));
+  }
+
+  bpt::Engine& engine_;
+  bpt::Evaluator* evaluator_;
+  LocalContext local_;
+  VertexId parent_id_;
+  std::vector<VertexId> children_ids_;
+  OptimizationOutcome* shared_;
+  std::vector<bpt::OptTable> child_tables_;
+  std::vector<bool> have_table_;
+  std::unique_ptr<bpt::OptSolver> solver_;
+  congest::FragmentSender sender_;
+  bpt::TypeId my_class_ = bpt::kInvalidType;
+  bool finished_ = false;
+  bool infeasible_ = false;
+};
+
+OptimizationOutcome run_impl(congest::Network& net,
+                             const mso::FormulaPtr& formula,
+                             const std::string& var, mso::Sort var_sort, int d,
+                             Weight sign) {
+  OptimizationOutcome out;
+  const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
+  const mso::FormulaPtr lowered = mso::lower(formula, frees);
+  bpt::Engine engine(bpt::config_for(*lowered, frees));
+  bpt::Evaluator evaluator(engine, lowered, frees);
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  const auto& cfg = engine.config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<OptimizationProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<VertexId> children_ids;
+    for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
+    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+                                           cfg.vertex_labels, cfg.edge_labels);
+    if (sign < 0) {
+      for (VertexId lv = 0; lv < lctx.graph.num_vertices(); ++lv)
+        lctx.graph.set_vertex_weight(lv, -lctx.graph.vertex_weight(lv));
+      for (EdgeId le = 0; le < lctx.graph.num_edges(); ++le)
+        lctx.graph.set_edge_weight(le, -lctx.graph.edge_weight(le));
+    }
+    auto p = std::make_unique<OptimizationProgram>(
+        engine, &evaluator, std::move(lctx),
+        tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
+        std::move(children_ids), &out);
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  out.rounds_solve = net.run(programs);
+  out.num_classes = engine.num_types();
+  if (handles[0]->infeasible()) {
+    out.best_weight.reset();
+    return out;
+  }
+  if (out.best_weight) out.best_weight = sign * *out.best_weight;
+
+  // Assemble the selected set from per-node markings (Algorithm 1's
+  // top-down phase: each node marks itself and its incident bag edges).
+  const Graph& g = net.graph();
+  out.vertices.assign(g.num_vertices(), false);
+  out.edges.assign(g.num_edges(), false);
+  for (int v = 0; v < net.n(); ++v) {
+    const OptimizationProgram& p = *handles[v];
+    const bpt::TypeId c = p.my_class();
+    if (c == bpt::kInvalidType) continue;
+    const LocalContext& lc = p.local();
+    const VertexId self_id = net.id_of_vertex(v);
+    if (var_sort == mso::Sort::VertexSet) {
+      std::vector<VertexId> bag_globals;
+      for (VertexId bl : lc.bag_local) bag_globals.push_back(lc.globals[bl]);
+      const auto selected =
+          bpt::selected_vertices(engine, c, bag_globals, 0);
+      if (std::find(selected.begin(), selected.end(), self_id) !=
+          selected.end())
+        out.vertices[v] = true;
+    } else {
+      const auto selected =
+          bpt::selected_edges(engine, lc.graph, c, lc.bag_local, 0);
+      for (EdgeId le : selected) {
+        const Edge& e = lc.graph.edge(le);
+        const VertexId ga = lc.globals[e.u], gb = lc.globals[e.v];
+        if (ga != self_id && gb != self_id) continue;  // deeper endpoint marks
+        const EdgeId global_edge =
+            g.edge_id(net.vertex_of_id(ga), net.vertex_of_id(gb));
+        if (global_edge < 0)
+          throw std::logic_error("run_maximize: bag edge not in host graph");
+        out.edges[global_edge] = true;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+OptimizationOutcome run_maximize(congest::Network& net,
+                                 const mso::FormulaPtr& formula,
+                                 const std::string& var, mso::Sort var_sort,
+                                 int d) {
+  return run_impl(net, formula, var, var_sort, d, 1);
+}
+
+OptimizationOutcome run_minimize(congest::Network& net,
+                                 const mso::FormulaPtr& formula,
+                                 const std::string& var, mso::Sort var_sort,
+                                 int d) {
+  return run_impl(net, formula, var, var_sort, d, -1);
+}
+
+}  // namespace dmc::dist

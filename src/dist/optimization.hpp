@@ -1,0 +1,53 @@
+// Distributed MSO optimization (paper Theorem 6.1, optimization part).
+//
+// Bottom-up phase: each node computes its OPT table (Definition 4.5,
+// Lemma 4.6) from its children's tables and sends it to its parent as a
+// fragmented payload of |C| (class id, weight) entries — |C| rounds of
+// O(log n)-bit messages per level, as in the paper's proof.
+//
+// Top-down phase (Algorithm 1, lines 11-26): the root picks the accepting
+// class of maximum weight, every node re-derives its children's optimal
+// classes from its local ARGOPT backpointers and forwards them, and each
+// node marks itself (and its incident bag edges) according to
+// Selected(c_u, B_u).
+#pragma once
+
+#include <optional>
+
+#include "bpt/engine.hpp"
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct OptimizationOutcome {
+  bool treedepth_exceeded = false;
+  /// Engaged iff some assignment satisfies the formula.
+  std::optional<Weight> best_weight;
+  /// The selected set (union of per-node markings), by graph vertex / edge.
+  std::vector<bool> vertices;
+  std::vector<bool> edges;
+  long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
+  std::size_t num_classes = 0;
+  int max_table_entries = 0;  // largest OPT table sent
+
+  long total_rounds() const {
+    return rounds_elim + rounds_bags + rounds_solve;
+  }
+};
+
+/// Solves max phi(S) distributively (free variable `var` of sort
+/// `var_sort`, weights from the network's graph). Budget d as in Alg. 2.
+OptimizationOutcome run_maximize(congest::Network& net,
+                                 const mso::FormulaPtr& formula,
+                                 const std::string& var, mso::Sort var_sort,
+                                 int d);
+
+/// min phi(S): maximization over negated weights.
+OptimizationOutcome run_minimize(congest::Network& net,
+                                 const mso::FormulaPtr& formula,
+                                 const std::string& var, mso::Sort var_sort,
+                                 int d);
+
+}  // namespace dmc::dist

@@ -1,0 +1,249 @@
+#include "dist/optmarked.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "bpt/tables.hpp"
+#include "congest/fragment.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
+#include "dist/local.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc::dist {
+
+namespace {
+
+using congest::Message;
+using congest::NodeCtx;
+
+constexpr const char* kMarkLabel = "marked";
+
+struct UpPayload {
+  bpt::OptTable opt;
+  bpt::TypeId marked_class = bpt::kInvalidType;
+  Weight marked_weight = 0;
+};
+
+struct VerdictMsg {
+  bool satisfies = false;
+  bool is_optimal = false;
+};
+
+long payload_bits(const bpt::Engine& engine, const UpPayload& p) {
+  const int cbits = std::max(
+      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
+  long bits = 8 + cbits +
+              congest::count_bits(
+                  static_cast<std::uint64_t>(std::abs(p.marked_weight))) +
+              2;
+  for (const auto& [c, w] : p.opt)
+    bits += cbits +
+            congest::count_bits(static_cast<std::uint64_t>(std::abs(w))) + 2;
+  return bits;
+}
+
+class OptMarkedProgram : public congest::NodeProgram {
+ public:
+  OptMarkedProgram(bpt::Engine& engine, bpt::Evaluator* evaluator,
+                   LocalContext lctx, VertexId parent_id,
+                   std::vector<VertexId> children_ids, bool vertex_sort,
+                   OptMarkedOutcome* shared)
+      : engine_(engine),
+        evaluator_(evaluator),
+        local_(std::move(lctx)),
+        parent_id_(parent_id),
+        children_ids_(std::move(children_ids)),
+        vertex_sort_(vertex_sort),
+        shared_(shared) {
+    child_payloads_.resize(children_ids_.size());
+    have_payload_.assign(children_ids_.size(), false);
+  }
+
+  bool finished() const { return finished_; }
+  bool satisfies() const { return satisfies_; }
+  bool is_optimal() const { return is_optimal_; }
+
+  void on_round(NodeCtx& ctx) override {
+    for (int p = 0; p < ctx.degree(); ++p) {
+      const VertexId from = ctx.neighbor_id(p);
+      if (auto payload = congest::poll_fragment(ctx, p)) {
+        const auto& up = std::any_cast<const UpPayload&>(*payload);
+        for (std::size_t i = 0; i < children_ids_.size(); ++i)
+          if (children_ids_[i] == from) {
+            child_payloads_[i] = up;
+            have_payload_[i] = true;
+          }
+        continue;
+      }
+      const auto& msg = ctx.recv(p);
+      if (!msg) continue;
+      if (const auto* vm = std::any_cast<VerdictMsg>(&msg->value)) {
+        if (from == parent_id_ && !finished_) {
+          satisfies_ = vm->satisfies;
+          is_optimal_ = vm->is_optimal;
+          finished_ = true;
+          forward_verdict(ctx);
+        }
+      }
+    }
+    if (!solved_ && std::all_of(have_payload_.begin(), have_payload_.end(),
+                                [](bool b) { return b; })) {
+      solved_ = true;
+      UpPayload mine = solve_local();
+      if (parent_id_ < 0) {
+        // Root decision per Section 6 of the paper.
+        bpt::TypeId best = bpt::kInvalidType;
+        Weight best_w = 0;
+        for (const auto& [t, w] : mine.opt) {
+          if (!evaluator_->eval(t)) continue;
+          if (best == bpt::kInvalidType || w > best_w) {
+            best = t;
+            best_w = w;
+          }
+        }
+        satisfies_ = mine.marked_class != bpt::kInvalidType &&
+                     evaluator_->eval(mine.marked_class);
+        is_optimal_ = satisfies_ && best != bpt::kInvalidType &&
+                      mine.marked_weight == best_w;
+        shared_->marked_weight = mine.marked_weight;
+        shared_->best_weight = best == bpt::kInvalidType ? 0 : best_w;
+        finished_ = true;
+        forward_verdict(ctx);
+      } else {
+        sender_.enqueue(ctx.port_of(parent_id_), mine,
+                        payload_bits(engine_, mine));
+      }
+    }
+    sender_.pump(ctx);
+  }
+
+  bool done(const NodeCtx&) const override {
+    return finished_ && sender_.idle();
+  }
+
+ private:
+  UpPayload solve_local() {
+    UpPayload mine;
+    // 1. OPT table.
+    std::vector<bpt::OptTable> opt_inputs;
+    for (const auto& cp : child_payloads_) opt_inputs.push_back(cp.opt);
+    bpt::OptSolver solver(engine_, local_.plan, local_.graph,
+                          std::move(opt_inputs));
+    mine.opt = solver.root_table();
+    // 2. Class of the marked assignment.
+    std::vector<bool> vin(local_.graph.num_vertices(), false);
+    std::vector<bool> ein(local_.graph.num_edges(), false);
+    for (VertexId lv = 0; lv < local_.graph.num_vertices(); ++lv)
+      vin[lv] = local_.graph.vertex_has_label(kMarkLabel, lv);
+    for (EdgeId le = 0; le < local_.graph.num_edges(); ++le)
+      ein[le] = local_.graph.edge_has_label(kMarkLabel, le);
+    std::vector<bpt::TypeId> class_inputs;
+    for (const auto& cp : child_payloads_)
+      class_inputs.push_back(cp.marked_class);
+    mine.marked_class = bpt::fold_assigned_type(
+        engine_, local_.plan, local_.graph, vin, ein, class_inputs);
+    // 3. Marked weight: children sums + own contribution (self vertex /
+    // bag edges incident to self — each edge is counted at its deeper
+    // endpoint, which is the unique bag member adjacent to it from below).
+    mine.marked_weight = 0;
+    for (const auto& cp : child_payloads_)
+      mine.marked_weight += cp.marked_weight;
+    const int self_local = local_.local_of(self_global_id_);
+    if (vertex_sort_) {
+      if (vin[self_local])
+        mine.marked_weight += local_.graph.vertex_weight(self_local);
+    } else {
+      for (auto [w, e] : local_.graph.incident(self_local))
+        if (ein[e]) mine.marked_weight += local_.graph.edge_weight(e);
+    }
+    return mine;
+  }
+
+  void forward_verdict(NodeCtx& ctx) {
+    for (VertexId child : children_ids_)
+      ctx.send(ctx.port_of(child), Message(VerdictMsg{satisfies_, is_optimal_}, 2));
+  }
+
+ public:
+  VertexId self_global_id_ = -1;  // set by the harness before the run
+
+ private:
+  bpt::Engine& engine_;
+  bpt::Evaluator* evaluator_;
+  LocalContext local_;
+  VertexId parent_id_;
+  std::vector<VertexId> children_ids_;
+  bool vertex_sort_;
+  OptMarkedOutcome* shared_;
+  std::vector<UpPayload> child_payloads_;
+  std::vector<bool> have_payload_;
+  congest::FragmentSender sender_;
+  bool solved_ = false;
+  bool finished_ = false;
+  bool satisfies_ = false;
+  bool is_optimal_ = false;
+};
+
+}  // namespace
+
+OptMarkedOutcome run_optmarked(congest::Network& net,
+                               const mso::FormulaPtr& formula,
+                               const std::string& var, mso::Sort var_sort,
+                               int d, bool minimize) {
+  OptMarkedOutcome out;
+  const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
+  const mso::FormulaPtr lowered = mso::lower(formula, frees);
+  bpt::Engine engine(bpt::config_for(*lowered, frees));
+  bpt::Evaluator evaluator(engine, lowered, frees);
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  // Bag payloads additionally carry the "marked" label.
+  auto vlabels = engine.config().vertex_labels;
+  auto elabels = engine.config().edge_labels;
+  if (var_sort == mso::Sort::VertexSet)
+    vlabels.push_back(kMarkLabel);
+  else
+    elabels.push_back(kMarkLabel);
+  const BagsResult bags = run_bags(net, tree, vlabels, elabels);
+  out.rounds_bags = bags.rounds;
+
+  std::vector<std::unique_ptr<congest::NodeProgram>> programs;
+  std::vector<OptMarkedProgram*> handles;
+  for (int v = 0; v < net.n(); ++v) {
+    std::vector<VertexId> children_ids;
+    for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
+    LocalContext lctx =
+        make_local_context(bags.bags[v], children_ids, vlabels, elabels);
+    if (minimize) {
+      for (VertexId lv = 0; lv < lctx.graph.num_vertices(); ++lv)
+        lctx.graph.set_vertex_weight(lv, -lctx.graph.vertex_weight(lv));
+      for (EdgeId le = 0; le < lctx.graph.num_edges(); ++le)
+        lctx.graph.set_edge_weight(le, -lctx.graph.edge_weight(le));
+    }
+    auto p = std::make_unique<OptMarkedProgram>(
+        engine, &evaluator, std::move(lctx),
+        tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
+        std::move(children_ids), var_sort == mso::Sort::VertexSet, &out);
+    p->self_global_id_ = net.id_of_vertex(v);
+    handles.push_back(p.get());
+    programs.push_back(std::move(p));
+  }
+  out.rounds_solve = net.run(programs);
+  out.num_classes = engine.num_types();
+  out.satisfies = handles[0]->satisfies();
+  out.is_optimal = handles[0]->is_optimal();
+  if (minimize) {
+    out.marked_weight = -out.marked_weight;
+    out.best_weight = -out.best_weight;
+  }
+  return out;
+}
+
+}  // namespace dmc::dist

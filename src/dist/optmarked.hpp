@@ -1,0 +1,42 @@
+// Distributed verification that a marked set is an optimal solution
+// (paper Section 6, problem "optmarked phi").
+//
+// The marked set is given as the unary label "marked" on the network's
+// vertices (vertex-set problems) or edges (edge-set problems). Following
+// the paper, the bottom-up phase computes, at every node, three quantities
+// from its children's values:
+//   1. the OPT table for phi(S) (the optimization protocol's payload);
+//   2. the homomorphism class of (G_u, Mark ∩ V(G_u)) — this replaces the
+//      paper's closed formula psi = phi[S := Mark] without transforming
+//      the formula;
+//   3. the total weight of the marked elements in the subtree.
+// The root accepts iff the marked class is accepting and the marked weight
+// equals the optimum over accepting classes; the verdict is broadcast.
+#pragma once
+
+#include "congest/network.hpp"
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::dist {
+
+struct OptMarkedOutcome {
+  bool treedepth_exceeded = false;
+  bool satisfies = false;   // the marked set satisfies phi
+  bool is_optimal = false;  // ... and has optimal weight
+  Weight marked_weight = 0;
+  Weight best_weight = 0;   // optimum over accepting classes (if any)
+  long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
+  std::size_t num_classes = 0;
+
+  long total_rounds() const { return rounds_elim + rounds_bags + rounds_solve; }
+};
+
+/// Verifies that the "marked" label is a *maximum*-weight solution of
+/// phi(S). For minimum problems pass minimize=true.
+OptMarkedOutcome run_optmarked(congest::Network& net,
+                               const mso::FormulaPtr& formula,
+                               const std::string& var, mso::Sort var_sort,
+                               int d, bool minimize = false);
+
+}  // namespace dmc::dist

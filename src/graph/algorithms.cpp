@@ -1,0 +1,233 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <optional>
+#include <numeric>
+#include <queue>
+#include <stdexcept>
+
+namespace dmc {
+
+std::vector<int> bfs_distances(const Graph& g, VertexId source) {
+  std::vector<int> dist(g.num_vertices(), -1);
+  std::queue<VertexId> q;
+  dist.at(source) = 0;
+  q.push(source);
+  while (!q.empty()) {
+    const VertexId v = q.front();
+    q.pop();
+    for (auto [w, e] : g.incident(v)) {
+      if (dist[w] < 0) {
+        dist[w] = dist[v] + 1;
+        q.push(w);
+      }
+    }
+  }
+  return dist;
+}
+
+std::vector<int> connected_components(const Graph& g) {
+  std::vector<int> comp(g.num_vertices(), -1);
+  int next = 0;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (comp[s] >= 0) continue;
+    comp[s] = next;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (auto [w, e] : g.incident(v)) {
+        if (comp[w] < 0) {
+          comp[w] = next;
+          q.push(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+int num_connected_components(const Graph& g) {
+  const auto comp = connected_components(g);
+  return comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+}
+
+bool is_connected(const Graph& g) {
+  return g.num_vertices() <= 1 || num_connected_components(g) == 1;
+}
+
+int diameter(const Graph& g) {
+  if (g.num_vertices() <= 1) return 0;
+  int diam = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    const auto dist = bfs_distances(g, v);
+    for (int d : dist) {
+      if (d < 0) throw std::invalid_argument("diameter: graph disconnected");
+      diam = std::max(diam, d);
+    }
+  }
+  return diam;
+}
+
+bool is_acyclic(const Graph& g) {
+  // A forest has exactly n - (#components) edges.
+  return g.num_edges() == g.num_vertices() - num_connected_components(g);
+}
+
+std::pair<std::vector<VertexId>, int> degeneracy_order(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> deg(n);
+  std::vector<bool> removed(n, false);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.degree(v);
+  std::vector<VertexId> order;
+  order.reserve(n);
+  int degeneracy = 0;
+  // O(n^2) selection is fine at our scales.
+  for (int step = 0; step < n; ++step) {
+    VertexId best = -1;
+    for (VertexId v = 0; v < n; ++v)
+      if (!removed[v] && (best < 0 || deg[v] < deg[best])) best = v;
+    degeneracy = std::max(degeneracy, deg[best]);
+    removed[best] = true;
+    order.push_back(best);
+    for (auto [w, e] : g.incident(best))
+      if (!removed[w]) --deg[w];
+  }
+  return {order, degeneracy};
+}
+
+std::vector<int> greedy_coloring(const Graph& g,
+                                 const std::vector<VertexId>& order) {
+  std::vector<int> color(g.num_vertices(), -1);
+  for (VertexId v : order) {
+    std::vector<bool> used(g.degree(v) + 1, false);
+    for (auto [w, e] : g.incident(v))
+      if (color[w] >= 0 && color[w] <= g.degree(v)) used[color[w]] = true;
+    int c = 0;
+    while (used[c]) ++c;
+    color[v] = c;
+  }
+  return color;
+}
+
+namespace {
+struct UnionFind {
+  explicit UnionFind(int n) : parent(n) {
+    std::iota(parent.begin(), parent.end(), 0);
+  }
+  int find(int x) {
+    while (parent[x] != x) x = parent[x] = parent[parent[x]];
+    return x;
+  }
+  bool unite(int a, int b) {
+    a = find(a);
+    b = find(b);
+    if (a == b) return false;
+    parent[a] = b;
+    return true;
+  }
+  std::vector<int> parent;
+};
+}  // namespace
+
+std::vector<EdgeId> kruskal_mst(const Graph& g) {
+  if (!is_connected(g)) throw std::invalid_argument("kruskal: disconnected");
+  std::vector<EdgeId> ids(g.num_edges());
+  std::iota(ids.begin(), ids.end(), 0);
+  std::stable_sort(ids.begin(), ids.end(), [&](EdgeId a, EdgeId b) {
+    return g.edge_weight(a) < g.edge_weight(b);
+  });
+  UnionFind uf(g.num_vertices());
+  std::vector<EdgeId> tree;
+  for (EdgeId e : ids)
+    if (uf.unite(g.edge(e).u, g.edge(e).v)) tree.push_back(e);
+  return tree;
+}
+
+bool is_bipartite(const Graph& g) {
+  std::vector<int> color(g.num_vertices(), -1);
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    if (color[s] >= 0) continue;
+    color[s] = 0;
+    std::queue<VertexId> q;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (auto [w, e] : g.incident(v)) {
+        if (color[w] < 0) {
+          color[w] = 1 - color[v];
+          q.push(w);
+        } else if (color[w] == color[v]) {
+          return false;
+        }
+      }
+    }
+  }
+  return true;
+}
+
+std::optional<int> girth(const Graph& g) {
+  // BFS from every vertex; a non-tree edge closing at depths (d1, d2) gives
+  // a cycle of length d1 + d2 + 1 through the root.
+  int best = -1;
+  for (VertexId s = 0; s < g.num_vertices(); ++s) {
+    std::vector<int> dist(g.num_vertices(), -1);
+    std::vector<VertexId> parent(g.num_vertices(), -1);
+    std::queue<VertexId> q;
+    dist[s] = 0;
+    q.push(s);
+    while (!q.empty()) {
+      const VertexId v = q.front();
+      q.pop();
+      for (auto [w, e] : g.incident(v)) {
+        if (dist[w] < 0) {
+          dist[w] = dist[v] + 1;
+          parent[w] = v;
+          q.push(w);
+        } else if (w != parent[v]) {
+          const int cycle = dist[v] + dist[w] + 1;
+          if (best < 0 || cycle < best) best = cycle;
+        }
+      }
+    }
+  }
+  return best < 0 ? std::nullopt : std::optional<int>(best);
+}
+
+std::vector<int> core_numbers(const Graph& g) {
+  const int n = g.num_vertices();
+  std::vector<int> deg(n), core(n, 0);
+  std::vector<bool> removed(n, false);
+  for (VertexId v = 0; v < n; ++v) deg[v] = g.degree(v);
+  int current = 0;
+  for (int step = 0; step < n; ++step) {
+    VertexId best = -1;
+    for (VertexId v = 0; v < n; ++v)
+      if (!removed[v] && (best < 0 || deg[v] < deg[best])) best = v;
+    current = std::max(current, deg[best]);
+    core[best] = current;
+    removed[best] = true;
+    for (auto [w, e] : g.incident(best))
+      if (!removed[w]) --deg[w];
+  }
+  return core;
+}
+
+Weight total_edge_weight(const Graph& g, const std::vector<EdgeId>& edges) {
+  Weight sum = 0;
+  for (EdgeId e : edges) sum += g.edge_weight(e);
+  return sum;
+}
+
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& tree_edges) {
+  if (static_cast<int>(tree_edges.size()) != g.num_vertices() - 1) return false;
+  UnionFind uf(g.num_vertices());
+  for (EdgeId e : tree_edges)
+    if (!uf.unite(g.edge(e).u, g.edge(e).v)) return false;
+  return true;
+}
+
+}  // namespace dmc

@@ -1,0 +1,54 @@
+// Basic polynomial-time graph algorithms shared by the library.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmc {
+
+/// BFS distances from `source`; -1 for unreachable vertices.
+std::vector<int> bfs_distances(const Graph& g, VertexId source);
+
+/// Component id (0-based, by order of discovery) for every vertex.
+std::vector<int> connected_components(const Graph& g);
+
+int num_connected_components(const Graph& g);
+bool is_connected(const Graph& g);
+
+/// Exact diameter (max eccentricity); 0 for n<=1; throws if disconnected.
+int diameter(const Graph& g);
+
+/// True iff the graph contains no cycle.
+bool is_acyclic(const Graph& g);
+
+/// Degeneracy peeling order: returns (order, degeneracy). Vertices listed in
+/// removal order; each vertex has at most `degeneracy` neighbors later in
+/// the order.
+std::pair<std::vector<VertexId>, int> degeneracy_order(const Graph& g);
+
+/// Greedy coloring along the given vertex order; returns color per vertex.
+std::vector<int> greedy_coloring(const Graph& g,
+                                 const std::vector<VertexId>& order);
+
+/// Minimum-weight spanning tree edge ids (Kruskal). Requires connectivity.
+std::vector<EdgeId> kruskal_mst(const Graph& g);
+
+/// Total weight of a set of edges.
+Weight total_edge_weight(const Graph& g, const std::vector<EdgeId>& edges);
+
+/// Checks that `tree_edges` form a spanning tree of g.
+bool is_spanning_tree(const Graph& g, const std::vector<EdgeId>& tree_edges);
+
+/// True iff g has no odd cycle.
+bool is_bipartite(const Graph& g);
+
+/// Length of a shortest cycle; nullopt for forests.
+std::optional<int> girth(const Graph& g);
+
+/// Core number of every vertex (largest k such that the vertex survives in
+/// the k-core); max entry equals the degeneracy.
+std::vector<int> core_numbers(const Graph& g);
+
+}  // namespace dmc

@@ -1,0 +1,207 @@
+#include "graph/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmc::gen {
+
+Graph path(int n) {
+  Graph g(n);
+  for (int i = 0; i + 1 < n; ++i) g.add_edge(i, i + 1);
+  return g;
+}
+
+Graph cycle(int n) {
+  if (n < 3) throw std::invalid_argument("cycle: need n >= 3");
+  Graph g = path(n);
+  g.add_edge(n - 1, 0);
+  return g;
+}
+
+Graph clique(int n) {
+  Graph g(n);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j) g.add_edge(i, j);
+  return g;
+}
+
+Graph star(int leaves) {
+  Graph g(leaves + 1);
+  for (int i = 1; i <= leaves; ++i) g.add_edge(0, i);
+  return g;
+}
+
+Graph complete_bipartite(int a, int b) {
+  Graph g(a + b);
+  for (int i = 0; i < a; ++i)
+    for (int j = 0; j < b; ++j) g.add_edge(i, a + j);
+  return g;
+}
+
+Graph grid(int rows, int cols) {
+  Graph g(rows * cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  for (int r = 0; r < rows; ++r)
+    for (int c = 0; c < cols; ++c) {
+      if (c + 1 < cols) g.add_edge(id(r, c), id(r, c + 1));
+      if (r + 1 < rows) g.add_edge(id(r, c), id(r + 1, c));
+    }
+  return g;
+}
+
+Graph binary_tree(int levels) {
+  if (levels < 1) throw std::invalid_argument("binary_tree: need levels >= 1");
+  const int n = (1 << levels) - 1;
+  Graph g(n);
+  for (int i = 1; i < n; ++i) g.add_edge(i, (i - 1) / 2);
+  return g;
+}
+
+Graph caterpillar(int spine, int legs) {
+  Graph g = path(spine);
+  for (int i = 0; i < spine; ++i) {
+    const VertexId first = g.add_vertices(legs);
+    for (int j = 0; j < legs; ++j) g.add_edge(i, first + j);
+  }
+  return g;
+}
+
+Graph star_of_cliques(int k, int size) {
+  Graph g(1);
+  for (int i = 0; i < k; ++i) {
+    const VertexId first = g.add_vertices(size);
+    for (int a = 0; a < size; ++a) {
+      for (int b = a + 1; b < size; ++b) g.add_edge(first + a, first + b);
+    }
+    g.add_edge(0, first);
+  }
+  return g;
+}
+
+Graph wheel(int rim) {
+  if (rim < 3) throw std::invalid_argument("wheel: need rim >= 3");
+  Graph g = cycle(rim);
+  const VertexId hub = g.add_vertices(1);
+  for (int i = 0; i < rim; ++i) g.add_edge(hub, i);
+  return g;
+}
+
+Graph kary_tree(int arity, int levels) {
+  if (arity < 1 || levels < 1)
+    throw std::invalid_argument("kary_tree: need arity, levels >= 1");
+  Graph g(1);
+  std::vector<VertexId> frontier{0};
+  for (int level = 1; level < levels; ++level) {
+    std::vector<VertexId> next;
+    for (VertexId parent : frontier) {
+      const VertexId first = g.add_vertices(arity);
+      for (int c = 0; c < arity; ++c) {
+        g.add_edge(parent, first + c);
+        next.push_back(first + c);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+Graph random_tree(int n, Rng& rng) {
+  Graph g(n);
+  for (int i = 1; i < n; ++i) {
+    std::uniform_int_distribution<int> dist(0, i - 1);
+    g.add_edge(i, dist(rng));
+  }
+  return g;
+}
+
+Graph erdos_renyi(int n, double p, Rng& rng) {
+  Graph g(n);
+  std::bernoulli_distribution coin(p);
+  for (int i = 0; i < n; ++i)
+    for (int j = i + 1; j < n; ++j)
+      if (coin(rng)) g.add_edge(i, j);
+  return g;
+}
+
+Graph random_bounded_treedepth(int n, int d, double edge_prob, Rng& rng) {
+  if (n < 1 || d < 1)
+    throw std::invalid_argument("random_bounded_treedepth: need n,d >= 1");
+  // Build a random rooted forest of depth <= d over vertices 0..n-1 where
+  // vertex 0 is the root; each new vertex picks a parent with remaining
+  // depth budget. Then connect each vertex to its parent (ensuring
+  // connectivity) and add random ancestor edges with probability edge_prob.
+  Graph g(n);
+  std::vector<int> depth(n, 1);     // depth of vertex i in the elimination tree
+  std::vector<int> parent(n, -1);   // tree parent
+  std::vector<VertexId> eligible;   // vertices with depth < d
+  if (d >= 2) eligible.push_back(0);
+  for (int i = 1; i < n; ++i) {
+    if (eligible.empty())
+      throw std::invalid_argument("random_bounded_treedepth: d too small");
+    std::uniform_int_distribution<std::size_t> dist(0, eligible.size() - 1);
+    const VertexId p = eligible[dist(rng)];
+    parent[i] = p;
+    depth[i] = depth[p] + 1;
+    if (depth[i] < d) eligible.push_back(i);
+    g.add_edge(i, p);
+  }
+  // Additional edges only between ancestor-descendant pairs: preserves
+  // td(G) <= d because the same forest remains an elimination forest.
+  std::bernoulli_distribution coin(edge_prob);
+  for (int i = 1; i < n; ++i) {
+    // walk strict ancestors above the direct parent (already connected)
+    for (int a = parent[parent[i]]; a >= 0; a = parent[a])
+      if (coin(rng)) g.ensure_edge(i, a);
+  }
+  return g;
+}
+
+Graph perturbed_grid(int rows, int cols, int extra, Rng& rng) {
+  Graph g = grid(rows, cols);
+  auto id = [cols](int r, int c) { return r * cols + c; };
+  std::uniform_int_distribution<int> rr(0, rows - 2), cc(0, cols - 2);
+  for (int k = 0; k < extra; ++k) {
+    const int r = rr(rng), c = cc(rng);
+    // one diagonal per face keeps the drawing planar
+    if (!g.has_edge(id(r, c), id(r + 1, c + 1)) &&
+        !g.has_edge(id(r, c + 1), id(r + 1, c)))
+      g.add_edge(id(r, c), id(r + 1, c + 1));
+  }
+  return g;
+}
+
+Graph random_connected(int n, int extra, Rng& rng) {
+  Graph g = random_tree(n, rng);
+  std::uniform_int_distribution<int> dist(0, n - 1);
+  int attempts = 0;
+  while (extra > 0 && attempts < 50 * (extra + 1)) {
+    ++attempts;
+    const int u = dist(rng), v = dist(rng);
+    if (u != v && !g.has_edge(u, v)) {
+      g.add_edge(u, v);
+      --extra;
+    }
+  }
+  return g;
+}
+
+Graph disjoint_union(const Graph& a, const Graph& b) {
+  Graph g(a.num_vertices() + b.num_vertices());
+  const int shift = a.num_vertices();
+  for (const Edge& e : a.edges()) g.add_edge(e.u, e.v);
+  for (const Edge& e : b.edges()) g.add_edge(e.u + shift, e.v + shift);
+  for (VertexId v = 0; v < a.num_vertices(); ++v)
+    g.set_vertex_weight(v, a.vertex_weight(v));
+  for (VertexId v = 0; v < b.num_vertices(); ++v)
+    g.set_vertex_weight(v + shift, b.vertex_weight(v));
+  return g;
+}
+
+void randomize_weights(Graph& g, Weight lo, Weight hi, Rng& rng) {
+  std::uniform_int_distribution<Weight> dist(lo, hi);
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    g.set_vertex_weight(v, dist(rng));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) g.set_edge_weight(e, dist(rng));
+}
+
+}  // namespace dmc::gen

@@ -1,0 +1,58 @@
+// Graph generators: named families used by tests, examples, and benchmarks.
+//
+// The bounded-treedepth random family follows the recursive characterization
+// of treedepth (paper Lemma 2.2) in reverse: a random elimination forest of
+// depth <= d is generated first, and edges are inserted only between
+// ancestor-descendant pairs, which guarantees td(G) <= d by construction.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "graph/graph.hpp"
+
+namespace dmc::gen {
+
+using Rng = std::mt19937_64;
+
+Graph path(int n);
+Graph cycle(int n);
+Graph clique(int n);
+Graph star(int leaves);
+Graph complete_bipartite(int a, int b);
+Graph grid(int rows, int cols);
+/// Complete binary tree with the given number of levels (depth in vertices).
+Graph binary_tree(int levels);
+/// Path of `spine` vertices with `legs` pendant vertices on each spine vertex.
+Graph caterpillar(int spine, int legs);
+/// `k` cliques of size `size`, all attached to one extra center vertex.
+Graph star_of_cliques(int k, int size);
+
+/// Wheel: a cycle of `rim` vertices plus a hub adjacent to all of them.
+Graph wheel(int rim);
+
+/// Complete k-ary tree with the given number of levels.
+Graph kary_tree(int arity, int levels);
+
+Graph random_tree(int n, Rng& rng);
+Graph erdos_renyi(int n, double p, Rng& rng);
+
+/// Random connected graph with treedepth <= d (see file comment).
+/// `width` controls the branching of the underlying elimination tree and
+/// `edge_prob` the density of ancestor-descendant edges beyond the tree.
+Graph random_bounded_treedepth(int n, int d, double edge_prob, Rng& rng);
+
+/// Random connected planar-style graph: a grid with `extra` random diagonals
+/// inside faces (stays planar, bounded expansion).
+Graph perturbed_grid(int rows, int cols, int extra, Rng& rng);
+
+/// Random connected graph with n vertices: random tree plus `extra` edges.
+Graph random_connected(int n, int extra, Rng& rng);
+
+/// Disjoint union (vertex ids of `b` are shifted by a.num_vertices()).
+Graph disjoint_union(const Graph& a, const Graph& b);
+
+/// Assigns random weights in [lo, hi] to all vertices and edges.
+void randomize_weights(Graph& g, Weight lo, Weight hi, Rng& rng);
+
+}  // namespace dmc::gen

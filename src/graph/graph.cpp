@@ -1,0 +1,171 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dmc {
+
+void Graph::resize(int n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+  adj_.resize(n);
+  vertex_weights_.resize(n, 1);
+  for (auto& [name, bits] : vertex_labels_) bits.resize(n, false);
+}
+
+void Graph::check_vertex(VertexId v) const {
+  if (v < 0 || v >= num_vertices())
+    throw std::out_of_range("Graph: vertex id out of range");
+}
+
+VertexId Graph::add_vertices(int count) {
+  if (count < 0) throw std::invalid_argument("Graph::add_vertices: negative");
+  const VertexId first = num_vertices();
+  resize(num_vertices() + count);
+  return first;
+}
+
+EdgeId Graph::add_edge(VertexId u, VertexId v) {
+  check_vertex(u);
+  check_vertex(v);
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (u > v) std::swap(u, v);
+  if (edge_index_.count({u, v}))
+    throw std::invalid_argument("Graph::add_edge: duplicate edge");
+  const EdgeId e = num_edges();
+  edges_.push_back(Edge{u, v});
+  edge_index_[{u, v}] = e;
+  adj_[u].emplace_back(v, e);
+  adj_[v].emplace_back(u, e);
+  edge_weights_.push_back(1);
+  for (auto& [name, bits] : edge_labels_) bits.push_back(false);
+  return e;
+}
+
+EdgeId Graph::ensure_edge(VertexId u, VertexId v) {
+  const EdgeId e = edge_id(u, v);
+  return e >= 0 ? e : add_edge(u, v);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  return edge_id(u, v) >= 0;
+}
+
+EdgeId Graph::edge_id(VertexId u, VertexId v) const {
+  check_vertex(u);
+  check_vertex(v);
+  if (u > v) std::swap(u, v);
+  auto it = edge_index_.find({u, v});
+  return it == edge_index_.end() ? -1 : it->second;
+}
+
+std::vector<VertexId> Graph::neighbors(VertexId v) const {
+  std::vector<VertexId> out;
+  out.reserve(adj_.at(v).size());
+  for (auto [w, e] : adj_.at(v)) out.push_back(w);
+  return out;
+}
+
+void Graph::set_vertex_label(const std::string& name, VertexId v, bool on) {
+  check_vertex(v);
+  auto& bits = vertex_labels_[name];
+  bits.resize(num_vertices(), false);
+  bits[v] = on;
+}
+
+void Graph::set_edge_label(const std::string& name, EdgeId e, bool on) {
+  if (e < 0 || e >= num_edges())
+    throw std::out_of_range("Graph: edge id out of range");
+  auto& bits = edge_labels_[name];
+  bits.resize(num_edges(), false);
+  bits[e] = on;
+}
+
+bool Graph::vertex_has_label(const std::string& name, VertexId v) const {
+  check_vertex(v);
+  auto it = vertex_labels_.find(name);
+  if (it == vertex_labels_.end()) return false;
+  return v < static_cast<int>(it->second.size()) && it->second[v];
+}
+
+bool Graph::edge_has_label(const std::string& name, EdgeId e) const {
+  if (e < 0 || e >= num_edges())
+    throw std::out_of_range("Graph: edge id out of range");
+  auto it = edge_labels_.find(name);
+  if (it == edge_labels_.end()) return false;
+  return e < static_cast<int>(it->second.size()) && it->second[e];
+}
+
+std::vector<std::string> Graph::vertex_label_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, bits] : vertex_labels_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Graph::edge_label_names() const {
+  std::vector<std::string> out;
+  for (const auto& [name, bits] : edge_labels_) out.push_back(name);
+  return out;
+}
+
+void Graph::set_vertex_weight(VertexId v, Weight w) {
+  check_vertex(v);
+  vertex_weights_[v] = w;
+}
+
+void Graph::set_edge_weight(EdgeId e, Weight w) {
+  if (e < 0 || e >= num_edges())
+    throw std::out_of_range("Graph: edge id out of range");
+  edge_weights_[e] = w;
+}
+
+Weight Graph::vertex_weight(VertexId v) const {
+  check_vertex(v);
+  return vertex_weights_[v];
+}
+
+Weight Graph::edge_weight(EdgeId e) const {
+  if (e < 0 || e >= num_edges())
+    throw std::out_of_range("Graph: edge id out of range");
+  return edge_weights_[e];
+}
+
+Graph Graph::induced_subgraph(const std::vector<VertexId>& vertices,
+                              std::vector<VertexId>* old_to_new) const {
+  std::vector<VertexId> map(num_vertices(), -1);
+  Graph sub(static_cast<int>(vertices.size()));
+  for (int i = 0; i < static_cast<int>(vertices.size()); ++i) {
+    check_vertex(vertices[i]);
+    if (map[vertices[i]] != -1)
+      throw std::invalid_argument("induced_subgraph: duplicate vertex");
+    map[vertices[i]] = i;
+    sub.set_vertex_weight(i, vertex_weight(vertices[i]));
+    for (const auto& [name, bits] : vertex_labels_)
+      if (vertices[i] < static_cast<int>(bits.size()) && bits[vertices[i]])
+        sub.set_vertex_label(name, i);
+  }
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const Edge& ed = edges_[e];
+    if (map[ed.u] >= 0 && map[ed.v] >= 0) {
+      const EdgeId ne = sub.add_edge(map[ed.u], map[ed.v]);
+      sub.set_edge_weight(ne, edge_weight(e));
+      for (const auto& [name, bits] : edge_labels_)
+        if (e < static_cast<int>(bits.size()) && bits[e])
+          sub.set_edge_label(name, ne);
+    }
+  }
+  if (old_to_new) *old_to_new = std::move(map);
+  return sub;
+}
+
+std::string Graph::to_string() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_vertices() << ", m=" << num_edges() << ", edges={";
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    if (e) os << ", ";
+    os << edges_[e].u << "-" << edges_[e].v;
+  }
+  os << "})";
+  return os.str();
+}
+
+}  // namespace dmc

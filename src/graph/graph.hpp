@@ -1,0 +1,109 @@
+// Core simple-undirected-graph data structure used throughout dmc.
+//
+// Vertices are dense ids 0..n-1. Edges are dense ids 0..m-1 with stable
+// endpoints. Graphs may carry:
+//   - unary labels on vertices and on edges (the paper's labeled-graph
+//     extension, Section 6), addressed by name;
+//   - integer weights on vertices and edges (the paper's polynomially
+//     bounded weights for optimization problems, Section 4).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dmc {
+
+using VertexId = int;
+using EdgeId = int;
+using Weight = std::int64_t;
+
+/// One undirected edge; endpoints are stored with u <= v.
+struct Edge {
+  VertexId u = -1;
+  VertexId v = -1;
+
+  /// The endpoint different from `x`; throws if `x` is not an endpoint.
+  VertexId other(VertexId x) const {
+    if (x == u) return v;
+    if (x == v) return u;
+    throw std::invalid_argument("Edge::other: vertex is not an endpoint");
+  }
+};
+
+/// Simple undirected graph with labels and weights.
+class Graph {
+ public:
+  Graph() = default;
+  explicit Graph(int n) { resize(n); }
+
+  int num_vertices() const { return static_cast<int>(adj_.size()); }
+  int num_edges() const { return static_cast<int>(edges_.size()); }
+
+  /// Adds `count` isolated vertices; returns the id of the first new vertex.
+  VertexId add_vertices(int count = 1);
+
+  /// Adds edge {u, v}. Throws on loops, out-of-range ids, or duplicates.
+  EdgeId add_edge(VertexId u, VertexId v);
+
+  /// Adds edge {u, v} if absent; returns the edge id either way.
+  EdgeId ensure_edge(VertexId u, VertexId v);
+
+  bool has_edge(VertexId u, VertexId v) const;
+  /// Edge id of {u, v}, or -1 if absent.
+  EdgeId edge_id(VertexId u, VertexId v) const;
+
+  const Edge& edge(EdgeId e) const { return edges_.at(e); }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  int degree(VertexId v) const { return static_cast<int>(adj_.at(v).size()); }
+
+  /// Incident (neighbor, edge-id) pairs of v, in insertion order.
+  const std::vector<std::pair<VertexId, EdgeId>>& incident(VertexId v) const {
+    return adj_.at(v);
+  }
+  /// Neighbor vertex ids of v (copy), in insertion order.
+  std::vector<VertexId> neighbors(VertexId v) const;
+
+  // --- labels (unary predicates, Section 6 of the paper) -------------------
+
+  void set_vertex_label(const std::string& name, VertexId v, bool on = true);
+  void set_edge_label(const std::string& name, EdgeId e, bool on = true);
+  bool vertex_has_label(const std::string& name, VertexId v) const;
+  bool edge_has_label(const std::string& name, EdgeId e) const;
+  std::vector<std::string> vertex_label_names() const;
+  std::vector<std::string> edge_label_names() const;
+
+  // --- weights --------------------------------------------------------------
+
+  void set_vertex_weight(VertexId v, Weight w);
+  void set_edge_weight(EdgeId e, Weight w);
+  Weight vertex_weight(VertexId v) const;
+  Weight edge_weight(EdgeId e) const;
+
+  /// Induced subgraph on `vertices` (labels/weights are carried over).
+  /// `vertices` must contain distinct valid ids; its order defines the new
+  /// vertex numbering. If `old_to_new` is non-null it receives the mapping
+  /// (size n, -1 for dropped vertices).
+  Graph induced_subgraph(const std::vector<VertexId>& vertices,
+                         std::vector<VertexId>* old_to_new = nullptr) const;
+
+  std::string to_string() const;
+
+ private:
+  void resize(int n);
+  void check_vertex(VertexId v) const;
+
+  std::vector<std::vector<std::pair<VertexId, EdgeId>>> adj_;
+  std::vector<Edge> edges_;
+  std::map<std::pair<VertexId, VertexId>, EdgeId> edge_index_;
+  std::map<std::string, std::vector<bool>> vertex_labels_;
+  std::map<std::string, std::vector<bool>> edge_labels_;
+  std::vector<Weight> vertex_weights_;
+  std::vector<Weight> edge_weights_;
+};
+
+}  // namespace dmc

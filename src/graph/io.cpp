@@ -1,0 +1,121 @@
+#include "graph/io.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace dmc::io {
+
+namespace {
+
+[[noreturn]] void fail(const std::string& msg, int line) {
+  throw std::invalid_argument("graph parse error (line " +
+                              std::to_string(line) + "): " + msg);
+}
+
+}  // namespace
+
+void write_dimacs(std::ostream& os, const Graph& g) {
+  os << "c dmc graph\n";
+  os << "p edge " << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) os << "e " << e.u + 1 << " " << e.v + 1 << "\n";
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (g.vertex_weight(v) != 1) os << "w " << v + 1 << " " << g.vertex_weight(v) << "\n";
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (g.edge_weight(e) != 1) os << "ew " << e << " " << g.edge_weight(e) << "\n";
+  for (const auto& name : g.vertex_label_names())
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (g.vertex_has_label(name, v)) os << "l " << v + 1 << " " << name << "\n";
+  for (const auto& name : g.edge_label_names())
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (g.edge_has_label(name, e)) os << "el " << e << " " << name << "\n";
+}
+
+std::string to_dimacs(const Graph& g) {
+  std::ostringstream os;
+  write_dimacs(os, g);
+  return os.str();
+}
+
+Graph read_dimacs(std::istream& is) {
+  Graph g;
+  bool have_header = false;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(is, line)) {
+    ++lineno;
+    std::istringstream ls(line);
+    std::string tag;
+    if (!(ls >> tag) || tag == "c") continue;
+    if (tag == "p") {
+      std::string kind;
+      int n = 0, m = 0;
+      if (!(ls >> kind >> n >> m) || kind != "edge" || n < 0)
+        fail("bad problem line", lineno);
+      if (have_header) fail("duplicate problem line", lineno);
+      have_header = true;
+      g.add_vertices(n);
+    } else if (tag == "e") {
+      int u = 0, v = 0;
+      if (!have_header || !(ls >> u >> v)) fail("bad edge line", lineno);
+      if (u < 1 || v < 1 || u > g.num_vertices() || v > g.num_vertices())
+        fail("edge endpoint out of range", lineno);
+      g.add_edge(u - 1, v - 1);
+    } else if (tag == "w") {
+      int v = 0;
+      Weight w = 0;
+      if (!have_header || !(ls >> v >> w) || v < 1 || v > g.num_vertices())
+        fail("bad vertex weight line", lineno);
+      g.set_vertex_weight(v - 1, w);
+    } else if (tag == "ew") {
+      int e = 0;
+      Weight w = 0;
+      if (!have_header || !(ls >> e >> w) || e < 0 || e >= g.num_edges())
+        fail("bad edge weight line", lineno);
+      g.set_edge_weight(e, w);
+    } else if (tag == "l") {
+      int v = 0;
+      std::string name;
+      if (!have_header || !(ls >> v >> name) || v < 1 || v > g.num_vertices())
+        fail("bad vertex label line", lineno);
+      g.set_vertex_label(name, v - 1);
+    } else if (tag == "el") {
+      int e = 0;
+      std::string name;
+      if (!have_header || !(ls >> e >> name) || e < 0 || e >= g.num_edges())
+        fail("bad edge label line", lineno);
+      g.set_edge_label(name, e);
+    } else {
+      fail("unknown line tag '" + tag + "'", lineno);
+    }
+  }
+  if (!have_header) fail("missing problem line", 0);
+  return g;
+}
+
+Graph from_dimacs(const std::string& text) {
+  std::istringstream is(text);
+  return read_dimacs(is);
+}
+
+std::string to_edge_list(const Graph& g) {
+  std::ostringstream os;
+  os << g.num_vertices() << " " << g.num_edges() << "\n";
+  for (const Edge& e : g.edges()) os << e.u << " " << e.v << "\n";
+  return os.str();
+}
+
+Graph from_edge_list(const std::string& text) {
+  std::istringstream is(text);
+  int n = 0, m = 0;
+  if (!(is >> n >> m) || n < 0 || m < 0)
+    throw std::invalid_argument("edge list: bad header");
+  Graph g(n);
+  for (int i = 0; i < m; ++i) {
+    int u = 0, v = 0;
+    if (!(is >> u >> v)) throw std::invalid_argument("edge list: bad edge");
+    g.add_edge(u, v);
+  }
+  return g;
+}
+
+}  // namespace dmc::io

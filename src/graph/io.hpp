@@ -1,0 +1,28 @@
+// Text serialization of graphs.
+//
+// Two formats:
+//   - DIMACS-like: "p edge n m" header, "e u v" lines (1-based), extended
+//     with optional "w v weight" (vertex weights), "ew e weight" (edge
+//     weights by 0-based edge ordinal) and "l v name" / "el e name" label
+//     lines. Comments start with 'c'.
+//   - compact edge list: "n m\nu v\nu v\n..." (0-based), structure only.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace dmc::io {
+
+std::string to_dimacs(const Graph& g);
+/// Parses the DIMACS-like format; throws std::invalid_argument on errors.
+Graph from_dimacs(const std::string& text);
+
+std::string to_edge_list(const Graph& g);
+Graph from_edge_list(const std::string& text);
+
+void write_dimacs(std::ostream& os, const Graph& g);
+Graph read_dimacs(std::istream& is);
+
+}  // namespace dmc::io

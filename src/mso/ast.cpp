@@ -1,0 +1,470 @@
+#include "mso/ast.hpp"
+
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmc::mso {
+
+bool is_individual(Sort s) { return s == Sort::Vertex || s == Sort::Edge; }
+bool is_set(Sort s) { return !is_individual(s); }
+bool is_vertex_kind(Sort s) {
+  return s == Sort::Vertex || s == Sort::VertexSet;
+}
+bool is_edge_kind(Sort s) { return s == Sort::Edge || s == Sort::EdgeSet; }
+
+Sort set_sort_of(Sort s) {
+  switch (s) {
+    case Sort::Vertex:
+      return Sort::VertexSet;
+    case Sort::Edge:
+      return Sort::EdgeSet;
+    default:
+      return s;
+  }
+}
+
+std::string sort_name(Sort s) {
+  switch (s) {
+    case Sort::Vertex:
+      return "vertex";
+    case Sort::Edge:
+      return "edge";
+    case Sort::VertexSet:
+      return "vset";
+    case Sort::EdgeSet:
+      return "eset";
+  }
+  return "?";
+}
+
+bool is_atomic(Kind k) {
+  switch (k) {
+    case Kind::True:
+    case Kind::False:
+    case Kind::Equal:
+    case Kind::Adjacent:
+    case Kind::Incident:
+    case Kind::Member:
+    case Kind::Subset:
+    case Kind::Disjoint:
+    case Kind::Singleton:
+    case Kind::EmptySet:
+    case Kind::FullSet:
+    case Kind::Crossing:
+    case Kind::Border:
+    case Kind::Label:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_quantifier(Kind k) {
+  return k == Kind::Exists || k == Kind::Forall;
+}
+
+namespace {
+FormulaPtr make(Formula f) { return std::make_shared<const Formula>(std::move(f)); }
+
+FormulaPtr atom2(Kind k, std::string a, std::string b) {
+  Formula f;
+  f.kind = k;
+  f.a = std::move(a);
+  f.b = std::move(b);
+  return make(std::move(f));
+}
+
+FormulaPtr atom1(Kind k, std::string a) {
+  Formula f;
+  f.kind = k;
+  f.a = std::move(a);
+  return make(std::move(f));
+}
+}  // namespace
+
+FormulaPtr f_true() {
+  Formula f;
+  f.kind = Kind::True;
+  return make(std::move(f));
+}
+FormulaPtr f_false() {
+  Formula f;
+  f.kind = Kind::False;
+  return make(std::move(f));
+}
+FormulaPtr equal(std::string a, std::string b) {
+  return atom2(Kind::Equal, std::move(a), std::move(b));
+}
+FormulaPtr adj(std::string a, std::string b) {
+  return atom2(Kind::Adjacent, std::move(a), std::move(b));
+}
+FormulaPtr inc(std::string a, std::string b) {
+  return atom2(Kind::Incident, std::move(a), std::move(b));
+}
+FormulaPtr member(std::string a, std::string b) {
+  return atom2(Kind::Member, std::move(a), std::move(b));
+}
+FormulaPtr subset(std::string a, std::string b) {
+  return atom2(Kind::Subset, std::move(a), std::move(b));
+}
+FormulaPtr disjoint(std::string a, std::string b) {
+  return atom2(Kind::Disjoint, std::move(a), std::move(b));
+}
+FormulaPtr singleton(std::string a) { return atom1(Kind::Singleton, std::move(a)); }
+FormulaPtr empty_set(std::string a) { return atom1(Kind::EmptySet, std::move(a)); }
+FormulaPtr full_set(std::string a) { return atom1(Kind::FullSet, std::move(a)); }
+FormulaPtr crossing(std::string f, std::string x) {
+  return atom2(Kind::Crossing, std::move(f), std::move(x));
+}
+FormulaPtr border(std::string x) { return atom1(Kind::Border, std::move(x)); }
+FormulaPtr label(std::string name, std::string a) {
+  Formula f;
+  f.kind = Kind::Label;
+  f.label = std::move(name);
+  f.a = std::move(a);
+  return make(std::move(f));
+}
+FormulaPtr lnot(FormulaPtr f) {
+  Formula out;
+  out.kind = Kind::Not;
+  out.left = std::move(f);
+  return make(std::move(out));
+}
+namespace {
+FormulaPtr binary(Kind k, FormulaPtr l, FormulaPtr r) {
+  Formula out;
+  out.kind = k;
+  out.left = std::move(l);
+  out.right = std::move(r);
+  return make(std::move(out));
+}
+}  // namespace
+FormulaPtr land(FormulaPtr l, FormulaPtr r) {
+  return binary(Kind::And, std::move(l), std::move(r));
+}
+FormulaPtr lor(FormulaPtr l, FormulaPtr r) {
+  return binary(Kind::Or, std::move(l), std::move(r));
+}
+FormulaPtr implies(FormulaPtr l, FormulaPtr r) {
+  return binary(Kind::Implies, std::move(l), std::move(r));
+}
+FormulaPtr iff(FormulaPtr l, FormulaPtr r) {
+  return binary(Kind::Iff, std::move(l), std::move(r));
+}
+FormulaPtr exists(std::string var, Sort sort, FormulaPtr body) {
+  Formula f;
+  f.kind = Kind::Exists;
+  f.var = std::move(var);
+  f.var_sort = sort;
+  f.left = std::move(body);
+  return make(std::move(f));
+}
+FormulaPtr forall(std::string var, Sort sort, FormulaPtr body) {
+  Formula f;
+  f.kind = Kind::Forall;
+  f.var = std::move(var);
+  f.var_sort = sort;
+  f.left = std::move(body);
+  return make(std::move(f));
+}
+
+FormulaPtr land_all(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return f_true();
+  FormulaPtr out = fs[0];
+  for (std::size_t i = 1; i < fs.size(); ++i) out = land(out, fs[i]);
+  return out;
+}
+
+FormulaPtr lor_all(std::vector<FormulaPtr> fs) {
+  if (fs.empty()) return f_false();
+  FormulaPtr out = fs[0];
+  for (std::size_t i = 1; i < fs.size(); ++i) out = lor(out, fs[i]);
+  return out;
+}
+
+namespace {
+using Scope = std::map<std::string, Sort>;
+}  // namespace
+
+std::vector<std::pair<std::string, Sort>> free_variables(const Formula& f) {
+  // Free-variable collection needs sorts; sorts of free variables are not
+  // declared in the tree, so we infer them from first atomic use. To do so
+  // we run a laxer walk that *assigns* a sort at first use based on the
+  // atomic position.
+  // We implement it via check_well_formed in non-strict mode with inference.
+  return check_well_formed(f, {});
+}
+
+namespace {
+
+/// Inference pass: assigns a sort to each free variable from its atomic
+/// positions. Bound variables carry declared sorts.
+struct Infer {
+  Scope bound;
+  std::vector<std::pair<std::string, Sort>> free;
+  bool strict = false;
+
+  Sort* find_free(const std::string& n) {
+    for (auto& [name, s] : free)
+      if (name == n) return &s;
+    return nullptr;
+  }
+
+  /// Registers a use of variable `n` whose sort must lie in the family
+  /// accepted by `accepts`; `def` is the default when unconstrained.
+  Sort use(const std::string& n, bool (*accepts)(Sort), Sort def,
+           const char* what) {
+    auto it = bound.find(n);
+    if (it != bound.end()) {
+      if (!accepts(it->second))
+        throw std::invalid_argument(std::string("ill-formed formula: ") + what +
+                                    " applied to " + sort_name(it->second) +
+                                    " '" + n + "'");
+      return it->second;
+    }
+    if (Sort* s = find_free(n)) {
+      if (!accepts(*s))
+        throw std::invalid_argument(std::string("ill-formed formula: ") + what +
+                                    " applied to " + sort_name(*s) + " '" + n +
+                                    "' (conflicting uses)");
+      return *s;
+    }
+    free.emplace_back(n, def);
+    return def;
+  }
+
+  void go(const Formula& f);
+};
+
+bool any_sort(Sort) { return true; }
+bool vertex_kind(Sort s) { return is_vertex_kind(s); }
+bool edge_kind(Sort s) { return is_edge_kind(s); }
+bool vset_only(Sort s) { return s == Sort::VertexSet; }
+bool eset_only(Sort s) { return s == Sort::EdgeSet; }
+bool set_only(Sort s) { return is_set(s); }
+
+void Infer::go(const Formula& f) {
+  switch (f.kind) {
+    case Kind::True:
+    case Kind::False:
+      return;
+    case Kind::Equal: {
+      const Sort sa = use(f.a, any_sort, Sort::Vertex, "=");
+      const Sort sb = use(f.b, any_sort, sa, "=");
+      if (sa != sb)
+        throw std::invalid_argument(
+            "ill-formed formula: = requires same-sort operands");
+      return;
+    }
+    case Kind::Adjacent:
+      use(f.a, vertex_kind, Sort::Vertex, "adj");
+      use(f.b, vertex_kind, Sort::Vertex, "adj");
+      return;
+    case Kind::Incident:
+      use(f.a, vertex_kind, Sort::Vertex, "inc");
+      use(f.b, edge_kind, Sort::Edge, "inc");
+      return;
+    case Kind::Member: {
+      const Sort sa = use(f.a, [](Sort s) { return is_individual(s); },
+                          Sort::Vertex, "in");
+      use(f.b, sa == Sort::Vertex ? vset_only : eset_only,
+          set_sort_of(sa), "in");
+      return;
+    }
+    case Kind::Subset:
+    case Kind::Disjoint: {
+      const char* what = f.kind == Kind::Subset ? "sub" : "disj";
+      const Sort sa = use(f.a, set_only, Sort::VertexSet, what);
+      use(f.b, sa == Sort::VertexSet ? vset_only : eset_only, sa, what);
+      return;
+    }
+    case Kind::Singleton:
+    case Kind::EmptySet:
+      use(f.a, set_only, Sort::VertexSet,
+          f.kind == Kind::Singleton ? "sing" : "empty");
+      return;
+    case Kind::FullSet:
+      use(f.a, vset_only, Sort::VertexSet, "full");
+      return;
+    case Kind::Crossing:
+      use(f.a, eset_only, Sort::EdgeSet, "cross");
+      use(f.b, vset_only, Sort::VertexSet, "cross");
+      return;
+    case Kind::Border:
+      use(f.a, vset_only, Sort::VertexSet, "border");
+      return;
+    case Kind::Label:
+      use(f.a, any_sort, Sort::Vertex, "label");
+      return;
+    case Kind::Not:
+      go(*f.left);
+      return;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Implies:
+    case Kind::Iff:
+      go(*f.left);
+      go(*f.right);
+      return;
+    case Kind::Exists:
+    case Kind::Forall: {
+      const auto prev = bound.find(f.var);
+      const bool had = prev != bound.end();
+      const Sort old = had ? prev->second : Sort::Vertex;
+      bound[f.var] = f.var_sort;
+      go(*f.left);
+      if (had)
+        bound[f.var] = old;
+      else
+        bound.erase(f.var);
+      return;
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<std::pair<std::string, Sort>> check_well_formed(
+    const Formula& f,
+    const std::vector<std::pair<std::string, Sort>>& declared_free) {
+  Infer inf;
+  inf.free = declared_free;
+  inf.go(f);
+  return inf.free;
+}
+
+int quantifier_rank(const Formula& f) {
+  switch (f.kind) {
+    case Kind::Not:
+      return quantifier_rank(*f.left);
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Implies:
+    case Kind::Iff:
+      return std::max(quantifier_rank(*f.left), quantifier_rank(*f.right));
+    case Kind::Exists:
+    case Kind::Forall:
+      return 1 + quantifier_rank(*f.left);
+    default:
+      return 0;
+  }
+}
+
+namespace {
+void collect_labels(const Formula& f, Scope& bound, LabelUsage& out) {
+  switch (f.kind) {
+    case Kind::Label: {
+      // Decide vertex/edge family from the operand's sort when bound;
+      // default to vertex for unbound (free) variables of unknown sort.
+      Sort s = Sort::Vertex;
+      auto it = bound.find(f.a);
+      if (it != bound.end()) s = it->second;
+      auto& list = is_edge_kind(s) ? out.edge_labels : out.vertex_labels;
+      for (const auto& existing : list)
+        if (existing == f.label) return;
+      list.push_back(f.label);
+      return;
+    }
+    case Kind::Not:
+      collect_labels(*f.left, bound, out);
+      return;
+    case Kind::And:
+    case Kind::Or:
+    case Kind::Implies:
+    case Kind::Iff:
+      collect_labels(*f.left, bound, out);
+      collect_labels(*f.right, bound, out);
+      return;
+    case Kind::Exists:
+    case Kind::Forall: {
+      const auto prev = bound.find(f.var);
+      const bool had = prev != bound.end();
+      const Sort old = had ? prev->second : Sort::Vertex;
+      bound[f.var] = f.var_sort;
+      collect_labels(*f.left, bound, out);
+      if (had)
+        bound[f.var] = old;
+      else
+        bound.erase(f.var);
+      return;
+    }
+    default:
+      return;
+  }
+}
+}  // namespace
+
+LabelUsage label_usage(const Formula& f) {
+  Scope bound;
+  LabelUsage out;
+  collect_labels(f, bound, out);
+  return out;
+}
+
+std::string to_string(const Formula& f) {
+  std::ostringstream os;
+  switch (f.kind) {
+    case Kind::True:
+      return "true";
+    case Kind::False:
+      return "false";
+    case Kind::Equal:
+      return f.a + " = " + f.b;
+    case Kind::Adjacent:
+      return "adj(" + f.a + ", " + f.b + ")";
+    case Kind::Incident:
+      return "inc(" + f.a + ", " + f.b + ")";
+    case Kind::Member:
+      return f.a + " in " + f.b;
+    case Kind::Subset:
+      return "sub(" + f.a + ", " + f.b + ")";
+    case Kind::Disjoint:
+      return "disj(" + f.a + ", " + f.b + ")";
+    case Kind::Singleton:
+      return "sing(" + f.a + ")";
+    case Kind::EmptySet:
+      return "empty(" + f.a + ")";
+    case Kind::FullSet:
+      return "full(" + f.a + ")";
+    case Kind::Crossing:
+      return "cross(" + f.a + ", " + f.b + ")";
+    case Kind::Border:
+      return "border(" + f.a + ")";
+    case Kind::Label:
+      return "label(" + f.label + ", " + f.a + ")";
+    case Kind::Not:
+      return "!(" + to_string(*f.left) + ")";
+    case Kind::And:
+      return "(" + to_string(*f.left) + " & " + to_string(*f.right) + ")";
+    case Kind::Or:
+      return "(" + to_string(*f.left) + " | " + to_string(*f.right) + ")";
+    case Kind::Implies:
+      return "(" + to_string(*f.left) + " -> " + to_string(*f.right) + ")";
+    case Kind::Iff:
+      return "(" + to_string(*f.left) + " <-> " + to_string(*f.right) + ")";
+    case Kind::Exists:
+      return "exists " + sort_name(f.var_sort) + " " + f.var + ". " +
+             to_string(*f.left);
+    case Kind::Forall:
+      return "forall " + sort_name(f.var_sort) + " " + f.var + ". " +
+             to_string(*f.left);
+  }
+  return "?";
+}
+
+namespace {
+void collect_subformulas(const Formula& f, std::vector<const Formula*>& out) {
+  out.push_back(&f);
+  if (f.left) collect_subformulas(*f.left, out);
+  if (f.right) collect_subformulas(*f.right, out);
+}
+}  // namespace
+
+std::vector<const Formula*> subformulas(const Formula& f) {
+  std::vector<const Formula*> out;
+  collect_subformulas(f, out);
+  return out;
+}
+
+}  // namespace dmc::mso

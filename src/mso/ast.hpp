@@ -1,0 +1,127 @@
+// MSO2 logic of graphs: abstract syntax, builders, and structural analyses.
+//
+// The logic follows Section 1/4 of the paper: individual vertex and edge
+// variables, monadic vertex-set and edge-set variables, equality, adjacency,
+// incidence, membership, and unary label predicates (the labeled-graph
+// extension of Section 6). In addition we expose a few *set-level* atomic
+// predicates (subset, singleton, empty, full, crossing, border) that are
+// definable in MSO but are provided as atomics so that library formulas can
+// keep their quantifier rank low; all of them are compositional in the sense
+// of Definition 4.1, which the BPT engine exploits.
+//
+// Formulas are immutable trees shared by std::shared_ptr. Variables are
+// identified by name and bound by the innermost enclosing quantifier.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace dmc::mso {
+
+enum class Sort { Vertex, Edge, VertexSet, EdgeSet };
+
+bool is_individual(Sort s);
+bool is_set(Sort s);
+bool is_vertex_kind(Sort s);  // Vertex or VertexSet
+bool is_edge_kind(Sort s);    // Edge or EdgeSet
+/// The set sort that an individual sort lowers to (identity on set sorts).
+Sort set_sort_of(Sort s);
+std::string sort_name(Sort s);
+
+enum class Kind {
+  True,
+  False,
+  Equal,      // a = b (same sort; for sets: extensional equality)
+  Adjacent,   // adj(a, b): some edge joins a member of a and a member of b
+  Incident,   // inc(a, f): some edge in f has an endpoint in a
+  Member,     // a in B (individual in matching-sort set)
+  Subset,     // sub(A, B) (sets of the same sort)
+  Disjoint,   // disj(A, B): A and B share no element (same-sort sets)
+  Singleton,  // sing(A): |A| == 1
+  EmptySet,   // empty(A): |A| == 0
+  FullSet,    // full(A): A == V (vertex sets only)
+  Crossing,   // cross(F, X): some edge in F has exactly one endpoint in X
+  Border,     // border(X): some edge of G has exactly one endpoint in X
+  Label,      // label(name, a): some member of a carries the label
+  Not,
+  And,
+  Or,
+  Implies,
+  Iff,
+  Exists,
+  Forall,
+};
+
+bool is_atomic(Kind k);
+bool is_quantifier(Kind k);
+
+struct Formula;
+using FormulaPtr = std::shared_ptr<const Formula>;
+
+struct Formula {
+  Kind kind;
+  std::string a, b;       // atomic operands (variable names)
+  std::string label;      // label name for Kind::Label
+  FormulaPtr left, right; // children (Not/quantifiers use left only)
+  std::string var;        // quantified variable
+  Sort var_sort = Sort::Vertex;
+};
+
+// --- builders ---------------------------------------------------------------
+
+FormulaPtr f_true();
+FormulaPtr f_false();
+FormulaPtr equal(std::string a, std::string b);
+FormulaPtr adj(std::string a, std::string b);
+FormulaPtr inc(std::string a, std::string b);
+FormulaPtr member(std::string a, std::string b);
+FormulaPtr subset(std::string a, std::string b);
+FormulaPtr disjoint(std::string a, std::string b);
+FormulaPtr singleton(std::string a);
+FormulaPtr empty_set(std::string a);
+FormulaPtr full_set(std::string a);
+FormulaPtr crossing(std::string f, std::string x);
+FormulaPtr border(std::string x);
+FormulaPtr label(std::string name, std::string a);
+FormulaPtr lnot(FormulaPtr f);
+FormulaPtr land(FormulaPtr l, FormulaPtr r);
+FormulaPtr lor(FormulaPtr l, FormulaPtr r);
+FormulaPtr implies(FormulaPtr l, FormulaPtr r);
+FormulaPtr iff(FormulaPtr l, FormulaPtr r);
+FormulaPtr exists(std::string var, Sort sort, FormulaPtr body);
+FormulaPtr forall(std::string var, Sort sort, FormulaPtr body);
+/// Conjunction/disjunction of a list (true/false for empty lists).
+FormulaPtr land_all(std::vector<FormulaPtr> fs);
+FormulaPtr lor_all(std::vector<FormulaPtr> fs);
+
+// --- analyses ---------------------------------------------------------------
+
+/// Free variables with their sorts, in first-occurrence order.
+/// Throws if a variable is used with inconsistent sorts.
+std::vector<std::pair<std::string, Sort>> free_variables(const Formula& f);
+
+/// Max quantifier nesting depth.
+int quantifier_rank(const Formula& f);
+
+/// Checks sort rules of every atomic (see Kind comments); throws
+/// std::invalid_argument with a message on violation. Returns free variables
+/// (same as free_variables).
+std::vector<std::pair<std::string, Sort>> check_well_formed(
+    const Formula& f,
+    const std::vector<std::pair<std::string, Sort>>& declared_free = {});
+
+/// Label names used by the formula, split by vertex/edge application.
+struct LabelUsage {
+  std::vector<std::string> vertex_labels;
+  std::vector<std::string> edge_labels;
+};
+LabelUsage label_usage(const Formula& f);
+
+std::string to_string(const Formula& f);
+
+/// All distinct subformula nodes in preorder; index in the result acts as a
+/// stable id for memoization.
+std::vector<const Formula*> subformulas(const Formula& f);
+
+}  // namespace dmc::mso

@@ -1,0 +1,182 @@
+#include "mso/eval.hpp"
+
+#include <bit>
+#include <optional>
+#include <stdexcept>
+
+namespace dmc::mso {
+
+namespace {
+
+constexpr int kMaxSetBits = 22;
+
+const Value& lookup(const Env& env, const std::string& name) {
+  auto it = env.find(name);
+  if (it == env.end())
+    throw std::invalid_argument("evaluate: unbound variable '" + name + "'");
+  return it->second;
+}
+
+/// The members of a value as a bitmask (singleton mask for individuals).
+std::uint64_t as_mask(const Value& v) {
+  return is_individual(v.sort) ? (1ull << v.bits) : v.bits;
+}
+
+bool eval_rec(const Graph& g, const Formula& f, Env& env) {
+  switch (f.kind) {
+    case Kind::True:
+      return true;
+    case Kind::False:
+      return false;
+    case Kind::Equal: {
+      const Value& a = lookup(env, f.a);
+      const Value& b = lookup(env, f.b);
+      if (a.sort != b.sort)
+        throw std::invalid_argument("evaluate: '=' on different sorts");
+      return a.bits == b.bits;
+    }
+    case Kind::Adjacent: {
+      const std::uint64_t a = as_mask(lookup(env, f.a));
+      const std::uint64_t b = as_mask(lookup(env, f.b));
+      for (const Edge& e : g.edges()) {
+        const std::uint64_t um = 1ull << e.u, vm = 1ull << e.v;
+        if (((a & um) && (b & vm)) || ((a & vm) && (b & um))) return true;
+      }
+      return false;
+    }
+    case Kind::Incident: {
+      const std::uint64_t a = as_mask(lookup(env, f.a));
+      const std::uint64_t fm = as_mask(lookup(env, f.b));
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (!(fm & (1ull << e))) continue;
+        if ((a & (1ull << g.edge(e).u)) || (a & (1ull << g.edge(e).v)))
+          return true;
+      }
+      return false;
+    }
+    case Kind::Member: {
+      const Value& a = lookup(env, f.a);
+      const Value& b = lookup(env, f.b);
+      if (!is_individual(a.sort) || !is_set(b.sort))
+        throw std::invalid_argument("evaluate: bad 'in' operands");
+      return (b.bits >> a.bits) & 1;
+    }
+    case Kind::Subset: {
+      const Value& a = lookup(env, f.a);
+      const Value& b = lookup(env, f.b);
+      return (a.bits & ~b.bits) == 0;
+    }
+    case Kind::Disjoint: {
+      const Value& a = lookup(env, f.a);
+      const Value& b = lookup(env, f.b);
+      return (a.bits & b.bits) == 0;
+    }
+    case Kind::Singleton:
+      return std::popcount(lookup(env, f.a).bits) == 1;
+    case Kind::EmptySet:
+      return lookup(env, f.a).bits == 0;
+    case Kind::FullSet: {
+      const std::uint64_t all =
+          g.num_vertices() >= 64 ? ~0ull : (1ull << g.num_vertices()) - 1;
+      return lookup(env, f.a).bits == all;
+    }
+    case Kind::Crossing: {
+      const std::uint64_t fm = as_mask(lookup(env, f.a));
+      const std::uint64_t x = as_mask(lookup(env, f.b));
+      for (EdgeId e = 0; e < g.num_edges(); ++e) {
+        if (!(fm & (1ull << e))) continue;
+        const bool iu = (x >> g.edge(e).u) & 1, iv = (x >> g.edge(e).v) & 1;
+        if (iu != iv) return true;
+      }
+      return false;
+    }
+    case Kind::Border: {
+      const std::uint64_t x = as_mask(lookup(env, f.a));
+      for (const Edge& e : g.edges()) {
+        const bool iu = (x >> e.u) & 1, iv = (x >> e.v) & 1;
+        if (iu != iv) return true;
+      }
+      return false;
+    }
+    case Kind::Label: {
+      const Value& a = lookup(env, f.a);
+      const std::uint64_t mask = as_mask(a);
+      if (is_vertex_kind(a.sort)) {
+        for (VertexId v = 0; v < g.num_vertices(); ++v)
+          if ((mask >> v) & 1 && g.vertex_has_label(f.label, v)) return true;
+      } else {
+        for (EdgeId e = 0; e < g.num_edges(); ++e)
+          if ((mask >> e) & 1 && g.edge_has_label(f.label, e)) return true;
+      }
+      return false;
+    }
+    case Kind::Not:
+      return !eval_rec(g, *f.left, env);
+    case Kind::And:
+      return eval_rec(g, *f.left, env) && eval_rec(g, *f.right, env);
+    case Kind::Or:
+      return eval_rec(g, *f.left, env) || eval_rec(g, *f.right, env);
+    case Kind::Implies:
+      return !eval_rec(g, *f.left, env) || eval_rec(g, *f.right, env);
+    case Kind::Iff:
+      return eval_rec(g, *f.left, env) == eval_rec(g, *f.right, env);
+    case Kind::Exists:
+    case Kind::Forall: {
+      const bool want = f.kind == Kind::Exists;
+      const auto saved = env.find(f.var) != env.end()
+                             ? std::optional<Value>(env[f.var])
+                             : std::nullopt;
+      auto restore = [&]() {
+        if (saved)
+          env[f.var] = *saved;
+        else
+          env.erase(f.var);
+      };
+      auto try_one = [&](Value v) {
+        env[f.var] = v;
+        return eval_rec(g, *f.left, env) == want;
+      };
+      bool found = false;
+      switch (f.var_sort) {
+        case Sort::Vertex:
+          for (VertexId v = 0; v < g.num_vertices() && !found; ++v)
+            found = try_one(Value::vertex(v));
+          break;
+        case Sort::Edge:
+          for (EdgeId e = 0; e < g.num_edges() && !found; ++e)
+            found = try_one(Value::edge(e));
+          break;
+        case Sort::VertexSet: {
+          if (g.num_vertices() > kMaxSetBits)
+            throw std::invalid_argument("evaluate: graph too large for vset quantifier");
+          const std::uint64_t limit = 1ull << g.num_vertices();
+          for (std::uint64_t m = 0; m < limit && !found; ++m)
+            found = try_one(Value::vertex_set(m));
+          break;
+        }
+        case Sort::EdgeSet: {
+          if (g.num_edges() > kMaxSetBits)
+            throw std::invalid_argument("evaluate: graph too large for eset quantifier");
+          const std::uint64_t limit = 1ull << g.num_edges();
+          for (std::uint64_t m = 0; m < limit && !found; ++m)
+            found = try_one(Value::edge_set(m));
+          break;
+        }
+      }
+      restore();
+      return found == want;
+    }
+  }
+  throw std::logic_error("evaluate: unknown formula kind");
+}
+
+}  // namespace
+
+bool evaluate(const Graph& g, const Formula& f, const Env& env) {
+  if (g.num_vertices() > 63 || g.num_edges() > 63)
+    throw std::invalid_argument("evaluate: graph too large (bitmask overflow)");
+  Env working = env;
+  return eval_rec(g, f, working);
+}
+
+}  // namespace dmc::mso

@@ -1,0 +1,37 @@
+// Brute-force MSO evaluation by direct semantics.
+//
+// This evaluator enumerates all quantifier instantiations explicitly
+// (2^n / 2^m for set quantifiers), so it only works on small graphs. It is
+// deliberately independent from the BPT engine and serves as the ground
+// truth in the test suite.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::mso {
+
+/// A variable binding: an individual id or a set bitmask, per `sort`.
+struct Value {
+  Sort sort = Sort::Vertex;
+  std::uint64_t bits = 0;  // individual: the id; set: bitmask over ids
+
+  static Value vertex(VertexId v) { return {Sort::Vertex, static_cast<std::uint64_t>(v)}; }
+  static Value edge(EdgeId e) { return {Sort::Edge, static_cast<std::uint64_t>(e)}; }
+  static Value vertex_set(std::uint64_t mask) { return {Sort::VertexSet, mask}; }
+  static Value edge_set(std::uint64_t mask) { return {Sort::EdgeSet, mask}; }
+};
+
+using Env = std::map<std::string, Value>;
+
+/// Evaluates `f` over `g` under `env` (which must bind all free variables
+/// with the right sorts). Throws std::invalid_argument on unbound variables,
+/// sort mismatches, or if a set quantifier would need more than 2^22
+/// instantiations.
+bool evaluate(const Graph& g, const Formula& f, const Env& env = {});
+
+}  // namespace dmc::mso

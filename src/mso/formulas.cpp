@@ -1,0 +1,289 @@
+#include "mso/formulas.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace dmc::mso::lib {
+
+namespace {
+
+std::string xi(int i) { return "x" + std::to_string(i); }
+
+/// exists vertex x0..x_{p-1}. body
+FormulaPtr exists_vertices(int p, FormulaPtr body) {
+  for (int i = p - 1; i >= 0; --i) body = exists(xi(i), Sort::Vertex, body);
+  return body;
+}
+
+FormulaPtr all_distinct(int p) {
+  std::vector<FormulaPtr> parts;
+  for (int i = 0; i < p; ++i)
+    for (int j = i + 1; j < p; ++j) parts.push_back(lnot(equal(xi(i), xi(j))));
+  return land_all(std::move(parts));
+}
+
+}  // namespace
+
+FormulaPtr triangle_free() { return h_free(/*K3*/ [] {
+  Graph h(3);
+  h.add_edge(0, 1);
+  h.add_edge(1, 2);
+  h.add_edge(0, 2);
+  return h;
+}()); }
+
+FormulaPtr c4_free() {
+  Graph c4(4);
+  c4.add_edge(0, 1);
+  c4.add_edge(1, 2);
+  c4.add_edge(2, 3);
+  c4.add_edge(3, 0);
+  return h_free(c4);
+}
+
+FormulaPtr h_free(const Graph& h, bool induced) {
+  const int p = h.num_vertices();
+  if (p < 1) throw std::invalid_argument("h_free: H must be nonempty");
+  std::vector<FormulaPtr> parts{all_distinct(p)};
+  for (int i = 0; i < p; ++i)
+    for (int j = i + 1; j < p; ++j) {
+      if (h.has_edge(i, j))
+        parts.push_back(adj(xi(i), xi(j)));
+      else if (induced)
+        parts.push_back(lnot(adj(xi(i), xi(j))));
+    }
+  return lnot(exists_vertices(p, land_all(std::move(parts))));
+}
+
+FormulaPtr k_colorable(int k) {
+  if (k < 1) throw std::invalid_argument("k_colorable: k >= 1 required");
+  auto ci = [](int i) { return "C" + std::to_string(i); };
+  // every vertex has a color
+  std::vector<FormulaPtr> in_some;
+  for (int i = 0; i < k; ++i) in_some.push_back(member("x", ci(i)));
+  FormulaPtr body = forall("x", Sort::Vertex, lor_all(std::move(in_some)));
+  // each class is independent: no edge inside C_i
+  std::vector<FormulaPtr> parts{body};
+  for (int i = 0; i < k; ++i) parts.push_back(lnot(adj(ci(i), ci(i))));
+  body = land_all(std::move(parts));
+  for (int i = k - 1; i >= 0; --i) body = exists(ci(i), Sort::VertexSet, body);
+  return body;
+}
+
+FormulaPtr not_3_colorable() { return lnot(k_colorable(3)); }
+
+FormulaPtr acyclic() {
+  // Paper, Section 1: no nonempty X whose every member has two distinct
+  // neighbors inside X.
+  FormulaPtr inner =
+      exists("y1", Sort::Vertex,
+             exists("y2", Sort::Vertex,
+                    land_all({member("y1", "X"), member("y2", "X"),
+                              lnot(equal("y1", "y2")), adj("x", "y1"),
+                              adj("x", "y2")})));
+  FormulaPtr all_have_two =
+      forall("x", Sort::Vertex, implies(member("x", "X"), inner));
+  return lnot(exists("X", Sort::VertexSet,
+                     land(lnot(empty_set("X")), all_have_two)));
+}
+
+FormulaPtr connected() {
+  return forall(
+      "X", Sort::VertexSet,
+      lor_all({empty_set("X"), full_set("X"), border("X")}));
+}
+
+FormulaPtr has_isolated_vertex() {
+  return exists("x", Sort::Vertex,
+                forall("y", Sort::Vertex, lnot(adj("x", "y"))));
+}
+
+FormulaPtr has_isolated_vertex_lowrank() {
+  // A singleton with no border edge and no internal edge is isolated.
+  return exists("X", Sort::VertexSet,
+                land_all({singleton("X"), lnot(border("X"))}));
+}
+
+FormulaPtr has_vertex_of_degree_ge(int k) {
+  if (k < 1) throw std::invalid_argument("degree bound must be >= 1");
+  std::vector<FormulaPtr> parts;
+  for (int i = 0; i < k; ++i)
+    for (int j = i + 1; j < k; ++j) parts.push_back(lnot(equal(xi(i), xi(j))));
+  for (int i = 0; i < k; ++i) parts.push_back(adj("x", xi(i)));
+  FormulaPtr body = land_all(std::move(parts));
+  for (int i = k - 1; i >= 0; --i) body = exists(xi(i), Sort::Vertex, body);
+  return exists("x", Sort::Vertex, body);
+}
+
+FormulaPtr properly_2_colored() {
+  // Section 1.1 of the paper, with red/blue unary predicates.
+  FormulaPtr covered = forall(
+      "x", Sort::Vertex, lor(label("red", "x"), label("blue", "x")));
+  FormulaPtr no_mono = forall(
+      "x", Sort::Vertex,
+      forall("y", Sort::Vertex,
+             lnot(land(adj("x", "y"),
+                       lor(land(label("red", "x"), label("red", "y")),
+                           land(label("blue", "x"), label("blue", "y")))))));
+  return land(covered, no_mono);
+}
+
+FormulaPtr has_clique(int k) {
+  Graph h(k);
+  for (int i = 0; i < k; ++i)
+    for (int j = i + 1; j < k; ++j) h.add_edge(i, j);
+  return lnot(h_free(h));
+}
+
+FormulaPtr has_path(int k) {
+  Graph h(k);
+  for (int i = 0; i + 1 < k; ++i) h.add_edge(i, i + 1);
+  return lnot(h_free(h));
+}
+
+FormulaPtr cograph() {
+  Graph p4(4);
+  p4.add_edge(0, 1);
+  p4.add_edge(1, 2);
+  p4.add_edge(2, 3);
+  return h_free(p4, /*induced=*/true);
+}
+
+FormulaPtr max_degree_le(int k) {
+  return lnot(has_vertex_of_degree_ge(k + 1));
+}
+
+FormulaPtr independent_set() { return lnot(adj("S", "S")); }
+
+FormulaPtr independent_set_naive() {
+  return forall(
+      "x", Sort::Vertex,
+      forall("y", Sort::Vertex,
+             implies(land(member("x", "S"), member("y", "S")),
+                     lnot(adj("x", "y")))));
+}
+
+FormulaPtr vertex_cover() {
+  return forall(
+      "x", Sort::Vertex,
+      forall("y", Sort::Vertex,
+             implies(adj("x", "y"),
+                     lor(member("x", "S"), member("y", "S")))));
+}
+
+FormulaPtr dominating_set() {
+  return forall("x", Sort::Vertex, lor(member("x", "S"), adj("x", "S")));
+}
+
+FormulaPtr total_dominating_set() {
+  // every vertex (including members of S) has a neighbor in S
+  return forall("x", Sort::Vertex, adj("x", "S"));
+}
+
+FormulaPtr independent_dominating_set() {
+  return land(dominating_set(), independent_set());
+}
+
+FormulaPtr connected_set() {
+  // For every X: either X misses S, or X covers S, or an S-internal edge
+  // crosses the X boundary — i.e. no nontrivial split of S is edge-free.
+  FormulaPtr crossing_edge = exists(
+      "x", Sort::Vertex,
+      exists("y", Sort::Vertex,
+             land_all({member("x", "S"), member("x", "X"), member("y", "S"),
+                       lnot(member("y", "X")), adj("x", "y")})));
+  return forall("X", Sort::VertexSet,
+                lor_all({disjoint("X", "S"), subset("S", "X"), crossing_edge}));
+}
+
+FormulaPtr connected_dominating_set() {
+  return land(dominating_set(), connected_set());
+}
+
+FormulaPtr red_blue_dominating_set() {
+  // Section 6: S is all-blue and dominates every red vertex.
+  FormulaPtr all_blue =
+      forall("x", Sort::Vertex, implies(member("x", "S"), label("blue", "x")));
+  FormulaPtr dominates_red = forall(
+      "y", Sort::Vertex,
+      implies(label("red", "y"), lor(member("y", "S"), adj("y", "S"))));
+  return land(all_blue, dominates_red);
+}
+
+FormulaPtr feedback_vertex_set() {
+  // G - S is acyclic: no nonempty X disjoint from S whose members all have
+  // two distinct X-neighbors.
+  FormulaPtr inner =
+      exists("y1", Sort::Vertex,
+             exists("y2", Sort::Vertex,
+                    land_all({member("y1", "X"), member("y2", "X"),
+                              lnot(equal("y1", "y2")), adj("x", "y1"),
+                              adj("x", "y2")})));
+  FormulaPtr all_have_two =
+      forall("x", Sort::Vertex, implies(member("x", "X"), inner));
+  return lnot(exists(
+      "X", Sort::VertexSet,
+      land_all({lnot(empty_set("X")), disjoint("X", "S"), all_have_two})));
+}
+
+FormulaPtr spanning_connected() {
+  // every nonempty, non-full X has an F-edge leaving it; and every vertex is
+  // incident to F (so F spans), expressed without raising the rank.
+  FormulaPtr conn = forall(
+      "X", Sort::VertexSet,
+      lor_all({empty_set("X"), full_set("X"), crossing("F", "X")}));
+  FormulaPtr spans = forall(
+      "X", Sort::VertexSet,
+      implies(singleton("X"), lor(inc("X", "F"), full_set("X"))));
+  return land(conn, spans);
+}
+
+FormulaPtr spanning_tree() {
+  // spanning_connected plus acyclicity of F: there is no nonempty F' <= F
+  // whose every incident vertex meets at least two F'-edges.
+  FormulaPtr two_edges =
+      exists("e1", Sort::Edge,
+             exists("e2", Sort::Edge,
+                    land_all({member("e1", "Fp"), member("e2", "Fp"),
+                              lnot(equal("e1", "e2")), inc("x", "e1"),
+                              inc("x", "e2")})));
+  FormulaPtr all_deg2 = forall(
+      "x", Sort::Vertex, implies(inc("x", "Fp"), two_edges));
+  FormulaPtr has_cycle = exists(
+      "Fp", Sort::EdgeSet,
+      land_all({lnot(empty_set("Fp")), subset("Fp", "F"), all_deg2}));
+  return land(spanning_connected(), lnot(has_cycle));
+}
+
+FormulaPtr matching() {
+  FormulaPtr share =
+      exists("x", Sort::Vertex, land(inc("x", "e1"), inc("x", "e2")));
+  return forall(
+      "e1", Sort::Edge,
+      forall("e2", Sort::Edge,
+             implies(land_all({member("e1", "F"), member("e2", "F"),
+                               lnot(equal("e1", "e2"))}),
+                     lnot(share))));
+}
+
+FormulaPtr perfect_matching() {
+  return land(matching(),
+              forall("x", Sort::Vertex, inc("x", "F")));
+}
+
+FormulaPtr edge_dominating_set() {
+  // e in F, or some endpoint of e touches an F-edge.
+  FormulaPtr touched = exists(
+      "x", Sort::Vertex, land(inc("x", "e"), inc("x", "F")));
+  return forall("e", Sort::Edge, lor(member("e", "F"), touched));
+}
+
+FormulaPtr triangle_tuple() {
+  return land_all({singleton("X"), singleton("Y"), singleton("Z"),
+                   adj("X", "Y"), adj("Y", "Z"), adj("X", "Z")});
+}
+
+FormulaPtr independent_set_indicator() { return lnot(adj("S", "S")); }
+
+}  // namespace dmc::mso::lib

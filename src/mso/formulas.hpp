@@ -1,0 +1,110 @@
+// Library of MSO formulas for the graph problems the paper names.
+//
+// Naming: closed formulas decide a graph property; formulas with a free
+// variable named "S" (vertex set) or "F" (edge set) define optimization and
+// counting problems (Sections 4 and 6 of the paper).
+//
+// Where the natural FO encoding has high quantifier rank, a low-rank variant
+// built from the compositional set atomics is also provided; the test suite
+// checks the variants agree with brute-force semantics.
+#pragma once
+
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+
+namespace dmc::mso::lib {
+
+// --- closed formulas (decision, Theorem 6.1 first bullet) -------------------
+
+/// No K3 subgraph (paper Section 1 example). Rank 3.
+FormulaPtr triangle_free();
+
+/// No C4 subgraph (paper's running hard example). Rank 4.
+FormulaPtr c4_free();
+
+/// No copy of H as a subgraph (Corollary 7.3); rank |V(H)|.
+/// If `induced`, forbids induced copies instead.
+FormulaPtr h_free(const Graph& h, bool induced = false);
+
+/// Proper k-colorability; rank k+1.
+FormulaPtr k_colorable(int k);
+
+/// Non-3-colorability (paper Section 1.1). Rank 4.
+FormulaPtr not_3_colorable();
+
+/// Acyclicity, the paper's Section 1 MSO example. Rank 4.
+FormulaPtr acyclic();
+
+/// Connectivity via the border atomic. Rank 1.
+FormulaPtr connected();
+
+/// Some vertex has no neighbor. Rank 2 (FO encoding).
+FormulaPtr has_isolated_vertex();
+
+/// Same property, rank-1 encoding through sing/border.
+FormulaPtr has_isolated_vertex_lowrank();
+
+/// Some vertex has degree >= k (the paper's Omega(n) lower-bound example
+/// uses k = 3). Rank k+1.
+FormulaPtr has_vertex_of_degree_ge(int k);
+
+/// Labeled example from Section 1.1: the red/blue labels form a proper
+/// 2-coloring.
+FormulaPtr properly_2_colored();
+
+/// Contains K_k as a subgraph ("maximum clique" is in the paper's problem
+/// list). Rank k.
+FormulaPtr has_clique(int k);
+
+/// Contains a path on k vertices as a subgraph (relates to treedepth:
+/// td(G) <= d implies no path on 2^d vertices, Lemma 2.5). Rank k.
+FormulaPtr has_path(int k);
+
+/// Cograph recognition: no induced P4. Rank 4.
+FormulaPtr cograph();
+
+/// Max degree <= k everywhere. Rank k+2.
+FormulaPtr max_degree_le(int k);
+
+// --- formulas with free vertex-set variable "S" ------------------------------
+
+FormulaPtr independent_set();           // rank 0
+FormulaPtr independent_set_naive();     // rank 2 FO encoding
+FormulaPtr vertex_cover();              // rank 2
+FormulaPtr dominating_set();            // rank 1
+/// S dominates every red vertex and S is all-blue (Section 6 example).
+FormulaPtr red_blue_dominating_set();   // rank 1
+FormulaPtr feedback_vertex_set();       // rank 4
+FormulaPtr total_dominating_set();      // rank 1: every vertex has an S-neighbor
+FormulaPtr independent_dominating_set();// rank 1
+/// G[S] is connected (allows empty/singleton S). Rank 3.
+FormulaPtr connected_set();
+/// Connected dominating set (backbone): dominating & connected. Rank 3.
+FormulaPtr connected_dominating_set();
+
+// --- formulas with free edge-set variable "F" --------------------------------
+
+/// F makes the graph connected and touches every vertex. Rank 1. With
+/// strictly positive edge weights, min-weight F satisfying this formula is
+/// exactly the MST (no optimal solution contains a cycle).
+FormulaPtr spanning_connected();
+
+/// F is a spanning tree: spanning_connected and F is acyclic. Rank 4.
+FormulaPtr spanning_tree();
+
+FormulaPtr matching();                  // rank 3
+FormulaPtr perfect_matching();          // rank 3
+/// Every edge of G shares an endpoint with some F-edge. Rank 2.
+FormulaPtr edge_dominating_set();
+
+// --- counting formulas (Section 6) -------------------------------------------
+
+/// Free singleton vertex-set variables X, Y, Z forming a triangle; the
+/// number of satisfying assignments is 6 * (#triangles). Rank 0.
+FormulaPtr triangle_tuple();
+
+/// Free vertex-set variable S that is independent; counting its satisfying
+/// assignments counts independent sets. Rank 0.
+FormulaPtr independent_set_indicator();
+
+}  // namespace dmc::mso::lib

@@ -1,0 +1,132 @@
+#include "mso/normalize.hpp"
+
+#include <stdexcept>
+
+namespace dmc::mso {
+
+namespace {
+
+FormulaPtr nnf(const FormulaPtr& f, bool negate);
+
+FormulaPtr nnf_pos(const FormulaPtr& f) { return nnf(f, false); }
+FormulaPtr nnf_neg(const FormulaPtr& f) { return nnf(f, true); }
+
+FormulaPtr nnf(const FormulaPtr& f, bool negate) {
+  switch (f->kind) {
+    case Kind::True:
+      return negate ? f_false() : f_true();
+    case Kind::False:
+      return negate ? f_true() : f_false();
+    case Kind::Not:
+      return nnf(f->left, !negate);
+    case Kind::And:
+      return negate ? lor(nnf_neg(f->left), nnf_neg(f->right))
+                    : land(nnf_pos(f->left), nnf_pos(f->right));
+    case Kind::Or:
+      return negate ? land(nnf_neg(f->left), nnf_neg(f->right))
+                    : lor(nnf_pos(f->left), nnf_pos(f->right));
+    case Kind::Implies:
+      // a -> b == !a | b
+      return negate ? land(nnf_pos(f->left), nnf_neg(f->right))
+                    : lor(nnf_neg(f->left), nnf_pos(f->right));
+    case Kind::Iff:
+      // a <-> b == (a & b) | (!a & !b)
+      if (negate)
+        return lor(land(nnf_pos(f->left), nnf_neg(f->right)),
+                   land(nnf_neg(f->left), nnf_pos(f->right)));
+      return lor(land(nnf_pos(f->left), nnf_pos(f->right)),
+                 land(nnf_neg(f->left), nnf_neg(f->right)));
+    case Kind::Exists:
+      return negate ? forall(f->var, f->var_sort, nnf_neg(f->left))
+                    : exists(f->var, f->var_sort, nnf_pos(f->left));
+    case Kind::Forall:
+      return negate ? exists(f->var, f->var_sort, nnf_neg(f->left))
+                    : forall(f->var, f->var_sort, nnf_pos(f->left));
+    default:  // atoms
+      return negate ? lnot(f) : f;
+  }
+}
+
+}  // namespace
+
+FormulaPtr to_nnf(const FormulaPtr& f) { return nnf(f, false); }
+
+FormulaPtr fold_constants(const FormulaPtr& f) {
+  auto is_true = [](const FormulaPtr& x) { return x->kind == Kind::True; };
+  auto is_false = [](const FormulaPtr& x) { return x->kind == Kind::False; };
+  switch (f->kind) {
+    case Kind::Not: {
+      const FormulaPtr body = fold_constants(f->left);
+      if (is_true(body)) return f_false();
+      if (is_false(body)) return f_true();
+      return lnot(body);
+    }
+    case Kind::And: {
+      const FormulaPtr l = fold_constants(f->left);
+      const FormulaPtr r = fold_constants(f->right);
+      if (is_false(l) || is_false(r)) return f_false();
+      if (is_true(l)) return r;
+      if (is_true(r)) return l;
+      return land(l, r);
+    }
+    case Kind::Or: {
+      const FormulaPtr l = fold_constants(f->left);
+      const FormulaPtr r = fold_constants(f->right);
+      if (is_true(l) || is_true(r)) return f_true();
+      if (is_false(l)) return r;
+      if (is_false(r)) return l;
+      return lor(l, r);
+    }
+    case Kind::Implies: {
+      const FormulaPtr l = fold_constants(f->left);
+      const FormulaPtr r = fold_constants(f->right);
+      if (is_false(l) || is_true(r)) return f_true();
+      if (is_true(l)) return r;
+      if (is_false(r)) return lnot(l);
+      return implies(l, r);
+    }
+    case Kind::Iff: {
+      const FormulaPtr l = fold_constants(f->left);
+      const FormulaPtr r = fold_constants(f->right);
+      if (is_true(l)) return r;
+      if (is_true(r)) return l;
+      if (is_false(l)) return fold_constants(lnot(r));
+      if (is_false(r)) return fold_constants(lnot(l));
+      return iff(l, r);
+    }
+    case Kind::Exists:
+    case Kind::Forall: {
+      const FormulaPtr body = fold_constants(f->left);
+      // Domains are nonempty for vertex-kind sorts only when the graph is
+      // nonempty; set sorts always admit the empty set, so quantifiers over
+      // constant bodies reduce to the constant.
+      if (is_true(body) || is_false(body)) {
+        if (is_set(f->var_sort)) return body;
+        // individual sorts: exists over an empty edge domain could differ;
+        // keep the quantifier to stay conservative.
+      }
+      return f->kind == Kind::Exists ? exists(f->var, f->var_sort, body)
+                                     : forall(f->var, f->var_sort, body);
+    }
+    default:
+      return f;
+  }
+}
+
+FormulaPtr normalize(const FormulaPtr& f) { return fold_constants(to_nnf(f)); }
+
+int formula_size(const Formula& f) {
+  int size = 1;
+  if (f.left) size += formula_size(*f.left);
+  if (f.right) size += formula_size(*f.right);
+  return size;
+}
+
+int count_quantifiers(const Formula& f) {
+  int count = is_quantifier(f.kind) ? 1 : 0;
+  if (f.left) count += count_quantifiers(*f.left);
+  if (f.right) count += count_quantifiers(*f.right);
+  return count;
+}
+
+}  // namespace dmc::mso

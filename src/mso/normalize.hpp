@@ -1,0 +1,30 @@
+// Formula normalization: negation normal form and constant folding.
+//
+// NNF pushes negations to the atoms (dualizing quantifiers and
+// connectives); Implies and Iff are expanded. Constant folding removes
+// True/False subformulas. Both transforms preserve semantics and never
+// increase quantifier rank, which the engine cares about.
+#pragma once
+
+#include "mso/ast.hpp"
+
+namespace dmc::mso {
+
+/// Negation normal form: negations appear only directly above atoms;
+/// no Implies/Iff remain.
+FormulaPtr to_nnf(const FormulaPtr& f);
+
+/// Folds constants: And(True, x) -> x, Or(True, x) -> True,
+/// Not(True) -> False, quantifiers over constant bodies, etc.
+FormulaPtr fold_constants(const FormulaPtr& f);
+
+/// fold_constants(to_nnf(f)).
+FormulaPtr normalize(const FormulaPtr& f);
+
+/// Number of AST nodes.
+int formula_size(const Formula& f);
+
+/// Total number of quantifier nodes (not the rank).
+int count_quantifiers(const Formula& f);
+
+}  // namespace dmc::mso

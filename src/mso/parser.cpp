@@ -1,0 +1,242 @@
+#include "mso/parser.hpp"
+
+#include <cctype>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+namespace dmc::mso {
+
+namespace {
+
+struct Token {
+  enum class Type { Ident, Symbol, End };
+  Type type;
+  std::string text;
+  std::size_t pos;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) { advance(); }
+
+  const Token& peek() const { return current_; }
+
+  Token next() {
+    Token t = current_;
+    advance();
+    return t;
+  }
+
+  [[noreturn]] void fail(const std::string& msg) const {
+    throw std::invalid_argument("MSO parse error at position " +
+                                std::to_string(current_.pos) + ": " + msg +
+                                (current_.type == Token::Type::End
+                                     ? " (at end of input)"
+                                     : " (near '" + current_.text + "')"));
+  }
+
+ private:
+  void advance() {
+    while (i_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[i_])))
+      ++i_;
+    const std::size_t start = i_;
+    if (i_ >= text_.size()) {
+      current_ = {Token::Type::End, "", start};
+      return;
+    }
+    const char c = text_[i_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::size_t j = i_;
+      while (j < text_.size() &&
+             (std::isalnum(static_cast<unsigned char>(text_[j])) ||
+              text_[j] == '_' || text_[j] == '\''))
+        ++j;
+      current_ = {Token::Type::Ident, text_.substr(i_, j - i_), start};
+      i_ = j;
+      return;
+    }
+    // multi-char symbols first
+    for (const char* sym : {"<->", "->", "!="}) {
+      const std::size_t len = std::string(sym).size();
+      if (text_.compare(i_, len, sym) == 0) {
+        current_ = {Token::Type::Symbol, sym, start};
+        i_ += len;
+        return;
+      }
+    }
+    if (std::string("()&|!~=.,").find(c) != std::string::npos) {
+      current_ = {Token::Type::Symbol, std::string(1, c), start};
+      ++i_;
+      return;
+    }
+    throw std::invalid_argument("MSO parse error at position " +
+                                std::to_string(start) +
+                                ": unexpected character '" + c + "'");
+  }
+
+  const std::string& text_;
+  std::size_t i_ = 0;
+  Token current_;
+};
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : lex_(text) {}
+
+  FormulaPtr parse_formula() {
+    FormulaPtr f = parse_iff();
+    if (lex_.peek().type != Token::Type::End)
+      lex_.fail("trailing input after formula");
+    return f;
+  }
+
+ private:
+  bool accept_symbol(const std::string& s) {
+    if (lex_.peek().type == Token::Type::Symbol && lex_.peek().text == s) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  bool accept_ident(const std::string& s) {
+    if (lex_.peek().type == Token::Type::Ident && lex_.peek().text == s) {
+      lex_.next();
+      return true;
+    }
+    return false;
+  }
+
+  void expect_symbol(const std::string& s) {
+    if (!accept_symbol(s)) lex_.fail("expected '" + s + "'");
+  }
+
+  std::string expect_ident() {
+    if (lex_.peek().type != Token::Type::Ident) lex_.fail("expected identifier");
+    return lex_.next().text;
+  }
+
+  FormulaPtr parse_iff() {
+    FormulaPtr f = parse_impl();
+    while (accept_symbol("<->")) f = iff(f, parse_impl());
+    return f;
+  }
+
+  FormulaPtr parse_impl() {
+    FormulaPtr f = parse_or();
+    if (accept_symbol("->")) return implies(f, parse_impl());
+    return f;
+  }
+
+  FormulaPtr parse_or() {
+    FormulaPtr f = parse_and();
+    while (accept_symbol("|") || accept_ident("or")) f = lor(f, parse_and());
+    return f;
+  }
+
+  FormulaPtr parse_and() {
+    FormulaPtr f = parse_unary();
+    while (accept_symbol("&") || accept_ident("and")) f = land(f, parse_unary());
+    return f;
+  }
+
+  std::optional<Sort> sort_keyword() {
+    if (lex_.peek().type != Token::Type::Ident) return std::nullopt;
+    const std::string& t = lex_.peek().text;
+    if (t == "vertex") return Sort::Vertex;
+    if (t == "edge") return Sort::Edge;
+    if (t == "vset") return Sort::VertexSet;
+    if (t == "eset") return Sort::EdgeSet;
+    return std::nullopt;
+  }
+
+  FormulaPtr parse_quantifier(bool is_exists) {
+    std::vector<std::pair<std::string, Sort>> binds;
+    Sort current = Sort::Vertex;
+    bool first = true;
+    do {
+      if (auto s = sort_keyword()) {
+        current = *s;
+        lex_.next();
+      } else if (first) {
+        lex_.fail("expected sort after quantifier");
+      }
+      first = false;
+      binds.emplace_back(expect_ident(), current);
+    } while (accept_symbol(","));
+    expect_symbol(".");
+    FormulaPtr body = parse_iff();
+    for (auto it = binds.rbegin(); it != binds.rend(); ++it)
+      body = is_exists ? exists(it->first, it->second, body)
+                       : forall(it->first, it->second, body);
+    return body;
+  }
+
+  FormulaPtr parse_unary() {
+    if (accept_symbol("!") || accept_symbol("~") || accept_ident("not"))
+      return lnot(parse_unary());
+    if (accept_ident("exists")) return parse_quantifier(true);
+    if (accept_ident("forall")) return parse_quantifier(false);
+    return parse_primary();
+  }
+
+  FormulaPtr parse_primary() {
+    if (accept_symbol("(")) {
+      FormulaPtr f = parse_iff();
+      expect_symbol(")");
+      return f;
+    }
+    if (lex_.peek().type != Token::Type::Ident) lex_.fail("expected atom");
+    const std::string head = lex_.next().text;
+    if (head == "true") return f_true();
+    if (head == "false") return f_false();
+    if (head == "adj" || head == "inc" || head == "sub" || head == "cross" ||
+        head == "disj") {
+      expect_symbol("(");
+      const std::string a = expect_ident();
+      expect_symbol(",");
+      const std::string b = expect_ident();
+      expect_symbol(")");
+      if (head == "adj") return adj(a, b);
+      if (head == "inc") return inc(a, b);
+      if (head == "sub") return subset(a, b);
+      if (head == "disj") return disjoint(a, b);
+      return crossing(a, b);
+    }
+    if (head == "sing" || head == "empty" || head == "full" ||
+        head == "border") {
+      expect_symbol("(");
+      const std::string a = expect_ident();
+      expect_symbol(")");
+      if (head == "sing") return singleton(a);
+      if (head == "empty") return empty_set(a);
+      if (head == "full") return full_set(a);
+      return border(a);
+    }
+    if (head == "label") {
+      expect_symbol("(");
+      const std::string name = expect_ident();
+      expect_symbol(",");
+      const std::string a = expect_ident();
+      expect_symbol(")");
+      return label(name, a);
+    }
+    // infix atoms: head is the left operand variable
+    if (accept_symbol("=")) return equal(head, expect_ident());
+    if (accept_symbol("!=")) return lnot(equal(head, expect_ident()));
+    if (accept_ident("in")) return member(head, expect_ident());
+    lex_.fail("expected '=', '!=' or 'in' after variable '" + head + "'");
+  }
+
+  Lexer lex_;
+};
+
+}  // namespace
+
+FormulaPtr parse(const std::string& text) {
+  Parser p(text);
+  return p.parse_formula();
+}
+
+}  // namespace dmc::mso

@@ -1,0 +1,31 @@
+// Recursive-descent parser for the MSO text syntax.
+//
+// Grammar (precedence low to high: <->, ->, |, &, !, atoms):
+//   formula   := iff
+//   iff       := impl ( '<->' impl )*
+//   impl      := or ( '->' impl )?              (right associative)
+//   or        := and ( ('|'|'or') and )*
+//   and       := unary ( ('&'|'and') unary )*
+//   unary     := ('!'|'not') unary | quantifier | primary
+//   quantifier:= ('exists'|'forall') sort name (',' [sort] name)* '.' formula
+//   primary   := '(' formula ')' | 'true' | 'false' | atom
+//   atom      := adj(t,t) | inc(t,t) | sub(t,t) | sing(t) | empty(t)
+//              | full(t) | cross(t,t) | border(t) | label(name, t)
+//              | t '=' t | t '!=' t | t 'in' t
+//   sort      := 'vertex' | 'edge' | 'vset' | 'eset'
+//
+// A quantifier body extends as far right as possible. `exists vertex x, y`
+// binds both x and y as vertices.
+#pragma once
+
+#include <string>
+
+#include "mso/ast.hpp"
+
+namespace dmc::mso {
+
+/// Parses `text` into a formula; throws std::invalid_argument with a
+/// position-annotated message on syntax errors.
+FormulaPtr parse(const std::string& text);
+
+}  // namespace dmc::mso

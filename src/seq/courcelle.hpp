@@ -1,0 +1,68 @@
+// Sequential model checking, optimization, and counting on tree
+// decompositions: the paper's Algorithm 1 (Lemmas 4.3 and 4.6, plus the
+// counting extension of Section 6), end to end.
+//
+// These functions take *surface* MSO formulas; lowering, engine
+// configuration, plan compilation and folding are handled internally. They
+// are both the reference implementation the distributed protocols are
+// tested against and the local computation each CONGEST node performs.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "mso/ast.hpp"
+#include "td/tree_decomposition.hpp"
+
+namespace dmc::seq {
+
+/// A canonical tree decomposition obtained from a balanced-separator
+/// elimination forest (good depth in practice; the distributed protocols
+/// instead use Algorithm 2's greedy tree, whose depth is bounded by
+/// Lemma 2.5).
+TreeDecomposition decomposition_for(const Graph& g);
+
+/// Does g satisfy the closed formula? Uses the supplied decomposition.
+bool decide(const Graph& g, const mso::FormulaPtr& formula,
+            const TreeDecomposition& td);
+/// Convenience overload computing decomposition_for(g).
+bool decide(const Graph& g, const mso::FormulaPtr& formula);
+
+struct OptResult {
+  Weight weight = 0;
+  std::vector<bool> vertices;  // the optimal set S (vertex-set problems)
+  std::vector<bool> edges;     // the optimal set F (edge-set problems)
+};
+
+/// max φ(S): maximum-weight assignment of the free set variable `var`
+/// (vertex or edge set) satisfying the formula; nullopt if no assignment
+/// satisfies it. Weights are the graph's vertex/edge weights.
+std::optional<OptResult> maximize(const Graph& g,
+                                  const mso::FormulaPtr& formula,
+                                  const std::string& var, mso::Sort var_sort,
+                                  const TreeDecomposition& td);
+std::optional<OptResult> maximize(const Graph& g,
+                                  const mso::FormulaPtr& formula,
+                                  const std::string& var, mso::Sort var_sort);
+
+/// min φ(S): as maximize with negated weights.
+std::optional<OptResult> minimize(const Graph& g,
+                                  const mso::FormulaPtr& formula,
+                                  const std::string& var, mso::Sort var_sort,
+                                  const TreeDecomposition& td);
+std::optional<OptResult> minimize(const Graph& g,
+                                  const mso::FormulaPtr& formula,
+                                  const std::string& var, mso::Sort var_sort);
+
+/// count φ(X̄): number of assignments of the free variables (slot order =
+/// `vars` order) satisfying the formula.
+std::uint64_t count(const Graph& g, const mso::FormulaPtr& formula,
+                    const std::vector<std::pair<std::string, mso::Sort>>& vars,
+                    const TreeDecomposition& td);
+std::uint64_t count(const Graph& g, const mso::FormulaPtr& formula,
+                    const std::vector<std::pair<std::string, mso::Sort>>& vars);
+
+}  // namespace dmc::seq

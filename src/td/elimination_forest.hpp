@@ -1,0 +1,78 @@
+// Elimination forests (paper Definition 2.1) and treedepth utilities.
+//
+// An elimination forest of G is a rooted forest on V(G) such that every edge
+// of G connects an ancestor-descendant pair. The treedepth td(G) is the
+// minimum depth (counted in vertices: a single root has depth 1) of such a
+// forest.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmc {
+
+/// Rooted forest over the vertices of a graph.
+class EliminationForest {
+ public:
+  EliminationForest() = default;
+
+  /// `parent[v] == -1` marks roots. Throws if the parent pointers contain a
+  /// cycle or reference invalid ids.
+  explicit EliminationForest(std::vector<VertexId> parent);
+
+  int num_vertices() const { return static_cast<int>(parent_.size()); }
+  VertexId parent(VertexId v) const { return parent_.at(v); }
+  const std::vector<VertexId>& parents() const { return parent_; }
+  /// Depth of v, in vertices (roots have depth 1).
+  int depth(VertexId v) const { return depth_.at(v); }
+  /// Depth of the forest = max vertex depth.
+  int depth() const;
+  const std::vector<VertexId>& children(VertexId v) const {
+    return children_.at(v);
+  }
+  std::vector<VertexId> roots() const;
+
+  bool is_ancestor(VertexId anc, VertexId v) const;
+
+  /// Strict+self ancestors of v from the root down to v (inclusive).
+  /// This is exactly the canonical bag B_v of Lemma 2.4.
+  std::vector<VertexId> root_path(VertexId v) const;
+
+  /// True iff this forest is a valid elimination forest for g: same vertex
+  /// count and every g-edge joins an ancestor-descendant pair.
+  bool valid_for(const Graph& g) const;
+
+  /// True iff additionally every tree edge {v, parent(v)} is an edge of g
+  /// (the property Algorithm 2 guarantees, used by Lemma 2.5).
+  bool is_subgraph_of(const Graph& g) const;
+
+ private:
+  std::vector<VertexId> parent_;
+  std::vector<int> depth_;
+  std::vector<std::vector<VertexId>> children_;
+};
+
+/// Exact treedepth via memoized recursion on vertex subsets (Lemma 2.2).
+/// Requires g.num_vertices() <= 20 (throws otherwise).
+int exact_treedepth(const Graph& g);
+
+/// Exact treedepth together with an optimal elimination forest.
+std::pair<int, EliminationForest> exact_treedepth_forest(const Graph& g);
+
+/// Balanced-separator heuristic elimination forest: recursively removes, in
+/// each component, the vertex minimizing the largest remaining component
+/// (ties broken by smaller id). Gives depth O(log n) on paths and trees
+/// (centroid decomposition) and near-optimal depth on the bounded-treedepth
+/// families used in the experiments. Works on disconnected graphs.
+EliminationForest balanced_elimination_forest(const Graph& g);
+
+/// Sequential mirror of the distributed Algorithm 2: greedily grows an
+/// elimination tree that is a subtree of g, phase by phase. Returns nullopt
+/// if the construction exceeds `max_depth` phases (which proves
+/// td(g) > log2(max_depth+1), cf. Lemma 2.5). Requires g connected.
+std::optional<EliminationForest> greedy_elimination_tree(const Graph& g,
+                                                         int max_depth);
+
+}  // namespace dmc

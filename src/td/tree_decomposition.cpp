@@ -1,0 +1,96 @@
+#include "td/tree_decomposition.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace dmc {
+
+int TreeDecomposition::width() const {
+  int w = 0;
+  for (const auto& bag : bags) w = std::max<int>(w, static_cast<int>(bag.size()));
+  return w - 1;
+}
+
+std::vector<std::vector<int>> TreeDecomposition::children() const {
+  std::vector<std::vector<int>> ch(num_nodes());
+  for (int i = 0; i < num_nodes(); ++i)
+    if (parent[i] >= 0) ch[parent[i]].push_back(i);
+  return ch;
+}
+
+std::vector<int> TreeDecomposition::topological_order() const {
+  std::vector<int> order;
+  order.reserve(num_nodes());
+  const auto ch = children();
+  for (int i = 0; i < num_nodes(); ++i)
+    if (parent[i] < 0) order.push_back(i);
+  for (std::size_t head = 0; head < order.size(); ++head)
+    for (int c : ch[order[head]]) order.push_back(c);
+  if (static_cast<int>(order.size()) != num_nodes())
+    throw std::logic_error("TreeDecomposition: parent cycle");
+  return order;
+}
+
+bool TreeDecomposition::valid_for(const Graph& g) const {
+  if (static_cast<int>(parent.size()) != num_nodes()) return false;
+  const int n = g.num_vertices();
+  // Bags sorted, in range.
+  for (const auto& bag : bags) {
+    if (!std::is_sorted(bag.begin(), bag.end())) return false;
+    for (VertexId v : bag)
+      if (v < 0 || v >= n) return false;
+    if (std::adjacent_find(bag.begin(), bag.end()) != bag.end()) return false;
+  }
+  // (1) every vertex in some bag.
+  std::vector<bool> seen(n, false);
+  for (const auto& bag : bags)
+    for (VertexId v : bag) seen[v] = true;
+  for (int v = 0; v < n; ++v)
+    if (!seen[v]) return false;
+  // (2) every edge inside some bag.
+  for (const Edge& e : g.edges()) {
+    bool found = false;
+    for (const auto& bag : bags) {
+      if (std::binary_search(bag.begin(), bag.end(), e.u) &&
+          std::binary_search(bag.begin(), bag.end(), e.v)) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  // (3) bags containing any vertex form a connected subtree: check by
+  // counting, for each vertex, the nodes containing it and the tree edges
+  // between two such nodes; connectivity <=> #edges == #nodes - 1.
+  for (int v = 0; v < n; ++v) {
+    int nodes = 0, links = 0;
+    for (int i = 0; i < num_nodes(); ++i) {
+      const bool in_i =
+          std::binary_search(bags[i].begin(), bags[i].end(), v);
+      if (!in_i) continue;
+      ++nodes;
+      if (parent[i] >= 0 &&
+          std::binary_search(bags[parent[i]].begin(), bags[parent[i]].end(), v))
+        ++links;
+    }
+    if (nodes == 0 || links != nodes - 1) return false;
+  }
+  return true;
+}
+
+TreeDecomposition canonical_tree_decomposition(
+    const Graph& g, const EliminationForest& forest) {
+  if (!forest.valid_for(g))
+    throw std::invalid_argument(
+        "canonical_tree_decomposition: forest is not an elimination forest");
+  TreeDecomposition td;
+  td.parent = forest.parents();
+  td.bags.resize(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    td.bags[v] = forest.root_path(v);
+    std::sort(td.bags[v].begin(), td.bags[v].end());
+  }
+  return td;
+}
+
+}  // namespace dmc

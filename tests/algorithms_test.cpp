@@ -1,0 +1,127 @@
+#include "graph/algorithms.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmc {
+namespace {
+
+TEST(Algorithms, BfsDistances) {
+  const Graph g = gen::path(5);
+  const auto dist = bfs_distances(g, 0);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(dist[i], i);
+}
+
+TEST(Algorithms, BfsUnreachable) {
+  const Graph g = gen::disjoint_union(gen::path(2), gen::path(2));
+  const auto dist = bfs_distances(g, 0);
+  EXPECT_EQ(dist[1], 1);
+  EXPECT_EQ(dist[2], -1);
+}
+
+TEST(Algorithms, ConnectedComponents) {
+  const Graph g = gen::disjoint_union(gen::path(3), gen::cycle(4));
+  const auto comp = connected_components(g);
+  EXPECT_EQ(comp[0], comp[2]);
+  EXPECT_EQ(comp[3], comp[6]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_EQ(num_connected_components(g), 2);
+  EXPECT_FALSE(is_connected(g));
+  EXPECT_TRUE(is_connected(gen::path(4)));
+}
+
+TEST(Algorithms, Diameter) {
+  EXPECT_EQ(diameter(gen::path(7)), 6);
+  EXPECT_EQ(diameter(gen::cycle(8)), 4);
+  EXPECT_EQ(diameter(gen::clique(5)), 1);
+  EXPECT_EQ(diameter(gen::star(9)), 2);
+  EXPECT_THROW(diameter(gen::disjoint_union(gen::path(2), gen::path(2))),
+               std::invalid_argument);
+}
+
+TEST(Algorithms, IsAcyclic) {
+  EXPECT_TRUE(is_acyclic(gen::path(5)));
+  EXPECT_TRUE(is_acyclic(gen::binary_tree(3)));
+  EXPECT_FALSE(is_acyclic(gen::cycle(3)));
+  EXPECT_TRUE(is_acyclic(gen::disjoint_union(gen::path(3), gen::path(2))));
+}
+
+TEST(Algorithms, DegeneracyOrder) {
+  const auto [order_tree, k_tree] = degeneracy_order(gen::binary_tree(4));
+  EXPECT_EQ(k_tree, 1);
+  const auto [order_clique, k_clique] = degeneracy_order(gen::clique(5));
+  EXPECT_EQ(k_clique, 4);
+  const auto [order_grid, k_grid] = degeneracy_order(gen::grid(4, 4));
+  EXPECT_EQ(k_grid, 2);
+}
+
+TEST(Algorithms, GreedyColoringIsProper) {
+  const Graph g = gen::grid(4, 4);
+  auto [order, k] = degeneracy_order(g);
+  std::reverse(order.begin(), order.end());
+  const auto color = greedy_coloring(g, order);
+  for (const Edge& e : g.edges()) EXPECT_NE(color[e.u], color[e.v]);
+  for (int c : color) EXPECT_LE(c, k);  // degeneracy+1 colors suffice
+}
+
+TEST(Algorithms, KruskalOnUnitWeightsIsSpanningTree) {
+  const Graph g = gen::grid(3, 3);
+  const auto tree = kruskal_mst(g);
+  EXPECT_TRUE(is_spanning_tree(g, tree));
+  EXPECT_EQ(total_edge_weight(g, tree), 8);
+}
+
+TEST(Algorithms, KruskalPicksLightEdges) {
+  Graph g = gen::cycle(4);
+  g.set_edge_weight(g.edge_id(0, 1), 10);
+  const auto tree = kruskal_mst(g);
+  EXPECT_TRUE(is_spanning_tree(g, tree));
+  EXPECT_EQ(total_edge_weight(g, tree), 3);
+}
+
+TEST(Algorithms, IsSpanningTreeRejects) {
+  const Graph g = gen::cycle(4);
+  // wrong size
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1}));
+  // contains a cycle when all 4 edges present
+  EXPECT_FALSE(is_spanning_tree(g, {0, 1, 2, 3}));
+}
+
+TEST(Algorithms, IsBipartite) {
+  EXPECT_TRUE(is_bipartite(gen::path(6)));
+  EXPECT_TRUE(is_bipartite(gen::cycle(6)));
+  EXPECT_FALSE(is_bipartite(gen::cycle(5)));
+  EXPECT_TRUE(is_bipartite(gen::complete_bipartite(3, 4)));
+  EXPECT_FALSE(is_bipartite(gen::clique(3)));
+  EXPECT_TRUE(is_bipartite(gen::disjoint_union(gen::path(3), gen::cycle(4))));
+  EXPECT_FALSE(is_bipartite(gen::disjoint_union(gen::path(3), gen::cycle(5))));
+}
+
+TEST(Algorithms, Girth) {
+  EXPECT_FALSE(girth(gen::path(5)).has_value());
+  EXPECT_FALSE(girth(gen::binary_tree(3)).has_value());
+  EXPECT_EQ(girth(gen::cycle(7)), 7);
+  EXPECT_EQ(girth(gen::clique(4)), 3);
+  EXPECT_EQ(girth(gen::grid(3, 3)), 4);
+  EXPECT_EQ(girth(gen::complete_bipartite(2, 3)), 4);
+}
+
+TEST(Algorithms, CoreNumbers) {
+  const auto tree = core_numbers(gen::binary_tree(3));
+  for (int c : tree) EXPECT_EQ(c, 1);
+  const auto k4 = core_numbers(gen::clique(4));
+  for (int c : k4) EXPECT_EQ(c, 3);
+  // star: center and leaves all 1-core
+  const auto star = core_numbers(gen::star(5));
+  for (int c : star) EXPECT_EQ(c, 1);
+  // max core == degeneracy
+  gen::Rng rng(5);
+  const Graph g = gen::random_connected(12, 10, rng);
+  const auto cores = core_numbers(g);
+  const auto [order, degeneracy] = degeneracy_order(g);
+  EXPECT_EQ(*std::max_element(cores.begin(), cores.end()), degeneracy);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,135 @@
+// Distributed certification scheme (the Bousquet-Feuilloley-Pierron setting
+// realized on the BPT engine): completeness on honest certificates and
+// soundness against tampering.
+#include "dist/certification.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mso/eval.hpp"
+#include "mso/formulas.hpp"
+
+namespace dmc::dist {
+namespace {
+
+namespace lib = mso::lib;
+
+Graph yes_instance() {
+  // A triangle-free bounded-treedepth graph.
+  gen::Rng rng(12);
+  for (;;) {
+    const Graph g = gen::random_bounded_treedepth(9, 3, 0.3, rng);
+    if (mso::evaluate(g, *lib::triangle_free())) return g;
+  }
+}
+
+TEST(Certification, CompletenessOnYesInstances) {
+  const Graph g = yes_instance();
+  const auto cert = prove_mso(g, lib::triangle_free());
+  const auto result = verify_mso(g, cert);
+  EXPECT_TRUE(result.all_accept);
+  EXPECT_GT(cert.max_certificate_bits, 0);
+}
+
+TEST(Certification, HonestProverOnNoInstanceIsRejectedAtRoot) {
+  // K3 contains a triangle; the root's verdict check must fail.
+  const Graph g = gen::clique(3);
+  const auto cert = prove_mso(g, lib::triangle_free());
+  const auto result = verify_mso(g, cert);
+  EXPECT_FALSE(result.all_accept);
+}
+
+TEST(Certification, SoundnessAgainstForgedVerdict) {
+  // Flip the root's accepting bit and class on a no-instance: some check
+  // must still fail (the class recomputation pins the truth).
+  const Graph g = gen::clique(3);
+  auto cert = prove_mso(g, lib::triangle_free());
+  for (auto& c : cert.certs) {
+    if (c.path.size() == 1) c.accepting = true;
+  }
+  EXPECT_FALSE(verify_mso(g, cert).all_accept);
+}
+
+TEST(Certification, SoundnessAgainstForgedClass) {
+  const Graph g = yes_instance();
+  auto cert = prove_mso(g, lib::triangle_free());
+  ASSERT_TRUE(verify_mso(g, cert).all_accept);
+  // Corrupt one node's class claim.
+  cert.certs[g.num_vertices() / 2].subtree_class += 1;
+  EXPECT_FALSE(verify_mso(g, cert).all_accept);
+}
+
+TEST(Certification, SoundnessAgainstForgedPath) {
+  const Graph g = yes_instance();
+  auto cert = prove_mso(g, lib::triangle_free());
+  ASSERT_TRUE(verify_mso(g, cert).all_accept);
+  // Swap two entries in a deep node's path.
+  for (auto& c : cert.certs) {
+    if (c.path.size() >= 3) {
+      std::swap(c.path[0], c.path[1]);
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_mso(g, cert).all_accept);
+}
+
+TEST(Certification, SoundnessAgainstForgedAdjacency) {
+  const Graph g = yes_instance();
+  auto cert = prove_mso(g, lib::triangle_free());
+  ASSERT_TRUE(verify_mso(g, cert).all_accept);
+  // Claim a nonexistent bag edge at a deep node (or drop an existing one).
+  for (auto& c : cert.certs) {
+    if (c.path.size() >= 2) {
+      c.bag_adj ^= 1ull;  // flip the (0,1) pair
+      break;
+    }
+  }
+  EXPECT_FALSE(verify_mso(g, cert).all_accept);
+}
+
+TEST(Certification, LabeledFormulas) {
+  // Proper red/blue coloring of a star, certified; then corrupt a label.
+  Graph g = gen::star(4);
+  g.set_vertex_label("red", 0);
+  for (VertexId v = 1; v <= 4; ++v) g.set_vertex_label("blue", v);
+  auto cert = prove_mso(g, lib::properly_2_colored());
+  EXPECT_TRUE(verify_mso(g, cert).all_accept);
+  // Tamper: claim a wrong label for an ancestor in some deep certificate.
+  bool tampered = false;
+  for (auto& c : cert.certs) {
+    if (c.path.size() >= 2 && !c.vlabels.empty()) {
+      c.vlabels[0] ^= 3u;  // flip red/blue of the root entry
+      tampered = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(tampered);
+  EXPECT_FALSE(verify_mso(g, cert).all_accept);
+}
+
+TEST(Certification, CertificateSizeIsLogarithmicForFixedTreedepth) {
+  // Same family, growing n: certificate bits grow like log n.
+  long bits_small = 0, bits_large = 0;
+  {
+    gen::Rng rng(5);
+    const Graph g = gen::random_bounded_treedepth(16, 3, 0.3, rng);
+    bits_small = prove_mso(g, lib::connected()).max_certificate_bits;
+  }
+  {
+    gen::Rng rng(5);
+    const Graph g = gen::random_bounded_treedepth(256, 3, 0.3, rng);
+    bits_large = prove_mso(g, lib::connected()).max_certificate_bits;
+  }
+  EXPECT_GT(bits_small, 0);
+  EXPECT_LE(bits_large, 2 * bits_small);  // log factor only
+}
+
+TEST(Certification, RejectsDisconnected) {
+  EXPECT_THROW(
+      prove_mso(gen::disjoint_union(gen::path(2), gen::path(2)),
+                lib::connected()),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc::dist

@@ -1,0 +1,95 @@
+#include "congest/primitives.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "graph/algorithms.hpp"
+#include "graph/generators.hpp"
+
+namespace dmc::congest {
+namespace {
+
+TEST(Primitives, LeaderElectionOnVariousTopologies) {
+  for (unsigned seed : {0u, 3u, 9u}) {
+    for (const Graph& g :
+         {gen::path(9), gen::cycle(8), gen::star(7), gen::grid(3, 4)}) {
+      Network net(g, {.id_seed = seed});
+      const auto result = run_leader_election(net, g.num_vertices());
+      EXPECT_EQ(result.leader, 0);
+      for (VertexId known : result.known) EXPECT_EQ(known, 0);
+    }
+  }
+}
+
+TEST(Primitives, LeaderElectionInsufficientBudgetIsPartial) {
+  // One flooding round on a long path cannot inform the far end.
+  Network net(gen::path(10), {.id_seed = 5});
+  const auto result = run_leader_election(net, 1);
+  bool someone_wrong = false;
+  for (VertexId known : result.known) someone_wrong |= known != 0;
+  EXPECT_TRUE(someone_wrong);
+}
+
+TEST(Primitives, BfsTreeDepthsAreHopDistances) {
+  const Graph g = gen::grid(4, 5);
+  Network net(g, {.id_seed = 2});
+  const auto tree = run_bfs_tree(net, g.num_vertices());
+  const int root_vertex = net.vertex_of_id(tree.root_id);
+  const auto dist = bfs_distances(g, root_vertex);
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_EQ(tree.depth[v], dist[v]) << "v=" << v;
+    if (v == root_vertex) {
+      EXPECT_EQ(tree.parent[v], -1);
+    } else {
+      ASSERT_GE(tree.parent[v], 0);
+      EXPECT_TRUE(g.has_edge(v, tree.parent[v]));
+      EXPECT_EQ(tree.depth[v], tree.depth[tree.parent[v]] + 1);
+    }
+  }
+}
+
+TEST(Primitives, BroadcastReachesEveryone) {
+  const Graph g = gen::binary_tree(4);
+  Network net(g, {.id_seed = 4});
+  const auto tree = run_bfs_tree(net, g.num_vertices());
+  const auto result = run_broadcast(net, tree, 1234567);
+  for (auto v : result.received) EXPECT_EQ(v, 1234567);
+}
+
+TEST(Primitives, AggregateSumAndMax) {
+  const Graph g = gen::caterpillar(4, 2);
+  Network net(g, {.id_seed = 6});
+  const auto tree = run_bfs_tree(net, g.num_vertices());
+  std::vector<std::int64_t> values(g.num_vertices());
+  std::iota(values.begin(), values.end(), 1);  // 1..n
+  const auto result = run_aggregate(net, tree, values);
+  const std::int64_t n = g.num_vertices();
+  EXPECT_EQ(result.sum, n * (n + 1) / 2);
+  EXPECT_EQ(result.max, n);
+}
+
+TEST(Primitives, AggregateSingleVertex) {
+  Network net(Graph(1));
+  const auto tree = run_bfs_tree(net, 1);
+  const auto result = run_aggregate(net, tree, {42});
+  EXPECT_EQ(result.sum, 42);
+  EXPECT_EQ(result.max, 42);
+}
+
+TEST(Primitives, RoundsScaleWithDiameterNotN) {
+  // Stars of different sizes have the same diameter.
+  long small = 0, large = 0;
+  {
+    Network net(gen::star(8));
+    small = run_bfs_tree(net, 3).rounds;
+  }
+  {
+    Network net(gen::star(64));
+    large = run_bfs_tree(net, 3).rounds;
+  }
+  EXPECT_EQ(small, large);
+}
+
+}  // namespace
+}  // namespace dmc::congest

@@ -1,0 +1,114 @@
+// Low-treedepth decomposition + H-freeness pipeline (Theorem 7.2 interface,
+// Corollary 7.3).
+#include "dist/hfreeness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "td/elimination_forest.hpp"
+
+namespace dmc::dist {
+namespace {
+
+TEST(LowTdDecomposition, PartsAndShape) {
+  const Graph g = gen::grid(6, 6);
+  const auto d = grid_low_td_decomposition(g, 6, 6, 3);
+  EXPECT_EQ(d.num_parts, 16);
+  for (int part : d.part) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 16);
+  }
+}
+
+TEST(LowTdDecomposition, UnionsOfPPartsHaveBoundedTreedepth) {
+  // The decomposition guarantee (Theorem 7.2 analogue): every union of at
+  // most p parts induces a subgraph of treedepth <= p^2. Verified exactly
+  // per connected component.
+  const int p = 3;
+  gen::Rng rng(1);
+  const Graph g = gen::perturbed_grid(7, 7, 8, rng);
+  const auto d = grid_low_td_decomposition(g, 7, 7, p);
+  // Sample p-subsets (exhaustive is large; fixed representative sample).
+  const std::vector<std::vector<int>> subsets = {
+      {0, 1, 2}, {0, 4, 8}, {5, 10, 15}, {3, 7, 11}, {2, 9, 14}, {1, 6, 12}};
+  for (const auto& subset : subsets) {
+    std::vector<bool> chosen(d.num_parts, false);
+    for (int i : subset) chosen[i] = true;
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (chosen[d.part[v]]) members.push_back(v);
+    if (members.empty()) continue;
+    const Graph gi = g.induced_subgraph(members);
+    // per-component exact treedepth (components are small by construction)
+    const auto comp = connected_components(gi);
+    const int num_comp =
+        comp.empty() ? 0 : 1 + *std::max_element(comp.begin(), comp.end());
+    for (int c = 0; c < num_comp; ++c) {
+      std::vector<VertexId> cm;
+      for (VertexId v = 0; v < gi.num_vertices(); ++v)
+        if (comp[v] == c) cm.push_back(v);
+      ASSERT_LE(cm.size(), static_cast<std::size_t>(p * p));
+      EXPECT_LE(exact_treedepth(gi.induced_subgraph(cm)), p * p);
+    }
+  }
+}
+
+TEST(LowTdDecomposition, RejectsBadInput) {
+  EXPECT_THROW(grid_low_td_decomposition(gen::grid(3, 3), 2, 3, 3),
+               std::invalid_argument);
+  Graph long_edge = gen::path(3);  // laid out as a 1x3 grid
+  long_edge.add_edge(0, 2);        // spans two cells
+  EXPECT_THROW(grid_low_td_decomposition(long_edge, 1, 3, 2),
+               std::invalid_argument);
+}
+
+TEST(HFreeness, TriangleDetectionOnGrids) {
+  const Graph triangle = gen::clique(3);
+  {
+    // Pure grid: triangle-free.
+    const auto out =
+        run_h_freeness_grid(gen::grid(5, 5), 5, 5, triangle, /*td=*/4);
+    EXPECT_TRUE(out.h_free);
+    EXPECT_GT(out.num_subsets, 0);
+  }
+  {
+    // Perturbed grid with diagonals: contains triangles.
+    gen::Rng rng(3);
+    const Graph g = gen::perturbed_grid(5, 5, 10, rng);
+    ASSERT_TRUE(exact::contains_subgraph(g, triangle));
+    const auto out = run_h_freeness_grid(g, 5, 5, triangle, 4);
+    EXPECT_FALSE(out.h_free);
+  }
+}
+
+TEST(HFreeness, MatchesOracleOnPerturbedGrids) {
+  const Graph triangle = gen::clique(3);
+  for (unsigned seed = 1; seed <= 4; ++seed) {
+    gen::Rng rng(seed);
+    const Graph g = gen::perturbed_grid(4, 5, static_cast<int>(seed), rng);
+    const auto out = run_h_freeness_grid(g, 4, 5, triangle, 4);
+    EXPECT_EQ(out.h_free, !exact::contains_subgraph(g, triangle))
+        << "seed=" << seed;
+  }
+}
+
+TEST(HFreeness, PathOfLength3Detection) {
+  // P3 (2 edges) exists in any grid with >= 3 vertices in a line.
+  const auto out =
+      run_h_freeness_grid(gen::grid(4, 4), 4, 4, gen::path(3), 4);
+  EXPECT_FALSE(out.h_free);
+}
+
+TEST(HFreeness, RoundsScaleReport) {
+  // The per-run rounds are bounded by the treedepth budget, not n.
+  const Graph triangle = gen::clique(3);
+  const auto small = run_h_freeness_grid(gen::grid(4, 4), 4, 4, triangle, 4);
+  const auto large = run_h_freeness_grid(gen::grid(8, 8), 8, 8, triangle, 4);
+  EXPECT_LE(large.max_run_rounds, 2 * std::max(small.max_run_rounds, 1L));
+  EXPECT_EQ(small.num_subsets, large.num_subsets);
+}
+
+}  // namespace
+}  // namespace dmc::dist

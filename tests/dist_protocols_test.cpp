@@ -1,0 +1,362 @@
+// End-to-end distributed protocol tests (Theorem 6.1 and Section 6):
+// decision, optimization, counting, optmarked, bags, baseline — all checked
+// against the sequential reference / exact oracles.
+#include <gtest/gtest.h>
+
+#include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/baseline.hpp"
+#include "dist/counting.hpp"
+#include "dist/decision.hpp"
+#include "dist/elim_tree.hpp"
+#include "dist/optimization.hpp"
+#include "dist/optmarked.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "mso/eval.hpp"
+#include "mso/formulas.hpp"
+#include "seq/courcelle.hpp"
+#include "td/elimination_forest.hpp"
+
+namespace dmc::dist {
+namespace {
+
+using mso::Sort;
+namespace lib = mso::lib;
+
+Graph btd_graph(unsigned seed, int n = 10, int d = 3, double p = 0.4) {
+  gen::Rng rng(seed);
+  return gen::random_bounded_treedepth(n, d, p, rng);
+}
+
+// --- bags (Lemma 5.3) ---------------------------------------------------------
+
+TEST(DistBags, BagsMatchCanonicalDecomposition) {
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    const Graph g = btd_graph(seed);
+    congest::Network net(g, {.id_seed = seed});
+    const auto tree = run_elim_tree(net, 3);
+    ASSERT_TRUE(tree.success);
+    const auto bags = run_bags(net, tree, {}, {});
+    const EliminationForest forest(tree.parent);
+    for (int v = 0; v < g.num_vertices(); ++v) {
+      // Expected bag: ids of the root path of v.
+      std::vector<VertexId> expected;
+      for (VertexId u : forest.root_path(v))
+        expected.push_back(net.id_of_vertex(u));
+      std::sort(expected.begin(), expected.end());
+      EXPECT_EQ(bags.bags[v].bag, expected) << "v=" << v;
+      // Edges of G[B_v] present.
+      int expected_edges = 0;
+      for (std::size_t i = 0; i < expected.size(); ++i)
+        for (std::size_t j = i + 1; j < expected.size(); ++j)
+          if (g.has_edge(net.vertex_of_id(expected[i]),
+                         net.vertex_of_id(expected[j])))
+            ++expected_edges;
+      EXPECT_EQ(static_cast<int>(bags.bags[v].edges.size()), expected_edges);
+    }
+  }
+}
+
+TEST(DistBags, CarriesWeightsAndLabels) {
+  Graph g = gen::path(4);
+  g.set_vertex_weight(0, 7);
+  g.set_vertex_label("red", 0);
+  g.set_edge_weight(g.edge_id(0, 1), 5);
+  g.set_edge_label("mark", g.edge_id(0, 1));
+  congest::Network net(g);
+  const auto tree = run_elim_tree(net, 3);
+  ASSERT_TRUE(tree.success);
+  const auto bags = run_bags(net, tree, {"red"}, {"mark"});
+  // Deepest node's bag contains everything on its root path; find a vertex
+  // whose bag contains vertex 0 and check the attributes survived.
+  bool checked_vertex = false, checked_edge = false;
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto& b = bags.bags[v];
+    for (std::size_t i = 0; i < b.bag.size(); ++i) {
+      if (net.vertex_of_id(b.bag[i]) == 0) {
+        EXPECT_EQ(b.weights[i], 7);
+        EXPECT_EQ(b.vlabel_bits[i], 1u);
+        checked_vertex = true;
+      }
+    }
+    for (const auto& e : b.edges) {
+      const int a = net.vertex_of_id(b.bag[e.i]);
+      const int bb = net.vertex_of_id(b.bag[e.j]);
+      if ((a == 0 && bb == 1) || (a == 1 && bb == 0)) {
+        EXPECT_EQ(e.weight, 5);
+        EXPECT_EQ(e.elabel_bits, 1u);
+        checked_edge = true;
+      }
+    }
+  }
+  EXPECT_TRUE(checked_vertex);
+  EXPECT_TRUE(checked_edge);
+}
+
+// --- decision (Theorem 6.1) ----------------------------------------------------
+
+class DistDecision
+    : public ::testing::TestWithParam<std::pair<const char*, mso::FormulaPtr>> {
+};
+
+TEST_P(DistDecision, AgreesWithBruteForce) {
+  const auto& [name, formula] = GetParam();
+  for (unsigned seed = 0; seed < 6; ++seed) {
+    const Graph g = btd_graph(seed, 9, 3, 0.35);
+    congest::Network net(g, {.id_seed = seed * 13 + 1});
+    const auto outcome = run_decision(net, formula, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded) << name << " seed=" << seed;
+    EXPECT_EQ(outcome.holds, mso::evaluate(g, *formula))
+        << name << " seed=" << seed << " " << g.to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FormulaLibrary, DistDecision,
+    ::testing::Values(
+        std::make_pair("triangle_free", lib::triangle_free()),
+        std::make_pair("connected", lib::connected()),
+        std::make_pair("two_colorable", lib::k_colorable(2)),
+        std::make_pair("isolated_lowrank", lib::has_isolated_vertex_lowrank())),
+    [](const auto& info) { return info.param.first; });
+
+TEST(DistDecisionSuite, AcyclicOnSmallGraphs) {
+  for (unsigned seed = 0; seed < 3; ++seed) {
+    const Graph g = btd_graph(seed + 50, 6, 2, 0.5);
+    congest::Network net(g);
+    const auto outcome = run_decision(net, lib::acyclic(), 2);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    EXPECT_EQ(outcome.holds, mso::evaluate(g, *lib::acyclic()));
+  }
+}
+
+TEST(DistDecisionSuite, LabeledColoring) {
+  Graph g = gen::star(4);
+  g.set_vertex_label("red", 0);
+  for (int v = 1; v <= 4; ++v) g.set_vertex_label("blue", v);
+  congest::Network net(g);
+  const auto ok = run_decision(net, lib::properly_2_colored(), 2);
+  ASSERT_FALSE(ok.treedepth_exceeded);
+  EXPECT_TRUE(ok.holds);
+
+  g.set_vertex_label("blue", 1, false);
+  g.set_vertex_label("red", 1);
+  congest::Network net2(g);
+  const auto bad = run_decision(net2, lib::properly_2_colored(), 2);
+  EXPECT_FALSE(bad.holds);
+}
+
+TEST(DistDecisionSuite, TreedepthBudgetRespected) {
+  congest::Network net(gen::path(15));  // td 4
+  const auto outcome = run_decision(net, lib::connected(), 2);
+  EXPECT_TRUE(outcome.treedepth_exceeded);
+}
+
+TEST(DistDecisionSuite, RoundsIndependentOfNOnStars) {
+  // Theorem 6.1: rounds depend on d and phi only.
+  long rounds_small = 0, rounds_large = 0;
+  {
+    congest::Network net(gen::star(8));
+    rounds_small = run_decision(net, lib::connected(), 2).total_rounds();
+  }
+  {
+    congest::Network net(gen::star(80));
+    rounds_large = run_decision(net, lib::connected(), 2).total_rounds();
+  }
+  // Bags payloads depend on bag size (= depth <= 4), not on n; identical
+  // structure => identical rounds.
+  EXPECT_EQ(rounds_small, rounds_large);
+}
+
+TEST(DistDecisionSuite, ClassMessagesAreSmall) {
+  const Graph g = btd_graph(3, 12, 3, 0.4);
+  congest::Network net(g);
+  const auto outcome = run_decision(net, lib::connected(), 3);
+  ASSERT_FALSE(outcome.treedepth_exceeded);
+  EXPECT_GT(outcome.num_classes, 0u);
+  EXPECT_LE(outcome.max_class_bits, 32);
+}
+
+// --- optimization ---------------------------------------------------------------
+
+TEST(DistOptimization, MaxIndependentSetMatchesOracle) {
+  for (unsigned seed = 0; seed < 5; ++seed) {
+    gen::Rng rng(seed);
+    Graph g = gen::random_bounded_treedepth(9, 3, 0.4, rng);
+    gen::randomize_weights(g, 1, 5, rng);
+    congest::Network net(g, {.id_seed = seed + 1});
+    const auto outcome =
+        run_maximize(net, lib::independent_set(), "S", Sort::VertexSet, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    ASSERT_TRUE(outcome.best_weight.has_value());
+    EXPECT_EQ(*outcome.best_weight, exact::max_weight_independent_set(g))
+        << "seed=" << seed;
+    // Reconstructed set is independent with the claimed weight.
+    Weight w = 0;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (outcome.vertices[v]) w += g.vertex_weight(v);
+    EXPECT_EQ(w, *outcome.best_weight);
+    for (const Edge& e : g.edges())
+      EXPECT_FALSE(outcome.vertices[e.u] && outcome.vertices[e.v]);
+  }
+}
+
+TEST(DistOptimization, MinDominatingSetMatchesOracle) {
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    const Graph g = btd_graph(seed + 20, 8, 3, 0.35);
+    congest::Network net(g);
+    const auto outcome =
+        run_minimize(net, lib::dominating_set(), "S", Sort::VertexSet, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    ASSERT_TRUE(outcome.best_weight.has_value());
+    EXPECT_EQ(*outcome.best_weight, exact::min_weight_dominating_set(g));
+    // Marked set dominates.
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      bool dominated = outcome.vertices[v];
+      for (auto [w, e] : g.incident(v)) dominated |= outcome.vertices[w];
+      EXPECT_TRUE(dominated) << "v=" << v;
+    }
+  }
+}
+
+TEST(DistOptimization, DistributedMstMatchesKruskal) {
+  for (unsigned seed = 0; seed < 3; ++seed) {
+    gen::Rng rng(seed + 40);
+    Graph g = gen::random_bounded_treedepth(7, 3, 0.5, rng);
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      g.set_edge_weight(e, 1 + static_cast<Weight>((seed * 7 + e * 13) % 9));
+    congest::Network net(g);
+    const auto outcome =
+        run_minimize(net, lib::spanning_connected(), "F", Sort::EdgeSet, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    ASSERT_TRUE(outcome.best_weight.has_value());
+    EXPECT_EQ(*outcome.best_weight, exact::min_weight_spanning_tree(g));
+    std::vector<EdgeId> chosen;
+    for (EdgeId e = 0; e < g.num_edges(); ++e)
+      if (outcome.edges[e]) chosen.push_back(e);
+    EXPECT_TRUE(is_spanning_tree(g, chosen)) << "seed=" << seed;
+  }
+}
+
+TEST(DistOptimization, InfeasibleFormulaReportsNoSolution) {
+  const Graph g = gen::path(4);
+  congest::Network net(g);
+  const auto f = mso::land(mso::singleton("S"), mso::empty_set("S"));
+  const auto outcome = run_maximize(net, f, "S", Sort::VertexSet, 3);
+  ASSERT_FALSE(outcome.treedepth_exceeded);
+  EXPECT_FALSE(outcome.best_weight.has_value());
+}
+
+// --- counting -------------------------------------------------------------------
+
+TEST(DistCounting, IndependentSetsMatchOracle) {
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    const Graph g = btd_graph(seed + 60, 8, 3, 0.4);
+    congest::Network net(g, {.id_seed = seed + 5});
+    const auto outcome = run_count(net, lib::independent_set_indicator(),
+                                   {{"S", Sort::VertexSet}}, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    EXPECT_EQ(outcome.count, exact::count_independent_sets(g));
+  }
+}
+
+TEST(DistCounting, TrianglesMatchOracle) {
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    const Graph g = btd_graph(seed + 70, 8, 3, 0.6);
+    congest::Network net(g);
+    const auto outcome = run_count(net, lib::triangle_tuple(),
+                                   {{"X", Sort::VertexSet},
+                                    {"Y", Sort::VertexSet},
+                                    {"Z", Sort::VertexSet}},
+                                   3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    EXPECT_EQ(outcome.count, 6 * exact::count_triangles(g)) << "seed=" << seed;
+  }
+}
+
+// --- optmarked (Section 6) -------------------------------------------------------
+
+TEST(DistOptMarked, AcceptsOptimalIndependentSetRejectsOthers) {
+  const Graph base = btd_graph(80, 8, 3, 0.4);
+  // Compute an optimal independent set sequentially and mark it.
+  const auto opt =
+      seq::maximize(base, lib::independent_set(), "S", Sort::VertexSet);
+  ASSERT_TRUE(opt.has_value());
+  {
+    Graph g = base;
+    for (VertexId v = 0; v < g.num_vertices(); ++v)
+      if (opt->vertices[v]) g.set_vertex_label("marked", v);
+    congest::Network net(g);
+    const auto outcome =
+        run_optmarked(net, lib::independent_set(), "S", Sort::VertexSet, 3);
+    ASSERT_FALSE(outcome.treedepth_exceeded);
+    EXPECT_TRUE(outcome.satisfies);
+    EXPECT_TRUE(outcome.is_optimal);
+    EXPECT_EQ(outcome.marked_weight, opt->weight);
+  }
+  {
+    // Empty marked set: satisfies (independent) but not optimal.
+    congest::Network net(base);
+    const auto outcome =
+        run_optmarked(net, lib::independent_set(), "S", Sort::VertexSet, 3);
+    EXPECT_TRUE(outcome.satisfies);
+    EXPECT_FALSE(outcome.is_optimal);
+  }
+  {
+    // Mark two adjacent vertices: not even independent.
+    Graph g = base;
+    ASSERT_GT(g.num_edges(), 0);
+    g.set_vertex_label("marked", g.edge(0).u);
+    g.set_vertex_label("marked", g.edge(0).v);
+    congest::Network net(g);
+    const auto outcome =
+        run_optmarked(net, lib::independent_set(), "S", Sort::VertexSet, 3);
+    EXPECT_FALSE(outcome.satisfies);
+    EXPECT_FALSE(outcome.is_optimal);
+  }
+}
+
+TEST(DistOptMarked, VerifiesMarkedMst) {
+  gen::Rng rng(90);
+  Graph g = gen::random_bounded_treedepth(7, 3, 0.5, rng);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    g.set_edge_weight(e, 1 + static_cast<Weight>((e * 17) % 7));
+  const auto mst = kruskal_mst(g);
+  for (EdgeId e : mst) g.set_edge_label("marked", e);
+  congest::Network net(g);
+  const auto outcome = run_optmarked(net, lib::spanning_connected(), "F",
+                                     Sort::EdgeSet, 3, /*minimize=*/true);
+  ASSERT_FALSE(outcome.treedepth_exceeded);
+  EXPECT_TRUE(outcome.satisfies);
+  EXPECT_TRUE(outcome.is_optimal);
+  EXPECT_EQ(outcome.marked_weight, total_edge_weight(g, mst));
+}
+
+// --- baseline --------------------------------------------------------------------
+
+TEST(DistBaseline, AgreesWithSequential) {
+  for (unsigned seed = 0; seed < 4; ++seed) {
+    const Graph g = btd_graph(seed + 100, 9, 3, 0.4);
+    congest::Network net(g, {.id_seed = seed + 2});
+    const auto outcome = run_gather_baseline(net, lib::triangle_free());
+    EXPECT_EQ(outcome.holds, mso::evaluate(g, *lib::triangle_free()));
+  }
+}
+
+TEST(DistBaseline, RoundsGrowWithN) {
+  long small = 0, large = 0;
+  {
+    congest::Network net(gen::star(8));
+    small = run_gather_baseline(net, lib::connected()).rounds;
+  }
+  {
+    congest::Network net(gen::star(64));
+    large = run_gather_baseline(net, lib::connected()).rounds;
+  }
+  EXPECT_GT(large, 2 * small);
+}
+
+}  // namespace
+}  // namespace dmc::dist

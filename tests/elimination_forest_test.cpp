@@ -1,0 +1,108 @@
+#include "td/elimination_forest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.hpp"
+
+namespace dmc {
+namespace {
+
+TEST(EliminationForest, DepthsAndChildren) {
+  // 0 is root; 1,2 children of 0; 3 child of 2.
+  EliminationForest f({-1, 0, 0, 2});
+  EXPECT_EQ(f.depth(0), 1);
+  EXPECT_EQ(f.depth(1), 2);
+  EXPECT_EQ(f.depth(3), 3);
+  EXPECT_EQ(f.depth(), 3);
+  EXPECT_EQ(f.children(0).size(), 2u);
+  EXPECT_EQ(f.roots(), std::vector<VertexId>{0});
+  EXPECT_TRUE(f.is_ancestor(0, 3));
+  EXPECT_TRUE(f.is_ancestor(2, 3));
+  EXPECT_TRUE(f.is_ancestor(3, 3));
+  EXPECT_FALSE(f.is_ancestor(1, 3));
+  EXPECT_EQ(f.root_path(3), (std::vector<VertexId>{0, 2, 3}));
+}
+
+TEST(EliminationForest, RejectsCycles) {
+  EXPECT_THROW(EliminationForest({1, 0}), std::invalid_argument);
+  EXPECT_THROW(EliminationForest({0}), std::invalid_argument);
+  EXPECT_THROW(EliminationForest({5}), std::invalid_argument);
+}
+
+TEST(EliminationForest, ValidFor) {
+  // P4: 0-1-2-3. A path elimination tree 0>1>2>3 is valid.
+  const Graph g = gen::path(4);
+  EliminationForest chain({-1, 0, 1, 2});
+  EXPECT_TRUE(chain.valid_for(g));
+  EXPECT_TRUE(chain.is_subgraph_of(g));
+  // Star forest rooted at 0 with all others children: edge 2-3 is not
+  // ancestor-descendant.
+  EliminationForest star({-1, 0, 0, 0});
+  EXPECT_FALSE(star.valid_for(g));
+}
+
+TEST(ExactTreedepth, KnownValues) {
+  EXPECT_EQ(exact_treedepth(Graph(1)), 1);
+  EXPECT_EQ(exact_treedepth(gen::clique(4)), 4);
+  EXPECT_EQ(exact_treedepth(gen::star(5)), 2);
+  EXPECT_EQ(exact_treedepth(gen::cycle(4)), 3);
+  // td(P_n) = ceil(log2(n+1)) (paper, Section 2)
+  for (int n = 1; n <= 16; ++n) {
+    const int expected = static_cast<int>(std::ceil(std::log2(n + 1)));
+    EXPECT_EQ(exact_treedepth(gen::path(n)), expected) << "P_" << n;
+  }
+}
+
+TEST(ExactTreedepth, DisconnectedTakesMax) {
+  const Graph g = gen::disjoint_union(gen::clique(3), gen::path(2));
+  EXPECT_EQ(exact_treedepth(g), 3);
+}
+
+TEST(ExactTreedepthForest, ForestIsValidAndOptimal) {
+  gen::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::random_connected(9, 4, rng);
+    const auto [td, forest] = exact_treedepth_forest(g);
+    EXPECT_TRUE(forest.valid_for(g));
+    EXPECT_EQ(forest.depth(), td);
+  }
+}
+
+TEST(GreedyEliminationTree, ValidSubtreeWithinDepthBound) {
+  gen::Rng rng(11);
+  for (int trial = 0; trial < 20; ++trial) {
+    const Graph g = gen::random_connected(12, 6, rng);
+    const int td = exact_treedepth(g);
+    const auto forest = greedy_elimination_tree(g, (1 << td) - 1);
+    ASSERT_TRUE(forest.has_value()) << "td=" << td;
+    EXPECT_TRUE(forest->valid_for(g));
+    EXPECT_TRUE(forest->is_subgraph_of(g));
+    // Lemma 2.5: depth < 2^td
+    EXPECT_LT(forest->depth(), 1 << td);
+  }
+}
+
+TEST(GreedyEliminationTree, ReportsWhenDepthBoundExceeded) {
+  // P_15 has treedepth 4; an elimination tree that is a subtree of a path
+  // rooted at an endpoint is the path itself (depth 15), so with the budget
+  // for d=2 (max depth 3) the construction must give up.
+  const auto forest = greedy_elimination_tree(gen::path(15), (1 << 2) - 1);
+  EXPECT_FALSE(forest.has_value());
+}
+
+TEST(GreedyEliminationTree, HandlesSingleVertex) {
+  const auto forest = greedy_elimination_tree(Graph(1), 1);
+  ASSERT_TRUE(forest.has_value());
+  EXPECT_EQ(forest->depth(), 1);
+}
+
+TEST(GreedyEliminationTree, RejectsDisconnected) {
+  EXPECT_THROW(
+      greedy_elimination_tree(gen::disjoint_union(gen::path(2), gen::path(2)), 10),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,102 @@
+#include "graph/exact.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmc {
+namespace {
+
+TEST(Exact, ContainsSubgraph) {
+  const Graph g = gen::cycle(5);
+  EXPECT_TRUE(exact::contains_subgraph(g, gen::path(3)));
+  EXPECT_FALSE(exact::contains_subgraph(g, gen::clique(3)));
+  EXPECT_TRUE(exact::contains_subgraph(gen::clique(4), gen::cycle(4)));
+  EXPECT_TRUE(exact::contains_subgraph(g, gen::cycle(5)));
+  EXPECT_FALSE(exact::contains_subgraph(g, gen::cycle(4)));
+}
+
+TEST(Exact, ContainsInducedSubgraph) {
+  const Graph k4 = gen::clique(4);
+  EXPECT_FALSE(exact::contains_induced_subgraph(k4, gen::cycle(4)));
+  EXPECT_TRUE(exact::contains_subgraph(k4, gen::cycle(4)));
+  EXPECT_TRUE(exact::contains_induced_subgraph(gen::cycle(6), gen::path(4)));
+}
+
+TEST(Exact, CountTriangles) {
+  EXPECT_EQ(exact::count_triangles(gen::clique(4)), 4u);
+  EXPECT_EQ(exact::count_triangles(gen::clique(5)), 10u);
+  EXPECT_EQ(exact::count_triangles(gen::cycle(5)), 0u);
+  EXPECT_EQ(exact::count_triangles(gen::cycle(3)), 1u);
+  EXPECT_EQ(exact::count_triangles(gen::grid(3, 3)), 0u);
+}
+
+TEST(Exact, MaxWeightIndependentSet) {
+  EXPECT_EQ(exact::max_weight_independent_set(gen::path(5)), 3);
+  EXPECT_EQ(exact::max_weight_independent_set(gen::cycle(5)), 2);
+  EXPECT_EQ(exact::max_weight_independent_set(gen::clique(6)), 1);
+  Graph g = gen::path(3);
+  g.set_vertex_weight(1, 10);
+  EXPECT_EQ(exact::max_weight_independent_set(g), 10);
+  // all-negative weights: empty set wins
+  Graph h = gen::path(2);
+  h.set_vertex_weight(0, -1);
+  h.set_vertex_weight(1, -2);
+  EXPECT_EQ(exact::max_weight_independent_set(h), 0);
+}
+
+TEST(Exact, MinWeightVertexCover) {
+  EXPECT_EQ(exact::min_weight_vertex_cover(gen::path(5)), 2);
+  EXPECT_EQ(exact::min_weight_vertex_cover(gen::cycle(5)), 3);
+  EXPECT_EQ(exact::min_weight_vertex_cover(gen::star(6)), 1);
+  EXPECT_EQ(exact::min_weight_vertex_cover(gen::clique(5)), 4);
+}
+
+TEST(Exact, MinWeightDominatingSet) {
+  EXPECT_EQ(exact::min_weight_dominating_set(gen::star(6)), 1);
+  EXPECT_EQ(exact::min_weight_dominating_set(gen::path(7)), 3);
+  EXPECT_EQ(exact::min_weight_dominating_set(gen::cycle(6)), 2);
+}
+
+TEST(Exact, Colorability) {
+  EXPECT_TRUE(exact::is_k_colorable(gen::path(5), 2));
+  EXPECT_FALSE(exact::is_k_colorable(gen::cycle(5), 2));
+  EXPECT_TRUE(exact::is_k_colorable(gen::cycle(5), 3));
+  EXPECT_FALSE(exact::is_k_colorable(gen::clique(4), 3));
+  EXPECT_EQ(exact::chromatic_number(gen::cycle(5)), 3);
+  EXPECT_EQ(exact::chromatic_number(gen::cycle(6)), 2);
+  EXPECT_EQ(exact::chromatic_number(gen::clique(4)), 4);
+  EXPECT_EQ(exact::chromatic_number(gen::grid(3, 3)), 2);
+  EXPECT_EQ(exact::chromatic_number(Graph(0)), 0);
+}
+
+TEST(Exact, CountIndependentSets) {
+  // path(2): {}, {0}, {1} -> 3
+  EXPECT_EQ(exact::count_independent_sets(gen::path(2)), 3u);
+  // path(3): {}, {0}, {1}, {2}, {0,2} -> 5 (Fibonacci)
+  EXPECT_EQ(exact::count_independent_sets(gen::path(3)), 5u);
+  EXPECT_EQ(exact::count_independent_sets(gen::path(4)), 8u);
+  EXPECT_EQ(exact::count_independent_sets(gen::clique(4)), 5u);
+}
+
+TEST(Exact, CountPerfectMatchings) {
+  EXPECT_EQ(exact::count_perfect_matchings(gen::path(4)), 1u);
+  EXPECT_EQ(exact::count_perfect_matchings(gen::path(3)), 0u);
+  EXPECT_EQ(exact::count_perfect_matchings(gen::cycle(6)), 2u);
+  EXPECT_EQ(exact::count_perfect_matchings(gen::clique(4)), 3u);
+  EXPECT_EQ(exact::count_perfect_matchings(gen::complete_bipartite(3, 3)), 6u);
+}
+
+TEST(Exact, MinWeightSpanningTree) {
+  Graph g = gen::cycle(4);
+  g.set_edge_weight(g.edge_id(0, 1), 5);
+  EXPECT_EQ(exact::min_weight_spanning_tree(g), 3);
+}
+
+TEST(Exact, RejectsOversizedInputs) {
+  EXPECT_THROW(exact::max_weight_independent_set(Graph(31)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,126 @@
+// Extended formula library: brute-force semantics vs combinatorial truth,
+// plus engine agreement through the sequential pipeline.
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "mso/eval.hpp"
+#include "mso/formulas.hpp"
+#include "seq/courcelle.hpp"
+
+namespace dmc {
+namespace {
+
+using mso::Sort;
+namespace lib = mso::lib;
+
+TEST(FormulasExtra, HasClique) {
+  EXPECT_TRUE(mso::evaluate(gen::clique(4), *lib::has_clique(3)));
+  EXPECT_TRUE(mso::evaluate(gen::clique(4), *lib::has_clique(4)));
+  EXPECT_FALSE(mso::evaluate(gen::clique(4), *lib::has_clique(5)));
+  EXPECT_FALSE(mso::evaluate(gen::cycle(5), *lib::has_clique(3)));
+}
+
+TEST(FormulasExtra, HasPath) {
+  EXPECT_TRUE(mso::evaluate(gen::path(5), *lib::has_path(5)));
+  EXPECT_FALSE(mso::evaluate(gen::path(4), *lib::has_path(5)));
+  EXPECT_TRUE(mso::evaluate(gen::cycle(5), *lib::has_path(5)));
+  EXPECT_TRUE(mso::evaluate(gen::star(4), *lib::has_path(3)));
+  EXPECT_FALSE(mso::evaluate(gen::star(4), *lib::has_path(4)));
+}
+
+TEST(FormulasExtra, Cograph) {
+  EXPECT_FALSE(mso::evaluate(gen::path(4), *lib::cograph()));  // P4 itself
+  EXPECT_TRUE(mso::evaluate(gen::clique(4), *lib::cograph()));
+  EXPECT_TRUE(mso::evaluate(gen::complete_bipartite(2, 3), *lib::cograph()));
+  EXPECT_FALSE(mso::evaluate(gen::cycle(5), *lib::cograph()));
+}
+
+TEST(FormulasExtra, MaxDegree) {
+  EXPECT_TRUE(mso::evaluate(gen::cycle(5), *lib::max_degree_le(2)));
+  EXPECT_FALSE(mso::evaluate(gen::star(3), *lib::max_degree_le(2)));
+  EXPECT_TRUE(mso::evaluate(gen::star(3), *lib::max_degree_le(3)));
+}
+
+TEST(FormulasExtra, TotalDominatingSet) {
+  const Graph g = gen::path(4);
+  // {1,2} totally dominates P4 (ends have neighbors in the set, and the
+  // set members have each other).
+  EXPECT_TRUE(mso::evaluate(g, *lib::total_dominating_set(),
+                            {{"S", mso::Value::vertex_set(0b0110)}}));
+  // {0,3} leaves 0 and 3 without neighbors in S.
+  EXPECT_FALSE(mso::evaluate(g, *lib::total_dominating_set(),
+                             {{"S", mso::Value::vertex_set(0b1001)}}));
+}
+
+TEST(FormulasExtra, ConnectedSetSemantics) {
+  const Graph g = gen::path(4);
+  EXPECT_TRUE(mso::evaluate(g, *lib::connected_set(),
+                            {{"S", mso::Value::vertex_set(0b0011)}}));
+  EXPECT_FALSE(mso::evaluate(g, *lib::connected_set(),
+                             {{"S", mso::Value::vertex_set(0b1001)}}));
+  EXPECT_TRUE(mso::evaluate(g, *lib::connected_set(),
+                            {{"S", mso::Value::vertex_set(0)}}));  // empty ok
+  EXPECT_TRUE(mso::evaluate(g, *lib::connected_set(),
+                            {{"S", mso::Value::vertex_set(0b0100)}}));
+}
+
+TEST(FormulasExtra, ConnectedDominatingSetViaEngine) {
+  // On P5 the minimum connected dominating set is the middle path {1,2,3}.
+  const Graph g = gen::path(5);
+  const auto result = seq::minimize(g, lib::connected_dominating_set(), "S",
+                                    Sort::VertexSet);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->weight, 3);
+}
+
+TEST(FormulasExtra, EdgeDominatingSet) {
+  const Graph g = gen::path(4);  // edges 0:0-1, 1:1-2, 2:2-3
+  EXPECT_TRUE(mso::evaluate(g, *lib::edge_dominating_set(),
+                            {{"F", mso::Value::edge_set(0b010)}}));
+  EXPECT_FALSE(mso::evaluate(g, *lib::edge_dominating_set(),
+                             {{"F", mso::Value::edge_set(0b100)}}));
+  const auto result =
+      seq::minimize(g, lib::edge_dominating_set(), "F", Sort::EdgeSet);
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->weight, 1);  // the middle edge dominates all
+}
+
+TEST(FormulasExtra, EngineAgreesWithBruteForceOnNewClosedFormulas) {
+  gen::Rng rng(55);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::random_bounded_treedepth(7, 2, 0.5, rng);
+    EXPECT_EQ(seq::decide(g, lib::has_clique(3)),
+              mso::evaluate(g, *lib::has_clique(3)));
+    EXPECT_EQ(seq::decide(g, lib::has_path(3)),
+              mso::evaluate(g, *lib::has_path(3)));
+  }
+}
+
+TEST(FormulasExtra, TotalDominationViaEngineMatchesBruteForce) {
+  gen::Rng rng(66);
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gen::random_bounded_treedepth(7, 3, 0.5, rng);
+    const auto engine_result =
+        seq::minimize(g, lib::total_dominating_set(), "S", Sort::VertexSet);
+    // brute force
+    Weight best = -1;
+    for (std::uint64_t m = 0; m < (1ull << g.num_vertices()); ++m) {
+      if (!mso::evaluate(g, *lib::total_dominating_set(),
+                         {{"S", mso::Value::vertex_set(m)}}))
+        continue;
+      const Weight w = std::popcount(m);
+      if (best < 0 || w < best) best = w;
+    }
+    if (best < 0) {
+      EXPECT_FALSE(engine_result.has_value());
+    } else {
+      ASSERT_TRUE(engine_result.has_value());
+      EXPECT_EQ(engine_result->weight, best) << "trial=" << trial;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace dmc

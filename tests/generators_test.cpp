@@ -1,0 +1,142 @@
+#include "graph/generators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "td/elimination_forest.hpp"
+
+namespace dmc {
+namespace {
+
+TEST(Generators, Path) {
+  const Graph g = gen::path(5);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 4);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_TRUE(is_acyclic(g));
+}
+
+TEST(Generators, Cycle) {
+  const Graph g = gen::cycle(6);
+  EXPECT_EQ(g.num_edges(), 6);
+  for (VertexId v = 0; v < 6; ++v) EXPECT_EQ(g.degree(v), 2);
+  EXPECT_FALSE(is_acyclic(g));
+  EXPECT_THROW(gen::cycle(2), std::invalid_argument);
+}
+
+TEST(Generators, Clique) {
+  const Graph g = gen::clique(5);
+  EXPECT_EQ(g.num_edges(), 10);
+}
+
+TEST(Generators, Star) {
+  const Graph g = gen::star(7);
+  EXPECT_EQ(g.num_vertices(), 8);
+  EXPECT_EQ(g.degree(0), 7);
+}
+
+TEST(Generators, CompleteBipartite) {
+  const Graph g = gen::complete_bipartite(2, 3);
+  EXPECT_EQ(g.num_vertices(), 5);
+  EXPECT_EQ(g.num_edges(), 6);
+  EXPECT_FALSE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(0, 2));
+}
+
+TEST(Generators, Grid) {
+  const Graph g = gen::grid(3, 4);
+  EXPECT_EQ(g.num_vertices(), 12);
+  EXPECT_EQ(g.num_edges(), 3 * 3 + 2 * 4);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, BinaryTree) {
+  const Graph g = gen::binary_tree(4);
+  EXPECT_EQ(g.num_vertices(), 15);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Caterpillar) {
+  const Graph g = gen::caterpillar(4, 2);
+  EXPECT_EQ(g.num_vertices(), 4 + 8);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, StarOfCliques) {
+  const Graph g = gen::star_of_cliques(3, 4);
+  EXPECT_EQ(g.num_vertices(), 13);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, Wheel) {
+  const Graph g = gen::wheel(6);
+  EXPECT_EQ(g.num_vertices(), 7);
+  EXPECT_EQ(g.num_edges(), 12);
+  EXPECT_EQ(g.degree(6), 6);  // hub
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_THROW(gen::wheel(2), std::invalid_argument);
+}
+
+TEST(Generators, KaryTree) {
+  const Graph g = gen::kary_tree(3, 3);
+  EXPECT_EQ(g.num_vertices(), 1 + 3 + 9);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_connected(g));
+  // treedepth of a 3-level tree is 3 (root path)
+  EXPECT_EQ(exact_treedepth(g), 3);
+  EXPECT_THROW(gen::kary_tree(0, 2), std::invalid_argument);
+}
+
+TEST(Generators, RandomTree) {
+  gen::Rng rng(1);
+  const Graph g = gen::random_tree(20, rng);
+  EXPECT_TRUE(is_acyclic(g));
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Generators, RandomConnected) {
+  gen::Rng rng(2);
+  const Graph g = gen::random_connected(15, 5, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_EQ(g.num_edges(), 14 + 5);
+}
+
+TEST(Generators, RandomBoundedTreedepthRespectsBound) {
+  for (int d = 2; d <= 4; ++d) {
+    for (unsigned seed = 0; seed < 5; ++seed) {
+      gen::Rng rng(seed);
+      const Graph g = gen::random_bounded_treedepth(12, d, 0.4, rng);
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_LE(exact_treedepth(g), d) << "d=" << d << " seed=" << seed;
+    }
+  }
+}
+
+TEST(Generators, PerturbedGridStaysConnected) {
+  gen::Rng rng(3);
+  const Graph g = gen::perturbed_grid(4, 5, 6, rng);
+  EXPECT_TRUE(is_connected(g));
+  EXPECT_GE(g.num_edges(), gen::grid(4, 5).num_edges());
+}
+
+TEST(Generators, DisjointUnion) {
+  const Graph g = gen::disjoint_union(gen::path(3), gen::cycle(3));
+  EXPECT_EQ(g.num_vertices(), 6);
+  EXPECT_EQ(g.num_edges(), 5);
+  EXPECT_EQ(num_connected_components(g), 2);
+}
+
+TEST(Generators, RandomizeWeights) {
+  gen::Rng rng(4);
+  Graph g = gen::cycle(5);
+  gen::randomize_weights(g, -3, 3, rng);
+  for (VertexId v = 0; v < 5; ++v) {
+    EXPECT_GE(g.vertex_weight(v), -3);
+    EXPECT_LE(g.vertex_weight(v), 3);
+  }
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,132 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmc {
+namespace {
+
+TEST(Graph, EmptyGraph) {
+  Graph g;
+  EXPECT_EQ(g.num_vertices(), 0);
+  EXPECT_EQ(g.num_edges(), 0);
+}
+
+TEST(Graph, AddVerticesAndEdges) {
+  Graph g(3);
+  EXPECT_EQ(g.num_vertices(), 3);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(e, 0);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(2), 0);
+  const VertexId first = g.add_vertices(2);
+  EXPECT_EQ(first, 3);
+  EXPECT_EQ(g.num_vertices(), 5);
+}
+
+TEST(Graph, EdgeEndpointsNormalized) {
+  Graph g(4);
+  const EdgeId e = g.add_edge(3, 1);
+  EXPECT_EQ(g.edge(e).u, 1);
+  EXPECT_EQ(g.edge(e).v, 3);
+  EXPECT_EQ(g.edge(e).other(1), 3);
+  EXPECT_EQ(g.edge(e).other(3), 1);
+  EXPECT_THROW(g.edge(e).other(0), std::invalid_argument);
+}
+
+TEST(Graph, RejectsLoopsAndDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.add_edge(1, 1), std::invalid_argument);
+  g.add_edge(0, 1);
+  EXPECT_THROW(g.add_edge(1, 0), std::invalid_argument);
+  EXPECT_THROW(g.add_edge(0, 7), std::out_of_range);
+}
+
+TEST(Graph, EnsureEdgeIsIdempotent) {
+  Graph g(3);
+  const EdgeId e1 = g.ensure_edge(0, 2);
+  const EdgeId e2 = g.ensure_edge(2, 0);
+  EXPECT_EQ(e1, e2);
+  EXPECT_EQ(g.num_edges(), 1);
+}
+
+TEST(Graph, Labels) {
+  Graph g(3);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_FALSE(g.vertex_has_label("red", 0));
+  g.set_vertex_label("red", 0);
+  EXPECT_TRUE(g.vertex_has_label("red", 0));
+  EXPECT_FALSE(g.vertex_has_label("red", 1));
+  g.set_vertex_label("red", 0, false);
+  EXPECT_FALSE(g.vertex_has_label("red", 0));
+  g.set_edge_label("mark", e);
+  EXPECT_TRUE(g.edge_has_label("mark", e));
+  EXPECT_EQ(g.vertex_label_names().size(), 1u);
+  EXPECT_EQ(g.edge_label_names().size(), 1u);
+}
+
+TEST(Graph, LabelsSurviveVertexGrowth) {
+  Graph g(2);
+  g.set_vertex_label("red", 1);
+  g.add_vertices(3);
+  EXPECT_TRUE(g.vertex_has_label("red", 1));
+  EXPECT_FALSE(g.vertex_has_label("red", 4));
+}
+
+TEST(Graph, Weights) {
+  Graph g(2);
+  const EdgeId e = g.add_edge(0, 1);
+  EXPECT_EQ(g.vertex_weight(0), 1);  // default
+  EXPECT_EQ(g.edge_weight(e), 1);
+  g.set_vertex_weight(0, -5);
+  g.set_edge_weight(e, 42);
+  EXPECT_EQ(g.vertex_weight(0), -5);
+  EXPECT_EQ(g.edge_weight(e), 42);
+}
+
+TEST(Graph, InducedSubgraph) {
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  g.add_edge(3, 4);
+  g.add_edge(0, 4);
+  g.set_vertex_weight(2, 7);
+  g.set_vertex_label("red", 2);
+  const EdgeId e12 = g.edge_id(1, 2);
+  g.set_edge_weight(e12, 9);
+  g.set_edge_label("mark", e12);
+
+  std::vector<VertexId> old_to_new;
+  Graph sub = g.induced_subgraph({1, 2, 3}, &old_to_new);
+  EXPECT_EQ(sub.num_vertices(), 3);
+  EXPECT_EQ(sub.num_edges(), 2);
+  EXPECT_TRUE(sub.has_edge(0, 1));  // 1-2
+  EXPECT_TRUE(sub.has_edge(1, 2));  // 2-3
+  EXPECT_EQ(old_to_new[1], 0);
+  EXPECT_EQ(old_to_new[0], -1);
+  EXPECT_EQ(sub.vertex_weight(1), 7);
+  EXPECT_TRUE(sub.vertex_has_label("red", 1));
+  const EdgeId ne = sub.edge_id(0, 1);
+  EXPECT_EQ(sub.edge_weight(ne), 9);
+  EXPECT_TRUE(sub.edge_has_label("mark", ne));
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  Graph g(3);
+  EXPECT_THROW(g.induced_subgraph({0, 0}), std::invalid_argument);
+}
+
+TEST(Graph, Neighbors) {
+  Graph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(0, 3);
+  const auto nb = g.neighbors(0);
+  EXPECT_EQ(nb.size(), 3u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,63 @@
+#include "graph/io.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmc::io {
+namespace {
+
+TEST(Io, DimacsRoundTrip) {
+  Graph g = gen::cycle(5);
+  g.set_vertex_weight(2, -7);
+  g.set_edge_weight(1, 13);
+  g.set_vertex_label("red", 0);
+  g.set_edge_label("mark", 3);
+  const Graph back = from_dimacs(to_dimacs(g));
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+  EXPECT_EQ(back.vertex_weight(2), -7);
+  EXPECT_EQ(back.edge_weight(1), 13);
+  EXPECT_TRUE(back.vertex_has_label("red", 0));
+  EXPECT_FALSE(back.vertex_has_label("red", 1));
+  EXPECT_TRUE(back.edge_has_label("mark", 3));
+}
+
+TEST(Io, DimacsParsesCommentsAndBlankLines) {
+  const Graph g = from_dimacs("c hello\n\np edge 3 2\nc mid\ne 1 2\ne 2 3\n");
+  EXPECT_EQ(g.num_vertices(), 3);
+  EXPECT_EQ(g.num_edges(), 2);
+  EXPECT_TRUE(g.has_edge(0, 1));
+}
+
+TEST(Io, DimacsErrors) {
+  EXPECT_THROW(from_dimacs(""), std::invalid_argument);
+  EXPECT_THROW(from_dimacs("e 1 2\n"), std::invalid_argument);  // no header
+  EXPECT_THROW(from_dimacs("p edge 2 1\ne 1 5\n"), std::invalid_argument);
+  EXPECT_THROW(from_dimacs("p edge 2 0\nxx\n"), std::invalid_argument);
+  EXPECT_THROW(from_dimacs("p edge 2 0\np edge 2 0\n"), std::invalid_argument);
+}
+
+TEST(Io, EdgeListRoundTrip) {
+  const Graph g = gen::grid(3, 3);
+  const Graph back = from_edge_list(to_edge_list(g));
+  EXPECT_EQ(back.num_vertices(), g.num_vertices());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const Edge& e : g.edges()) EXPECT_TRUE(back.has_edge(e.u, e.v));
+}
+
+TEST(Io, EdgeListErrors) {
+  EXPECT_THROW(from_edge_list("nonsense"), std::invalid_argument);
+  EXPECT_THROW(from_edge_list("2 1\n0"), std::invalid_argument);
+}
+
+TEST(Io, EmptyGraph) {
+  const Graph g = from_dimacs("p edge 0 0\n");
+  EXPECT_EQ(g.num_vertices(), 0);
+  const Graph h = from_edge_list("0 0\n");
+  EXPECT_EQ(h.num_vertices(), 0);
+}
+
+}  // namespace
+}  // namespace dmc::io

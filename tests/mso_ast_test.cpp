@@ -1,0 +1,105 @@
+#include "mso/ast.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dmc::mso {
+namespace {
+
+TEST(MsoAst, BuildersAndToString) {
+  const auto f = exists("x", Sort::Vertex,
+                        forall("y", Sort::Vertex, lnot(adj("x", "y"))));
+  EXPECT_EQ(to_string(*f),
+            "exists vertex x. forall vertex y. !(adj(x, y))");
+}
+
+TEST(MsoAst, QuantifierRank) {
+  EXPECT_EQ(quantifier_rank(*f_true()), 0);
+  EXPECT_EQ(quantifier_rank(*adj("x", "y")), 0);
+  const auto f = exists("x", Sort::Vertex,
+                        forall("y", Sort::Vertex, adj("x", "y")));
+  EXPECT_EQ(quantifier_rank(*f), 2);
+  const auto g = land(f, exists("z", Sort::Vertex, equal("z", "z")));
+  EXPECT_EQ(quantifier_rank(*g), 2);  // max, not sum
+}
+
+TEST(MsoAst, FreeVariables) {
+  const auto f = exists("x", Sort::Vertex, land(adj("x", "y"), member("x", "S")));
+  const auto free = free_variables(*f);
+  ASSERT_EQ(free.size(), 2u);
+  EXPECT_EQ(free[0].first, "y");
+  EXPECT_EQ(free[0].second, Sort::Vertex);
+  EXPECT_EQ(free[1].first, "S");
+  EXPECT_EQ(free[1].second, Sort::VertexSet);
+}
+
+TEST(MsoAst, ClosedFormulaHasNoFreeVariables) {
+  const auto f = forall("X", Sort::VertexSet,
+                        lor(empty_set("X"), border("X")));
+  EXPECT_TRUE(free_variables(*f).empty());
+}
+
+TEST(MsoAst, ShadowingRestoresOuterSort) {
+  // outer X is a vertex set; inner X is a vertex.
+  const auto f = exists(
+      "X", Sort::VertexSet,
+      land(exists("X", Sort::Vertex, adj("X", "X")), empty_set("X")));
+  EXPECT_TRUE(free_variables(*f).empty());  // well-formed, no frees
+}
+
+TEST(MsoAst, WellFormednessRejectsSortClash) {
+  // adj applied to an edge-set variable.
+  const auto f = exists("F", Sort::EdgeSet, adj("F", "F"));
+  EXPECT_THROW(check_well_formed(*f), std::invalid_argument);
+}
+
+TEST(MsoAst, WellFormednessRejectsMixedEquality) {
+  const auto f = exists(
+      "x", Sort::Vertex, exists("F", Sort::EdgeSet, equal("x", "F")));
+  EXPECT_THROW(check_well_formed(*f), std::invalid_argument);
+}
+
+TEST(MsoAst, WellFormednessRejectsBadMember) {
+  const auto f = exists(
+      "x", Sort::Vertex, exists("F", Sort::EdgeSet, member("x", "F")));
+  EXPECT_THROW(check_well_formed(*f), std::invalid_argument);
+}
+
+TEST(MsoAst, WellFormednessRejectsFullOnEdgeSet) {
+  const auto f = exists("F", Sort::EdgeSet, full_set("F"));
+  EXPECT_THROW(check_well_formed(*f), std::invalid_argument);
+}
+
+TEST(MsoAst, DeclaredFreeVariableSortsAreUsed) {
+  const auto f = adj("S", "S");
+  const auto free = check_well_formed(*f, {{"S", Sort::VertexSet}});
+  ASSERT_EQ(free.size(), 1u);
+  EXPECT_EQ(free[0].second, Sort::VertexSet);
+}
+
+TEST(MsoAst, LabelUsage) {
+  const auto f = exists(
+      "x", Sort::Vertex,
+      exists("e", Sort::Edge,
+             land(label("red", "x"), land(label("mark", "e"),
+                                          label("red", "x")))));
+  const auto usage = label_usage(*f);
+  ASSERT_EQ(usage.vertex_labels.size(), 1u);
+  EXPECT_EQ(usage.vertex_labels[0], "red");
+  ASSERT_EQ(usage.edge_labels.size(), 1u);
+  EXPECT_EQ(usage.edge_labels[0], "mark");
+}
+
+TEST(MsoAst, Subformulas) {
+  const auto f = land(adj("x", "y"), lnot(f_true()));
+  const auto subs = subformulas(*f);
+  EXPECT_EQ(subs.size(), 4u);  // and, adj, not, true
+  EXPECT_EQ(subs[0]->kind, Kind::And);
+}
+
+TEST(MsoAst, LandAllLorAllEmpty) {
+  EXPECT_EQ(land_all({})->kind, Kind::True);
+  EXPECT_EQ(lor_all({})->kind, Kind::False);
+}
+
+}  // namespace
+}  // namespace dmc::mso

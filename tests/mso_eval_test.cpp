@@ -1,0 +1,244 @@
+// Brute-force evaluator tests: every formula-library entry is checked against
+// the exact combinatorial oracles on small graphs.
+#include "mso/eval.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+#include "mso/parser.hpp"
+
+namespace dmc::mso {
+namespace {
+
+TEST(MsoEval, Atomics) {
+  Graph g(3);
+  g.add_edge(0, 1);
+  g.set_vertex_label("red", 2);
+  Env env;
+  env["x"] = Value::vertex(0);
+  env["y"] = Value::vertex(1);
+  env["z"] = Value::vertex(2);
+  EXPECT_TRUE(evaluate(g, *adj("x", "y"), env));
+  EXPECT_FALSE(evaluate(g, *adj("x", "z"), env));
+  EXPECT_TRUE(evaluate(g, *equal("x", "x"), env));
+  EXPECT_FALSE(evaluate(g, *equal("x", "y"), env));
+  EXPECT_TRUE(evaluate(g, *label("red", "z"), env));
+  EXPECT_FALSE(evaluate(g, *label("red", "x"), env));
+  env["e"] = Value::edge(0);
+  EXPECT_TRUE(evaluate(g, *inc("x", "e"), env));
+  EXPECT_FALSE(evaluate(g, *inc("z", "e"), env));
+  env["A"] = Value::vertex_set(0b011);
+  env["B"] = Value::vertex_set(0b001);
+  env["C"] = Value::vertex_set(0b100);
+  EXPECT_TRUE(evaluate(g, *member("x", "A"), env));
+  EXPECT_FALSE(evaluate(g, *member("z", "A"), env));
+  EXPECT_TRUE(evaluate(g, *subset("B", "A"), env));
+  EXPECT_FALSE(evaluate(g, *subset("A", "B"), env));
+  EXPECT_TRUE(evaluate(g, *disjoint("A", "C"), env));
+  EXPECT_FALSE(evaluate(g, *disjoint("A", "B"), env));
+  EXPECT_TRUE(evaluate(g, *singleton("B"), env));
+  EXPECT_FALSE(evaluate(g, *singleton("A"), env));
+  env["Z"] = Value::vertex_set(0);
+  EXPECT_TRUE(evaluate(g, *empty_set("Z"), env));
+  env["All"] = Value::vertex_set(0b111);
+  EXPECT_TRUE(evaluate(g, *full_set("All"), env));
+  EXPECT_FALSE(evaluate(g, *full_set("A"), env));
+  EXPECT_TRUE(evaluate(g, *border("B"), env));    // edge 0-1 leaves {0}
+  EXPECT_FALSE(evaluate(g, *border("C"), env));   // vertex 2 isolated
+  env["F"] = Value::edge_set(0b1);
+  EXPECT_TRUE(evaluate(g, *crossing("F", "B"), env));
+  EXPECT_FALSE(evaluate(g, *crossing("F", "A"), env));  // both endpoints in A
+  // adjacency between sets
+  EXPECT_TRUE(evaluate(g, *adj("A", "A"), env));   // edge inside {0,1}
+  EXPECT_FALSE(evaluate(g, *adj("B", "C"), env));
+}
+
+TEST(MsoEval, QuantifiersBasic) {
+  const Graph p3 = gen::path(3);
+  EXPECT_TRUE(evaluate(p3, *parse("exists vertex x, y. adj(x, y)")));
+  EXPECT_FALSE(evaluate(p3, *parse("forall vertex x, y. adj(x, y)")));
+  EXPECT_TRUE(evaluate(p3, *parse("exists vset X. sing(X)")));
+  EXPECT_TRUE(evaluate(p3, *parse("exists eset F. empty(F)")));
+}
+
+TEST(MsoEval, TriangleFree) {
+  EXPECT_TRUE(evaluate(gen::cycle(5), *lib::triangle_free()));
+  EXPECT_FALSE(evaluate(gen::clique(3), *lib::triangle_free()));
+  EXPECT_FALSE(evaluate(gen::clique(4), *lib::triangle_free()));
+  EXPECT_TRUE(evaluate(gen::grid(2, 3), *lib::triangle_free()));
+}
+
+TEST(MsoEval, C4Free) {
+  EXPECT_TRUE(evaluate(gen::cycle(5), *lib::c4_free()));
+  EXPECT_FALSE(evaluate(gen::cycle(4), *lib::c4_free()));
+  EXPECT_FALSE(evaluate(gen::grid(2, 2), *lib::c4_free()));
+  EXPECT_FALSE(evaluate(gen::clique(4), *lib::c4_free()));  // C4 subgraph
+  EXPECT_TRUE(evaluate(gen::clique(3), *lib::c4_free()));
+}
+
+TEST(MsoEval, HFreeMatchesOracle) {
+  gen::Rng rng(5);
+  const Graph h = gen::path(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(6, 0.35, rng);
+    EXPECT_EQ(evaluate(g, *lib::h_free(h)), !exact::contains_subgraph(g, h));
+    EXPECT_EQ(evaluate(g, *lib::h_free(h, /*induced=*/true)),
+              !exact::contains_induced_subgraph(g, h));
+  }
+}
+
+TEST(MsoEval, Colorability) {
+  EXPECT_TRUE(evaluate(gen::cycle(6), *lib::k_colorable(2)));
+  EXPECT_FALSE(evaluate(gen::cycle(5), *lib::k_colorable(2)));
+  EXPECT_TRUE(evaluate(gen::cycle(5), *lib::k_colorable(3)));
+  EXPECT_FALSE(evaluate(gen::clique(4), *lib::not_3_colorable()) ==
+               false);  // K4 is not 3-colorable
+  EXPECT_TRUE(evaluate(gen::cycle(5), *lib::k_colorable(3)));
+}
+
+TEST(MsoEval, ColorabilityMatchesOracle) {
+  gen::Rng rng(6);
+  for (int trial = 0; trial < 8; ++trial) {
+    const Graph g = gen::erdos_renyi(6, 0.5, rng);
+    for (int k = 1; k <= 3; ++k)
+      EXPECT_EQ(evaluate(g, *lib::k_colorable(k)), exact::is_k_colorable(g, k))
+          << "k=" << k;
+  }
+}
+
+TEST(MsoEval, Acyclic) {
+  EXPECT_TRUE(evaluate(gen::path(5), *lib::acyclic()));
+  EXPECT_TRUE(evaluate(gen::binary_tree(3), *lib::acyclic()));
+  EXPECT_FALSE(evaluate(gen::cycle(4), *lib::acyclic()));
+  EXPECT_FALSE(evaluate(gen::clique(3), *lib::acyclic()));
+  const Graph forest = gen::disjoint_union(gen::path(3), gen::path(2));
+  EXPECT_TRUE(evaluate(forest, *lib::acyclic()));
+}
+
+TEST(MsoEval, Connected) {
+  EXPECT_TRUE(evaluate(gen::path(4), *lib::connected()));
+  EXPECT_FALSE(evaluate(gen::disjoint_union(gen::path(2), gen::path(2)),
+                        *lib::connected()));
+  EXPECT_TRUE(evaluate(Graph(1), *lib::connected()));
+}
+
+TEST(MsoEval, IsolatedVertexVariantsAgree) {
+  gen::Rng rng(7);
+  for (int trial = 0; trial < 10; ++trial) {
+    const Graph g = gen::erdos_renyi(6, 0.25, rng);
+    EXPECT_EQ(evaluate(g, *lib::has_isolated_vertex()),
+              evaluate(g, *lib::has_isolated_vertex_lowrank()));
+  }
+}
+
+TEST(MsoEval, DegreeAtLeast) {
+  EXPECT_TRUE(evaluate(gen::star(3), *lib::has_vertex_of_degree_ge(3)));
+  EXPECT_FALSE(evaluate(gen::path(5), *lib::has_vertex_of_degree_ge(3)));
+  EXPECT_TRUE(evaluate(gen::path(5), *lib::has_vertex_of_degree_ge(2)));
+}
+
+TEST(MsoEval, Properly2Colored) {
+  Graph g = gen::path(3);
+  g.set_vertex_label("red", 0);
+  g.set_vertex_label("blue", 1);
+  g.set_vertex_label("red", 2);
+  EXPECT_TRUE(evaluate(g, *lib::properly_2_colored()));
+  g.set_vertex_label("red", 1);
+  g.set_vertex_label("blue", 1, false);
+  EXPECT_FALSE(evaluate(g, *lib::properly_2_colored()));
+}
+
+TEST(MsoEval, IndependentSetVariantsAgree) {
+  gen::Rng rng(8);
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::erdos_renyi(5, 0.5, rng);
+    for (std::uint64_t mask = 0; mask < (1u << 5); ++mask) {
+      Env env{{"S", Value::vertex_set(mask)}};
+      EXPECT_EQ(evaluate(g, *lib::independent_set(), env),
+                evaluate(g, *lib::independent_set_naive(), env));
+    }
+  }
+}
+
+TEST(MsoEval, SpanningTreeFormula) {
+  const Graph g = gen::cycle(4);
+  // edges 0:0-1, 1:1-2, 2:2-3, 3:3-0
+  EXPECT_TRUE(evaluate(g, *lib::spanning_tree(),
+                       {{"F", Value::edge_set(0b0111)}}));
+  EXPECT_FALSE(evaluate(g, *lib::spanning_tree(),
+                        {{"F", Value::edge_set(0b1111)}}));  // cycle
+  EXPECT_FALSE(evaluate(g, *lib::spanning_tree(),
+                        {{"F", Value::edge_set(0b0011)}}));  // not spanning
+  EXPECT_TRUE(evaluate(g, *lib::spanning_connected(),
+                       {{"F", Value::edge_set(0b1111)}}));
+}
+
+TEST(MsoEval, MatchingFormulas) {
+  const Graph g = gen::path(4);  // edges 0:0-1, 1:1-2, 2:2-3
+  EXPECT_TRUE(evaluate(g, *lib::matching(), {{"F", Value::edge_set(0b101)}}));
+  EXPECT_FALSE(evaluate(g, *lib::matching(), {{"F", Value::edge_set(0b011)}}));
+  EXPECT_TRUE(
+      evaluate(g, *lib::perfect_matching(), {{"F", Value::edge_set(0b101)}}));
+  EXPECT_FALSE(
+      evaluate(g, *lib::perfect_matching(), {{"F", Value::edge_set(0b001)}}));
+}
+
+TEST(MsoEval, FeedbackVertexSet) {
+  const Graph g = gen::cycle(4);
+  EXPECT_TRUE(
+      evaluate(g, *lib::feedback_vertex_set(), {{"S", Value::vertex_set(0b0001)}}));
+  EXPECT_FALSE(
+      evaluate(g, *lib::feedback_vertex_set(), {{"S", Value::vertex_set(0)}}));
+}
+
+TEST(MsoEval, LoweredFormulasAgreeWithSurface) {
+  gen::Rng rng(9);
+  const std::vector<FormulaPtr> closed = {
+      lib::triangle_free(),  lib::connected(),
+      lib::has_isolated_vertex(), lib::k_colorable(2),
+      lib::acyclic()};
+  for (int trial = 0; trial < 5; ++trial) {
+    const Graph g = gen::erdos_renyi(5, 0.4, rng);
+    for (const auto& f : closed) {
+      const auto low = lower(f);
+      EXPECT_TRUE(is_lowered(*low));
+      EXPECT_EQ(quantifier_rank(*low), quantifier_rank(*f));
+      EXPECT_EQ(evaluate(g, *f), evaluate(g, *low)) << to_string(*f);
+    }
+  }
+}
+
+TEST(MsoEval, LoweredFreeVariableFormulasAgree) {
+  gen::Rng rng(10);
+  const Graph g = gen::erdos_renyi(5, 0.4, rng);
+  const auto vc = lib::vertex_cover();
+  const auto low = lower(vc, {{"S", Sort::VertexSet}});
+  for (std::uint64_t mask = 0; mask < (1u << 5); ++mask) {
+    Env env{{"S", Value::vertex_set(mask)}};
+    EXPECT_EQ(evaluate(g, *vc, env), evaluate(g, *low, env));
+  }
+}
+
+TEST(MsoEval, ErrorsOnUnboundVariable) {
+  EXPECT_THROW(evaluate(gen::path(2), *adj("x", "y")), std::invalid_argument);
+}
+
+TEST(MsoEval, TriangleTupleCountsOrderedTriangles) {
+  const Graph g = gen::clique(4);  // 4 triangles
+  std::uint64_t count = 0;
+  for (VertexId x = 0; x < 4; ++x)
+    for (VertexId y = 0; y < 4; ++y)
+      for (VertexId z = 0; z < 4; ++z) {
+        Env env{{"X", Value::vertex_set(1ull << x)},
+                {"Y", Value::vertex_set(1ull << y)},
+                {"Z", Value::vertex_set(1ull << z)}};
+        if (evaluate(g, *lib::triangle_tuple(), env)) ++count;
+      }
+  EXPECT_EQ(count, 6 * exact::count_triangles(g));
+}
+
+}  // namespace
+}  // namespace dmc::mso

@@ -1,0 +1,117 @@
+#include "mso/parser.hpp"
+
+#include <gtest/gtest.h>
+
+#include "mso/ast.hpp"
+
+namespace dmc::mso {
+namespace {
+
+TEST(MsoParser, Atoms) {
+  EXPECT_EQ(parse("adj(x, y)")->kind, Kind::Adjacent);
+  EXPECT_EQ(parse("inc(x, e)")->kind, Kind::Incident);
+  EXPECT_EQ(parse("sub(X, Y)")->kind, Kind::Subset);
+  EXPECT_EQ(parse("disj(X, Y)")->kind, Kind::Disjoint);
+  EXPECT_EQ(parse("sing(X)")->kind, Kind::Singleton);
+  EXPECT_EQ(parse("empty(X)")->kind, Kind::EmptySet);
+  EXPECT_EQ(parse("full(X)")->kind, Kind::FullSet);
+  EXPECT_EQ(parse("cross(F, X)")->kind, Kind::Crossing);
+  EXPECT_EQ(parse("border(X)")->kind, Kind::Border);
+  EXPECT_EQ(parse("label(red, x)")->kind, Kind::Label);
+  EXPECT_EQ(parse("x = y")->kind, Kind::Equal);
+  EXPECT_EQ(parse("x in X")->kind, Kind::Member);
+  EXPECT_EQ(parse("true")->kind, Kind::True);
+  EXPECT_EQ(parse("false")->kind, Kind::False);
+}
+
+TEST(MsoParser, NotEqualSugar) {
+  const auto f = parse("x != y");
+  EXPECT_EQ(f->kind, Kind::Not);
+  EXPECT_EQ(f->left->kind, Kind::Equal);
+}
+
+TEST(MsoParser, Precedence) {
+  // & binds tighter than |, which binds tighter than ->, then <->
+  const auto f = parse("adj(a,b) | adj(c,d) & adj(e,g)");
+  EXPECT_EQ(f->kind, Kind::Or);
+  EXPECT_EQ(f->right->kind, Kind::And);
+  const auto g = parse("adj(a,b) -> adj(c,d) | adj(e,g)");
+  EXPECT_EQ(g->kind, Kind::Implies);
+  EXPECT_EQ(g->right->kind, Kind::Or);
+  const auto h = parse("adj(a,b) <-> adj(c,d) -> adj(e,g)");
+  EXPECT_EQ(h->kind, Kind::Iff);
+}
+
+TEST(MsoParser, ImplicationIsRightAssociative) {
+  const auto f = parse("adj(a,b) -> adj(c,d) -> adj(e,g)");
+  EXPECT_EQ(f->kind, Kind::Implies);
+  EXPECT_EQ(f->right->kind, Kind::Implies);
+}
+
+TEST(MsoParser, Quantifiers) {
+  const auto f = parse("exists vertex x. forall vset X. x in X");
+  EXPECT_EQ(f->kind, Kind::Exists);
+  EXPECT_EQ(f->var_sort, Sort::Vertex);
+  EXPECT_EQ(f->left->kind, Kind::Forall);
+  EXPECT_EQ(f->left->var_sort, Sort::VertexSet);
+}
+
+TEST(MsoParser, QuantifierBindingList) {
+  const auto f = parse("exists vertex x, y, edge e. inc(x, e)");
+  EXPECT_EQ(f->kind, Kind::Exists);
+  EXPECT_EQ(f->var, "x");
+  EXPECT_EQ(f->var_sort, Sort::Vertex);
+  EXPECT_EQ(f->left->var, "y");
+  EXPECT_EQ(f->left->var_sort, Sort::Vertex);
+  EXPECT_EQ(f->left->left->var, "e");
+  EXPECT_EQ(f->left->left->var_sort, Sort::Edge);
+}
+
+TEST(MsoParser, QuantifierBodyExtendsRight) {
+  const auto f = parse("exists vertex x. adj(x, y) & adj(x, z)");
+  EXPECT_EQ(f->kind, Kind::Exists);
+  EXPECT_EQ(f->left->kind, Kind::And);
+}
+
+TEST(MsoParser, ParenthesesOverridePrecedence) {
+  const auto f = parse("(adj(a,b) | adj(c,d)) & adj(e,g)");
+  EXPECT_EQ(f->kind, Kind::And);
+}
+
+TEST(MsoParser, NegationVariants) {
+  EXPECT_EQ(parse("!adj(x,y)")->kind, Kind::Not);
+  EXPECT_EQ(parse("~adj(x,y)")->kind, Kind::Not);
+  EXPECT_EQ(parse("not adj(x,y)")->kind, Kind::Not);
+}
+
+TEST(MsoParser, RoundTripThroughToString) {
+  const char* inputs[] = {
+      "exists vertex x. forall vertex y. !(adj(x, y))",
+      "forall vset X. ((empty(X) | full(X)) | border(X))",
+      "exists eset F. (cross(F, X) & sub(F, G))",
+  };
+  for (const char* text : inputs) {
+    const auto f = parse(text);
+    const auto g = parse(to_string(*f));
+    EXPECT_EQ(to_string(*f), to_string(*g)) << text;
+  }
+}
+
+TEST(MsoParser, Errors) {
+  EXPECT_THROW(parse(""), std::invalid_argument);
+  EXPECT_THROW(parse("adj(x"), std::invalid_argument);
+  EXPECT_THROW(parse("adj(x,y) adj(y,z)"), std::invalid_argument);
+  EXPECT_THROW(parse("exists x. adj(x,x)"), std::invalid_argument);  // no sort
+  EXPECT_THROW(parse("@"), std::invalid_argument);
+  EXPECT_THROW(parse("x"), std::invalid_argument);
+}
+
+TEST(MsoParser, ParsedFormulasAreWellFormed) {
+  const auto f = parse(
+      "forall vset X. (empty(X) | full(X) | border(X))");
+  EXPECT_NO_THROW(check_well_formed(*f));
+  EXPECT_EQ(quantifier_rank(*f), 1);
+}
+
+}  // namespace
+}  // namespace dmc::mso

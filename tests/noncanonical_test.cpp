@@ -1,0 +1,122 @@
+// The gluing algebra on *non-canonical* tree decompositions: path
+// decompositions and hand-built decompositions exercise terminal
+// forgetting much harder than the canonical (nested-bag) ones.
+#include <gtest/gtest.h>
+
+#include "bpt/engine.hpp"
+#include "bpt/plan.hpp"
+#include "bpt/tables.hpp"
+#include "graph/exact.hpp"
+#include "graph/generators.hpp"
+#include "mso/eval.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+
+namespace dmc {
+namespace {
+
+using mso::Sort;
+namespace lib = mso::lib;
+
+/// Path decomposition of P_n / C_n style graphs: bags {i, i+1}.
+TreeDecomposition path_decomposition(int n) {
+  TreeDecomposition td;
+  for (int i = 0; i + 1 < n; ++i) {
+    td.parent.push_back(i - 1);
+    td.bags.push_back({i, i + 1});
+  }
+  if (n == 1) {
+    td.parent = {-1};
+    td.bags = {{0}};
+  }
+  return td;
+}
+
+bool decide_on(const Graph& g, const TreeDecomposition& td,
+               const mso::FormulaPtr& f) {
+  const auto lowered = mso::lower(f);
+  bpt::Engine engine(bpt::config_for(*lowered));
+  const auto plan = bpt::build_global_plan(g, td);
+  const auto root = bpt::fold_type(engine, plan, g);
+  bpt::Evaluator eval(engine, lowered);
+  return eval.eval(root);
+}
+
+TEST(NonCanonical, PathDecompositionDecision) {
+  for (int n : {2, 5, 9}) {
+    const Graph g = gen::path(n);
+    const auto td = path_decomposition(n);
+    ASSERT_TRUE(td.valid_for(g));
+    EXPECT_TRUE(decide_on(g, td, lib::connected()));
+    EXPECT_TRUE(decide_on(g, td, lib::acyclic()));
+    EXPECT_TRUE(decide_on(g, td, lib::triangle_free()));
+    EXPECT_FALSE(decide_on(g, td, lib::has_isolated_vertex_lowrank()));
+  }
+}
+
+TEST(NonCanonical, HandBuiltDecompositionMatchesBruteForce) {
+  // The "bull": triangle 0-1-2 with pendant horns 3 (on 1) and 4 (on 2).
+  Graph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 4);
+  TreeDecomposition td;
+  td.parent = {-1, 0, 0};
+  td.bags = {{0, 1, 2}, {1, 3}, {2, 4}};
+  ASSERT_TRUE(td.valid_for(g));
+  for (const auto& f : {lib::triangle_free(), lib::connected(),
+                        lib::k_colorable(2), lib::k_colorable(3),
+                        lib::has_isolated_vertex_lowrank()}) {
+    EXPECT_EQ(decide_on(g, td, f), mso::evaluate(g, *f)) << mso::to_string(*f);
+  }
+}
+
+TEST(NonCanonical, OptimizationOnPathDecomposition) {
+  const int n = 12;
+  const Graph g = gen::path(n);
+  const auto td = path_decomposition(n);
+  const std::vector<std::pair<std::string, Sort>> frees{{"S", Sort::VertexSet}};
+  const auto lowered = mso::lower(lib::independent_set(), frees);
+  bpt::Engine engine(bpt::config_for(*lowered, frees));
+  const auto plan = bpt::build_global_plan(g, td);
+  bpt::OptSolver solver(engine, plan, g);
+  bpt::Evaluator eval(engine, lowered, frees);
+  Weight best = -1;
+  for (const auto& [c, w] : solver.root_table())
+    if (eval.eval(c)) best = std::max(best, w);
+  EXPECT_EQ(best, (n + 1) / 2);
+}
+
+TEST(NonCanonical, CountingOnPathDecomposition) {
+  const int n = 10;
+  const Graph g = gen::path(n);
+  const auto td = path_decomposition(n);
+  const std::vector<std::pair<std::string, Sort>> frees{{"S", Sort::VertexSet}};
+  const auto lowered = mso::lower(lib::independent_set_indicator(), frees);
+  bpt::Engine engine(bpt::config_for(*lowered, frees));
+  const auto plan = bpt::build_global_plan(g, td);
+  const auto tables = bpt::fold_count(engine, plan, g);
+  bpt::Evaluator eval(engine, lowered, frees);
+  std::uint64_t total = 0;
+  for (const auto& [c, cnt] : tables[plan.root])
+    if (eval.eval(c)) total += cnt;
+  EXPECT_EQ(total, exact::count_independent_sets(g));
+}
+
+TEST(NonCanonical, DisconnectedGraphsViaMultiRootDecompositions) {
+  const Graph g = gen::disjoint_union(gen::cycle(3), gen::path(3));
+  TreeDecomposition td;
+  // component 1: triangle bag; component 2: two bags
+  td.parent = {-1, -1, 1};
+  td.bags = {{0, 1, 2}, {3, 4}, {4, 5}};
+  ASSERT_TRUE(td.valid_for(g));
+  EXPECT_FALSE(decide_on(g, td, lib::connected()));
+  EXPECT_FALSE(decide_on(g, td, lib::triangle_free()));
+  EXPECT_FALSE(decide_on(g, td, lib::acyclic()));
+  EXPECT_TRUE(decide_on(g, td, lib::k_colorable(3)));
+}
+
+}  // namespace
+}  // namespace dmc

@@ -1,0 +1,90 @@
+#include "mso/normalize.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+#include "mso/eval.hpp"
+#include "mso/formulas.hpp"
+#include "mso/parser.hpp"
+
+namespace dmc::mso {
+namespace {
+
+bool no_nnf_violations(const Formula& f) {
+  if (f.kind == Kind::Implies || f.kind == Kind::Iff) return false;
+  if (f.kind == Kind::Not && !is_atomic(f.left->kind)) return false;
+  if (f.left && !no_nnf_violations(*f.left)) return false;
+  if (f.right && !no_nnf_violations(*f.right)) return false;
+  return true;
+}
+
+TEST(Normalize, NnfShape) {
+  const auto f = parse(
+      "!(adj(x,y) -> (sing(X) <-> exists vertex z. adj(z,z)))");
+  const auto n = to_nnf(f);
+  EXPECT_TRUE(no_nnf_violations(*n));
+}
+
+TEST(Normalize, NnfDualizesQuantifiers) {
+  const auto f = lnot(exists("x", Sort::Vertex, adj("x", "x")));
+  const auto n = to_nnf(f);
+  EXPECT_EQ(n->kind, Kind::Forall);
+  EXPECT_EQ(n->left->kind, Kind::Not);
+}
+
+TEST(Normalize, NnfPreservesQuantifierRank) {
+  const std::vector<FormulaPtr> fs = {
+      lib::triangle_free(), lib::acyclic(), lib::connected(),
+      lib::k_colorable(2), lib::has_isolated_vertex()};
+  for (const auto& f : fs)
+    EXPECT_EQ(quantifier_rank(*to_nnf(f)), quantifier_rank(*f));
+}
+
+TEST(Normalize, NnfPreservesSemantics) {
+  gen::Rng rng(3);
+  const std::vector<FormulaPtr> fs = {
+      lib::triangle_free(), lib::connected(), lib::has_isolated_vertex(),
+      lib::k_colorable(2),
+      parse("forall vertex x. adj(x,x) <-> exists vertex y. y = x")};
+  for (int trial = 0; trial < 6; ++trial) {
+    const Graph g = gen::random_connected(6, 3, rng);
+    for (const auto& f : fs)
+      EXPECT_EQ(evaluate(g, *f), evaluate(g, *to_nnf(f))) << to_string(*f);
+  }
+}
+
+TEST(Normalize, FoldConstants) {
+  EXPECT_EQ(fold_constants(land(f_true(), adj("x", "y")))->kind,
+            Kind::Adjacent);
+  EXPECT_EQ(fold_constants(land(f_false(), adj("x", "y")))->kind, Kind::False);
+  EXPECT_EQ(fold_constants(lor(f_true(), adj("x", "y")))->kind, Kind::True);
+  EXPECT_EQ(fold_constants(lnot(f_true()))->kind, Kind::False);
+  EXPECT_EQ(fold_constants(implies(f_false(), adj("x", "y")))->kind,
+            Kind::True);
+  EXPECT_EQ(fold_constants(iff(f_true(), adj("x", "y")))->kind,
+            Kind::Adjacent);
+  // set quantifier over a constant body folds away
+  EXPECT_EQ(fold_constants(exists("X", Sort::VertexSet, f_true()))->kind,
+            Kind::True);
+}
+
+TEST(Normalize, SizeAndQuantifierCount) {
+  const auto f = exists(
+      "x", Sort::Vertex,
+      land(adj("x", "x"), forall("y", Sort::Vertex, adj("x", "y"))));
+  EXPECT_EQ(formula_size(*f), 5);
+  EXPECT_EQ(count_quantifiers(*f), 2);
+  EXPECT_EQ(quantifier_rank(*f), 2);
+}
+
+TEST(Normalize, NormalizeIdempotentOnLibrary) {
+  for (const auto& f :
+       {lib::triangle_free(), lib::connected(), lib::acyclic()}) {
+    const auto once = normalize(f);
+    const auto twice = normalize(once);
+    EXPECT_EQ(to_string(*once), to_string(*twice));
+  }
+}
+
+}  // namespace
+}  // namespace dmc::mso

@@ -1,0 +1,85 @@
+#include "td/tree_decomposition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.hpp"
+
+namespace dmc {
+namespace {
+
+TEST(TreeDecomposition, WidthAndChildren) {
+  TreeDecomposition td;
+  td.parent = {-1, 0, 0};
+  td.bags = {{0, 1}, {1, 2}, {1, 3}};
+  EXPECT_EQ(td.width(), 1);
+  const auto ch = td.children();
+  EXPECT_EQ(ch[0].size(), 2u);
+  const auto order = td.topological_order();
+  EXPECT_EQ(order[0], 0);
+}
+
+TEST(TreeDecomposition, ValidForPath) {
+  const Graph g = gen::path(4);
+  TreeDecomposition td;
+  td.parent = {-1, 0, 1};
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};
+  EXPECT_TRUE(td.valid_for(g));
+}
+
+TEST(TreeDecomposition, DetectsMissingEdge) {
+  const Graph g = gen::cycle(4);
+  TreeDecomposition td;
+  td.parent = {-1, 0, 1};
+  td.bags = {{0, 1}, {1, 2}, {2, 3}};  // edge 3-0 not covered
+  EXPECT_FALSE(td.valid_for(g));
+}
+
+TEST(TreeDecomposition, DetectsDisconnectedOccurrences) {
+  const Graph g = gen::path(3);
+  TreeDecomposition td;
+  td.parent = {-1, 0, 1};
+  // vertex 0 appears in bags 0 and 2 but not 1 -> not a subtree
+  td.bags = {{0, 1}, {1, 2}, {0, 2}};
+  EXPECT_FALSE(td.valid_for(g));
+}
+
+TEST(TreeDecomposition, DetectsMissingVertex) {
+  const Graph g = gen::path(3);
+  TreeDecomposition td;
+  td.parent = {-1, 0};
+  td.bags = {{0, 1}, {1}};  // vertex 2 missing
+  EXPECT_FALSE(td.valid_for(g));
+}
+
+TEST(CanonicalDecomposition, FromEliminationForest) {
+  // C4 with elimination tree 0 > 1 > {2, 3}? Edges 0-1,1-2,2-3,3-0.
+  // Use chain 0>1>2>3 which is valid for C4 (all edges ancestor-descendant).
+  const Graph g = gen::cycle(4);
+  EliminationForest chain({-1, 0, 1, 2});
+  ASSERT_TRUE(chain.valid_for(g));
+  const TreeDecomposition td = canonical_tree_decomposition(g, chain);
+  EXPECT_TRUE(td.valid_for(g));
+  EXPECT_EQ(td.width(), chain.depth() - 1);
+  EXPECT_EQ(td.bags[3], (std::vector<VertexId>{0, 1, 2, 3}));
+  EXPECT_EQ(td.bags[0], (std::vector<VertexId>{0}));
+}
+
+TEST(CanonicalDecomposition, RejectsInvalidForest) {
+  const Graph g = gen::path(4);
+  EliminationForest star({-1, 0, 0, 0});
+  EXPECT_THROW(canonical_tree_decomposition(g, star), std::invalid_argument);
+}
+
+TEST(CanonicalDecomposition, RandomGraphsProperty) {
+  gen::Rng rng(3);
+  for (int trial = 0; trial < 15; ++trial) {
+    const Graph g = gen::random_connected(11, 5, rng);
+    const auto [td_value, forest] = exact_treedepth_forest(g);
+    const TreeDecomposition td = canonical_tree_decomposition(g, forest);
+    EXPECT_TRUE(td.valid_for(g));
+    EXPECT_EQ(td.width(), forest.depth() - 1);
+  }
+}
+
+}  // namespace
+}  // namespace dmc
