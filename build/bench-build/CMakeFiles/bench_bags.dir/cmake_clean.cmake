@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_bags"
+  "../bench/bench_bags.pdb"
+  "CMakeFiles/bench_bags.dir/bench_bags.cpp.o"
+  "CMakeFiles/bench_bags.dir/bench_bags.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_bags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

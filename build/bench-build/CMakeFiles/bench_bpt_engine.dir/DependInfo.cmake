@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_bpt_engine.cpp" "bench-build/CMakeFiles/bench_bpt_engine.dir/bench_bpt_engine.cpp.o" "gcc" "bench-build/CMakeFiles/bench_bpt_engine.dir/bench_bpt_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/seq/CMakeFiles/dmc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpt/CMakeFiles/dmc_bpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/mso/CMakeFiles/dmc_mso.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/td/CMakeFiles/dmc_td.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_counting"
+  "../bench/bench_counting.pdb"
+  "CMakeFiles/bench_counting.dir/bench_counting.cpp.o"
+  "CMakeFiles/bench_counting.dir/bench_counting.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

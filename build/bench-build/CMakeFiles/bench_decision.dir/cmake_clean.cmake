@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_decision"
+  "../bench/bench_decision.pdb"
+  "CMakeFiles/bench_decision.dir/bench_decision.cpp.o"
+  "CMakeFiles/bench_decision.dir/bench_decision.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_decision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

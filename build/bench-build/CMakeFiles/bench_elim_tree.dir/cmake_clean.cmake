@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_elim_tree"
+  "../bench/bench_elim_tree.pdb"
+  "CMakeFiles/bench_elim_tree.dir/bench_elim_tree.cpp.o"
+  "CMakeFiles/bench_elim_tree.dir/bench_elim_tree.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_elim_tree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_hfreeness"
+  "../bench/bench_hfreeness.pdb"
+  "CMakeFiles/bench_hfreeness.dir/bench_hfreeness.cpp.o"
+  "CMakeFiles/bench_hfreeness.dir/bench_hfreeness.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hfreeness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

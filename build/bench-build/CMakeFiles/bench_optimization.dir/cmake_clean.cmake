@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optimization"
+  "../bench/bench_optimization.pdb"
+  "CMakeFiles/bench_optimization.dir/bench_optimization.cpp.o"
+  "CMakeFiles/bench_optimization.dir/bench_optimization.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

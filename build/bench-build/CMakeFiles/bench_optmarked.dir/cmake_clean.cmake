@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_optmarked"
+  "../bench/bench_optmarked.pdb"
+  "CMakeFiles/bench_optmarked.dir/bench_optmarked.cpp.o"
+  "CMakeFiles/bench_optmarked.dir/bench_optmarked.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optmarked.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_treedepth"
+  "../bench/bench_treedepth.pdb"
+  "CMakeFiles/bench_treedepth.dir/bench_treedepth.cpp.o"
+  "CMakeFiles/bench_treedepth.dir/bench_treedepth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_treedepth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/certify.dir/certify.cpp.o"
+  "CMakeFiles/certify.dir/certify.cpp.o.d"
+  "certify"
+  "certify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/certify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

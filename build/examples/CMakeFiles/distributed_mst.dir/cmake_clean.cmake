@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_mst.dir/distributed_mst.cpp.o"
+  "CMakeFiles/distributed_mst.dir/distributed_mst.cpp.o.d"
+  "distributed_mst"
+  "distributed_mst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_mst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/network_motifs.dir/network_motifs.cpp.o"
+  "CMakeFiles/network_motifs.dir/network_motifs.cpp.o.d"
+  "network_motifs"
+  "network_motifs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/network_motifs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimize_and_verify.dir/optimize_and_verify.cpp.o"
+  "CMakeFiles/optimize_and_verify.dir/optimize_and_verify.cpp.o.d"
+  "optimize_and_verify"
+  "optimize_and_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimize_and_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

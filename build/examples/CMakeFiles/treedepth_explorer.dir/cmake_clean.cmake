@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/treedepth_explorer.dir/treedepth_explorer.cpp.o"
+  "CMakeFiles/treedepth_explorer.dir/treedepth_explorer.cpp.o.d"
+  "treedepth_explorer"
+  "treedepth_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/treedepth_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

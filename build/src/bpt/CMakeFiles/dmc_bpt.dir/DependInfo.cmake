@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bpt/engine.cpp" "src/bpt/CMakeFiles/dmc_bpt.dir/engine.cpp.o" "gcc" "src/bpt/CMakeFiles/dmc_bpt.dir/engine.cpp.o.d"
+  "/root/repo/src/bpt/gluing.cpp" "src/bpt/CMakeFiles/dmc_bpt.dir/gluing.cpp.o" "gcc" "src/bpt/CMakeFiles/dmc_bpt.dir/gluing.cpp.o.d"
+  "/root/repo/src/bpt/plan.cpp" "src/bpt/CMakeFiles/dmc_bpt.dir/plan.cpp.o" "gcc" "src/bpt/CMakeFiles/dmc_bpt.dir/plan.cpp.o.d"
+  "/root/repo/src/bpt/tables.cpp" "src/bpt/CMakeFiles/dmc_bpt.dir/tables.cpp.o" "gcc" "src/bpt/CMakeFiles/dmc_bpt.dir/tables.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/mso/CMakeFiles/dmc_mso.dir/DependInfo.cmake"
+  "/root/repo/build/src/td/CMakeFiles/dmc_td.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

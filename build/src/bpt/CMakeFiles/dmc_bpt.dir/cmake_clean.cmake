@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_bpt.dir/engine.cpp.o"
+  "CMakeFiles/dmc_bpt.dir/engine.cpp.o.d"
+  "CMakeFiles/dmc_bpt.dir/gluing.cpp.o"
+  "CMakeFiles/dmc_bpt.dir/gluing.cpp.o.d"
+  "CMakeFiles/dmc_bpt.dir/plan.cpp.o"
+  "CMakeFiles/dmc_bpt.dir/plan.cpp.o.d"
+  "CMakeFiles/dmc_bpt.dir/tables.cpp.o"
+  "CMakeFiles/dmc_bpt.dir/tables.cpp.o.d"
+  "libdmc_bpt.a"
+  "libdmc_bpt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_bpt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_congest.dir/network.cpp.o"
+  "CMakeFiles/dmc_congest.dir/network.cpp.o.d"
+  "CMakeFiles/dmc_congest.dir/primitives.cpp.o"
+  "CMakeFiles/dmc_congest.dir/primitives.cpp.o.d"
+  "libdmc_congest.a"
+  "libdmc_congest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_congest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

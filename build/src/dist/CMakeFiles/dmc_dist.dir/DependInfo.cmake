@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dist/bags.cpp" "src/dist/CMakeFiles/dmc_dist.dir/bags.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/bags.cpp.o.d"
+  "/root/repo/src/dist/baseline.cpp" "src/dist/CMakeFiles/dmc_dist.dir/baseline.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/baseline.cpp.o.d"
+  "/root/repo/src/dist/certification.cpp" "src/dist/CMakeFiles/dmc_dist.dir/certification.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/certification.cpp.o.d"
+  "/root/repo/src/dist/counting.cpp" "src/dist/CMakeFiles/dmc_dist.dir/counting.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/counting.cpp.o.d"
+  "/root/repo/src/dist/decision.cpp" "src/dist/CMakeFiles/dmc_dist.dir/decision.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/decision.cpp.o.d"
+  "/root/repo/src/dist/elim_tree.cpp" "src/dist/CMakeFiles/dmc_dist.dir/elim_tree.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/elim_tree.cpp.o.d"
+  "/root/repo/src/dist/hfreeness.cpp" "src/dist/CMakeFiles/dmc_dist.dir/hfreeness.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/hfreeness.cpp.o.d"
+  "/root/repo/src/dist/local.cpp" "src/dist/CMakeFiles/dmc_dist.dir/local.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/local.cpp.o.d"
+  "/root/repo/src/dist/optimization.cpp" "src/dist/CMakeFiles/dmc_dist.dir/optimization.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/optimization.cpp.o.d"
+  "/root/repo/src/dist/optmarked.cpp" "src/dist/CMakeFiles/dmc_dist.dir/optmarked.cpp.o" "gcc" "src/dist/CMakeFiles/dmc_dist.dir/optmarked.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/congest/CMakeFiles/dmc_congest.dir/DependInfo.cmake"
+  "/root/repo/build/src/bpt/CMakeFiles/dmc_bpt.dir/DependInfo.cmake"
+  "/root/repo/build/src/seq/CMakeFiles/dmc_seq.dir/DependInfo.cmake"
+  "/root/repo/build/src/mso/CMakeFiles/dmc_mso.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/dmc_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/td/CMakeFiles/dmc_td.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_dist.dir/bags.cpp.o"
+  "CMakeFiles/dmc_dist.dir/bags.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/baseline.cpp.o"
+  "CMakeFiles/dmc_dist.dir/baseline.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/certification.cpp.o"
+  "CMakeFiles/dmc_dist.dir/certification.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/counting.cpp.o"
+  "CMakeFiles/dmc_dist.dir/counting.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/decision.cpp.o"
+  "CMakeFiles/dmc_dist.dir/decision.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/elim_tree.cpp.o"
+  "CMakeFiles/dmc_dist.dir/elim_tree.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/hfreeness.cpp.o"
+  "CMakeFiles/dmc_dist.dir/hfreeness.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/local.cpp.o"
+  "CMakeFiles/dmc_dist.dir/local.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/optimization.cpp.o"
+  "CMakeFiles/dmc_dist.dir/optimization.cpp.o.d"
+  "CMakeFiles/dmc_dist.dir/optmarked.cpp.o"
+  "CMakeFiles/dmc_dist.dir/optmarked.cpp.o.d"
+  "libdmc_dist.a"
+  "libdmc_dist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_graph.dir/algorithms.cpp.o"
+  "CMakeFiles/dmc_graph.dir/algorithms.cpp.o.d"
+  "CMakeFiles/dmc_graph.dir/exact.cpp.o"
+  "CMakeFiles/dmc_graph.dir/exact.cpp.o.d"
+  "CMakeFiles/dmc_graph.dir/generators.cpp.o"
+  "CMakeFiles/dmc_graph.dir/generators.cpp.o.d"
+  "CMakeFiles/dmc_graph.dir/graph.cpp.o"
+  "CMakeFiles/dmc_graph.dir/graph.cpp.o.d"
+  "CMakeFiles/dmc_graph.dir/io.cpp.o"
+  "CMakeFiles/dmc_graph.dir/io.cpp.o.d"
+  "libdmc_graph.a"
+  "libdmc_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mso/ast.cpp" "src/mso/CMakeFiles/dmc_mso.dir/ast.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/ast.cpp.o.d"
+  "/root/repo/src/mso/eval.cpp" "src/mso/CMakeFiles/dmc_mso.dir/eval.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/eval.cpp.o.d"
+  "/root/repo/src/mso/formulas.cpp" "src/mso/CMakeFiles/dmc_mso.dir/formulas.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/formulas.cpp.o.d"
+  "/root/repo/src/mso/lower.cpp" "src/mso/CMakeFiles/dmc_mso.dir/lower.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/lower.cpp.o.d"
+  "/root/repo/src/mso/normalize.cpp" "src/mso/CMakeFiles/dmc_mso.dir/normalize.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/normalize.cpp.o.d"
+  "/root/repo/src/mso/parser.cpp" "src/mso/CMakeFiles/dmc_mso.dir/parser.cpp.o" "gcc" "src/mso/CMakeFiles/dmc_mso.dir/parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dmc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_mso.dir/ast.cpp.o"
+  "CMakeFiles/dmc_mso.dir/ast.cpp.o.d"
+  "CMakeFiles/dmc_mso.dir/eval.cpp.o"
+  "CMakeFiles/dmc_mso.dir/eval.cpp.o.d"
+  "CMakeFiles/dmc_mso.dir/formulas.cpp.o"
+  "CMakeFiles/dmc_mso.dir/formulas.cpp.o.d"
+  "CMakeFiles/dmc_mso.dir/lower.cpp.o"
+  "CMakeFiles/dmc_mso.dir/lower.cpp.o.d"
+  "CMakeFiles/dmc_mso.dir/normalize.cpp.o"
+  "CMakeFiles/dmc_mso.dir/normalize.cpp.o.d"
+  "CMakeFiles/dmc_mso.dir/parser.cpp.o"
+  "CMakeFiles/dmc_mso.dir/parser.cpp.o.d"
+  "libdmc_mso.a"
+  "libdmc_mso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_mso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

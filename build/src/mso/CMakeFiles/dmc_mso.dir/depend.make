@@ -1,0 +1,2 @@
+# Empty dependencies file for dmc_mso.
+# This may be replaced when dependencies are built.

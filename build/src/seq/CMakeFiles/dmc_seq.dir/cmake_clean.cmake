@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_seq.dir/courcelle.cpp.o"
+  "CMakeFiles/dmc_seq.dir/courcelle.cpp.o.d"
+  "libdmc_seq.a"
+  "libdmc_seq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_seq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/td/elimination_forest.cpp" "src/td/CMakeFiles/dmc_td.dir/elimination_forest.cpp.o" "gcc" "src/td/CMakeFiles/dmc_td.dir/elimination_forest.cpp.o.d"
+  "/root/repo/src/td/tree_decomposition.cpp" "src/td/CMakeFiles/dmc_td.dir/tree_decomposition.cpp.o" "gcc" "src/td/CMakeFiles/dmc_td.dir/tree_decomposition.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/graph/CMakeFiles/dmc_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

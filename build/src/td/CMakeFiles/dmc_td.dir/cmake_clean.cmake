@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc_td.dir/elimination_forest.cpp.o"
+  "CMakeFiles/dmc_td.dir/elimination_forest.cpp.o.d"
+  "CMakeFiles/dmc_td.dir/tree_decomposition.cpp.o"
+  "CMakeFiles/dmc_td.dir/tree_decomposition.cpp.o.d"
+  "libdmc_td.a"
+  "libdmc_td.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc_td.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

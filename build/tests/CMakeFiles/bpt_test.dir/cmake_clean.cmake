@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bpt_test.dir/bpt_test.cpp.o"
+  "CMakeFiles/bpt_test.dir/bpt_test.cpp.o.d"
+  "bpt_test"
+  "bpt_test.pdb"
+  "bpt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bpt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

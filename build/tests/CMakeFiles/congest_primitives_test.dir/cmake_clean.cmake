@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/congest_primitives_test.dir/congest_primitives_test.cpp.o"
+  "CMakeFiles/congest_primitives_test.dir/congest_primitives_test.cpp.o.d"
+  "congest_primitives_test"
+  "congest_primitives_test.pdb"
+  "congest_primitives_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/congest_primitives_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

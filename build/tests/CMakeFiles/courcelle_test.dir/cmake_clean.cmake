@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/courcelle_test.dir/courcelle_test.cpp.o"
+  "CMakeFiles/courcelle_test.dir/courcelle_test.cpp.o.d"
+  "courcelle_test"
+  "courcelle_test.pdb"
+  "courcelle_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/courcelle_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_edge_problems_test.dir/dist_edge_problems_test.cpp.o"
+  "CMakeFiles/dist_edge_problems_test.dir/dist_edge_problems_test.cpp.o.d"
+  "dist_edge_problems_test"
+  "dist_edge_problems_test.pdb"
+  "dist_edge_problems_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_edge_problems_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

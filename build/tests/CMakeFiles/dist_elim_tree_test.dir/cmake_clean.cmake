@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_elim_tree_test.dir/dist_elim_tree_test.cpp.o"
+  "CMakeFiles/dist_elim_tree_test.dir/dist_elim_tree_test.cpp.o.d"
+  "dist_elim_tree_test"
+  "dist_elim_tree_test.pdb"
+  "dist_elim_tree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_elim_tree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_hfreeness_test.dir/dist_hfreeness_test.cpp.o"
+  "CMakeFiles/dist_hfreeness_test.dir/dist_hfreeness_test.cpp.o.d"
+  "dist_hfreeness_test"
+  "dist_hfreeness_test.pdb"
+  "dist_hfreeness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_hfreeness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

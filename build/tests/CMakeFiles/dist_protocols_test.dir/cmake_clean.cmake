@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_protocols_test.dir/dist_protocols_test.cpp.o"
+  "CMakeFiles/dist_protocols_test.dir/dist_protocols_test.cpp.o.d"
+  "dist_protocols_test"
+  "dist_protocols_test.pdb"
+  "dist_protocols_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_protocols_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dist_robustness_test.dir/dist_robustness_test.cpp.o"
+  "CMakeFiles/dist_robustness_test.dir/dist_robustness_test.cpp.o.d"
+  "dist_robustness_test"
+  "dist_robustness_test.pdb"
+  "dist_robustness_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dist_robustness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

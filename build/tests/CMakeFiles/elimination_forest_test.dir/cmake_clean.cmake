@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/elimination_forest_test.dir/elimination_forest_test.cpp.o"
+  "CMakeFiles/elimination_forest_test.dir/elimination_forest_test.cpp.o.d"
+  "elimination_forest_test"
+  "elimination_forest_test.pdb"
+  "elimination_forest_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/elimination_forest_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

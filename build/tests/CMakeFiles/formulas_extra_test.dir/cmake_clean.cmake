@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/formulas_extra_test.dir/formulas_extra_test.cpp.o"
+  "CMakeFiles/formulas_extra_test.dir/formulas_extra_test.cpp.o.d"
+  "formulas_extra_test"
+  "formulas_extra_test.pdb"
+  "formulas_extra_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/formulas_extra_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_ast_test.dir/mso_ast_test.cpp.o"
+  "CMakeFiles/mso_ast_test.dir/mso_ast_test.cpp.o.d"
+  "mso_ast_test"
+  "mso_ast_test.pdb"
+  "mso_ast_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_ast_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_eval_test.dir/mso_eval_test.cpp.o"
+  "CMakeFiles/mso_eval_test.dir/mso_eval_test.cpp.o.d"
+  "mso_eval_test"
+  "mso_eval_test.pdb"
+  "mso_eval_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_eval_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

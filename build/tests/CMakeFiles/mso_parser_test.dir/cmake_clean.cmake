@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mso_parser_test.dir/mso_parser_test.cpp.o"
+  "CMakeFiles/mso_parser_test.dir/mso_parser_test.cpp.o.d"
+  "mso_parser_test"
+  "mso_parser_test.pdb"
+  "mso_parser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mso_parser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/noncanonical_test.dir/noncanonical_test.cpp.o"
+  "CMakeFiles/noncanonical_test.dir/noncanonical_test.cpp.o.d"
+  "noncanonical_test"
+  "noncanonical_test.pdb"
+  "noncanonical_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/noncanonical_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

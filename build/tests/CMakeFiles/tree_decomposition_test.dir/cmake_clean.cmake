@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tree_decomposition_test.dir/tree_decomposition_test.cpp.o"
+  "CMakeFiles/tree_decomposition_test.dir/tree_decomposition_test.cpp.o.d"
+  "tree_decomposition_test"
+  "tree_decomposition_test.pdb"
+  "tree_decomposition_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tree_decomposition_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/generators_test[1]_include.cmake")
+include("/root/repo/build/tests/algorithms_test[1]_include.cmake")
+include("/root/repo/build/tests/exact_test[1]_include.cmake")
+include("/root/repo/build/tests/elimination_forest_test[1]_include.cmake")
+include("/root/repo/build/tests/tree_decomposition_test[1]_include.cmake")
+include("/root/repo/build/tests/mso_ast_test[1]_include.cmake")
+include("/root/repo/build/tests/mso_parser_test[1]_include.cmake")
+include("/root/repo/build/tests/mso_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/courcelle_test[1]_include.cmake")
+include("/root/repo/build/tests/congest_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_elim_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_protocols_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_hfreeness_test[1]_include.cmake")
+include("/root/repo/build/tests/congest_primitives_test[1]_include.cmake")
+include("/root/repo/build/tests/certification_test[1]_include.cmake")
+include("/root/repo/build/tests/formulas_extra_test[1]_include.cmake")
+include("/root/repo/build/tests/normalize_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/bpt_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_robustness_test[1]_include.cmake")
+include("/root/repo/build/tests/noncanonical_test[1]_include.cmake")
+include("/root/repo/build/tests/sweep_test[1]_include.cmake")
+include("/root/repo/build/tests/dist_edge_problems_test[1]_include.cmake")

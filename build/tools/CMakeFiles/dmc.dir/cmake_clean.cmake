@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dmc.dir/dmc.cpp.o"
+  "CMakeFiles/dmc.dir/dmc.cpp.o.d"
+  "dmc"
+  "dmc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dmc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
