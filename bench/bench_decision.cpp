@@ -30,6 +30,9 @@ int main() {
     std::printf("\n-- formula: %s --\n", c.name);
     bench::columns({"n", "proto_rounds", "base_rounds", "holds", "|C|",
                     "class_bits"});
+    // Traced sweep: attribute the protocol's rounds to its pipeline stages
+    // (elim-tree / bags / decide) to show each stays flat in n.
+    obs::CurveTable stages;
     for (int n : {16, 32, 64, 128, 256}) {
       gen::Rng rng(23);
       const Graph g = gen::random_bounded_treedepth(n, 3, 0.25, rng);
@@ -38,13 +41,18 @@ int main() {
       std::size_t classes = 0;
       int cbits = 0;
       {
-        congest::Network net(g);
+        obs::TraceBuffer trace;
+        congest::NetworkConfig cfg;
+        cfg.sink = &trace;
+        congest::Network net(g, cfg);
         const auto out = dist::run_decision(net, c.formula, 3);
         if (out.treedepth_exceeded) continue;
         proto_rounds = out.total_rounds();
         holds = out.holds;
         classes = out.num_classes;
         cbits = out.max_class_bits;
+        bench::curve_from_phases(stages, n, obs::summarize(trace),
+                                 /*depth=*/1);
       }
       {
         congest::Network net(g);
@@ -53,6 +61,8 @@ int main() {
       bench::row((long long)n, proto_rounds, base_rounds, (long long)holds,
                  (long long)classes, (long long)cbits);
     }
+    std::printf("\nprotocol rounds per stage (traced):\n%s",
+                stages.format("n").c_str());
   }
   return 0;
 }

@@ -33,15 +33,28 @@ int main() {
                (long long)result.rounds, (long long)forest.depth(), 8LL);
   }
 
+  // The d-sweep runs traced: the per-step curve decomposes the rounds/4^d
+  // constant into Algorithm 2's election / report / adopt steps (the
+  // election loop dominates; report + adopt stay O(2^d)).
   bench::columns({"family", "n", "d", "rounds", "rounds/4^d"});
+  obs::CurveTable steps;
+  obs::TraceBuffer last_trace;
   for (int d = 2; d <= 6; ++d) {
     const Graph g = gen::star(40);  // treedepth 2: always succeeds
-    congest::Network net(g);
+    obs::TraceBuffer trace;
+    congest::NetworkConfig cfg;
+    cfg.sink = &trace;
+    congest::Network net(g, cfg);
     const auto result = dist::run_elim_tree(net, d);
     bench::row(std::string("star(40)"), 41LL, (long long)d,
                (long long)result.rounds,
                double(result.rounds) / double(1LL << (2 * d)));
+    bench::curve_from_phases(steps, d, obs::summarize(trace), /*depth=*/2);
+    if (d == 6) last_trace = trace;
   }
+  std::printf("\nrounds per Algorithm 2 step (traced):\n%s",
+              steps.format("d").c_str());
+  bench::phase_breakdown(last_trace, "per-phase breakdown at d=6:");
 
   bench::columns({"family", "n", "d", "outcome"});
   // Budget violation is reported, not mis-answered (paper: "large treedepth").

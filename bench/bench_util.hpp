@@ -12,6 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "obs/buffer.hpp"
+#include "obs/summary.hpp"
+
 namespace dmc::bench {
 
 inline void header(const std::string& experiment, const std::string& claim) {
@@ -38,6 +41,38 @@ template <typename... Ts>
 void row(Ts... values) {
   (cell(values), ...);
   endrow();
+}
+
+/// Per-phase attribution of a traced run: prints the obs summary table so an
+/// experiment's headline constant (e.g. E1's rounds/4^d) can be decomposed
+/// into its protocol steps.
+inline obs::Summary phase_breakdown(const obs::TraceBuffer& buffer,
+                                    const std::string& caption) {
+  obs::Summary s = obs::summarize(buffer);
+  std::printf("\n%s\n%s", caption.c_str(), obs::format_summary(s).c_str());
+  return s;
+}
+
+/// Adds one traced sweep point to a rounds-vs-x curve, one series per phase
+/// aggregated at `depth` path components (depth 1 groups "a/b" under "a").
+inline void curve_from_phases(obs::CurveTable& curve, long x,
+                              const obs::Summary& summary, int depth = 1) {
+  std::vector<std::string> seen;
+  for (const auto& p : summary.phases) {
+    std::string key = p.path;
+    int slashes = 0;
+    for (std::size_t i = 0; i < key.size(); ++i) {
+      if (key[i] == '/' && ++slashes == depth) {
+        key.resize(i);
+        break;
+      }
+    }
+    bool dup = false;
+    for (const auto& s : seen) dup = dup || s == key;
+    if (dup) continue;
+    seen.push_back(key);
+    curve.add(key, x, double(summary.aggregate(key).rounds));
+  }
 }
 
 }  // namespace dmc::bench

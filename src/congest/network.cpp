@@ -24,6 +24,8 @@ int NodeCtx::degree() const { return net_.graph_.degree(vertex_); }
 int NodeCtx::n() const { return net_.n(); }
 int NodeCtx::round() const { return net_.round_; }
 int NodeCtx::bandwidth() const { return net_.bandwidth_; }
+bool NodeCtx::traced() const { return net_.traced(); }
+void NodeCtx::annotate(std::string_view name) { net_.annotate(name); }
 
 VertexId NodeCtx::neighbor_id(int port) const {
   return net_.ids_[net_.graph_.incident(vertex_).at(port).first];
@@ -52,6 +54,7 @@ void NodeCtx::send(int port, Message msg) {
   net_.stats_.messages += 1;
   net_.stats_.total_bits += msg.bits;
   net_.stats_.max_message_bits = std::max(net_.stats_.max_message_bits, msg.bits);
+  net_.round_max_message_bits_ = std::max(net_.round_max_message_bits_, msg.bits);
   out[port] = std::move(msg);
 }
 
@@ -86,10 +89,69 @@ Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
   }
 }
 
+void Network::phase_begin(std::string_view name) {
+  if (cfg_.sink == nullptr) return;
+  close_annotation();
+  obs::PhaseEvent ev;
+  ev.kind = obs::PhaseEvent::Kind::Begin;
+  ev.name = std::string(name);
+  ev.round = round_;
+  ev.depth = static_cast<int>(span_stack_.size());
+  span_stack_.push_back(ev.name);
+  cfg_.sink->phase(ev);
+}
+
+void Network::phase_end() {
+  if (cfg_.sink == nullptr) return;
+  if (span_stack_.empty())
+    throw std::logic_error("Network::phase_end: no open phase");
+  close_annotation();
+  obs::PhaseEvent ev;
+  ev.kind = obs::PhaseEvent::Kind::End;
+  ev.name = span_stack_.back();
+  ev.round = round_;
+  ev.depth = static_cast<int>(span_stack_.size()) - 1;
+  span_stack_.pop_back();
+  cfg_.sink->phase(ev);
+}
+
+void Network::annotate(std::string_view name) {
+  if (cfg_.sink == nullptr || name == annotation_) return;
+  close_annotation();
+  obs::PhaseEvent ev;
+  ev.kind = obs::PhaseEvent::Kind::Begin;
+  ev.name = std::string(name);
+  ev.round = round_;
+  ev.depth = static_cast<int>(span_stack_.size());
+  annotation_ = ev.name;
+  cfg_.sink->phase(ev);
+}
+
+void Network::close_annotation() {
+  if (cfg_.sink == nullptr || annotation_.empty()) return;
+  obs::PhaseEvent ev;
+  ev.kind = obs::PhaseEvent::Kind::End;
+  ev.name = std::move(annotation_);
+  ev.round = round_;
+  ev.depth = static_cast<int>(span_stack_.size());
+  annotation_.clear();
+  cfg_.sink->phase(ev);
+}
+
 long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
   if (static_cast<int>(programs.size()) != n())
     throw std::invalid_argument("Network::run: one program per vertex needed");
   const int n_ = n();
+  obs::TraceSink* const sink = cfg_.sink;
+  long prev_messages = stats_.messages;
+  long long prev_bits = stats_.total_bits;
+  if (sink != nullptr) {
+    obs::RunInfo info;
+    info.n = n_;
+    info.bandwidth = bandwidth_;
+    info.first_round = round_;
+    sink->run_begin(info);
+  }
   long rounds_this_run = 0;
   for (;;) {
     // Step every node.
@@ -97,11 +159,23 @@ long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
       NodeCtx ctx(*this, v);
       programs[v]->on_round(ctx);
     }
-    // Check completion *after* the step (so final outputs are set).
+    // Check completion *after* the step (so final outputs are set). The
+    // untraced path short-circuits; the traced path counts done nodes.
     bool all_done = true;
-    for (int v = 0; v < n_ && all_done; ++v) {
-      NodeCtx ctx(*this, v);
-      all_done = programs[v]->done(ctx);
+    int done_count = 0;
+    if (sink == nullptr) {
+      for (int v = 0; v < n_ && all_done; ++v) {
+        NodeCtx ctx(*this, v);
+        all_done = programs[v]->done(ctx);
+      }
+    } else {
+      for (int v = 0; v < n_; ++v) {
+        NodeCtx ctx(*this, v);
+        if (programs[v]->done(ctx))
+          ++done_count;
+        else
+          all_done = false;
+      }
     }
     // Deliver messages: outbox of u's port (to w) lands in w's port (to u).
     for (int v = 0; v < n_; ++v)
@@ -127,9 +201,26 @@ long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
     ++round_;
     ++rounds_this_run;
     stats_.rounds += 1;
+    if (sink != nullptr) {
+      obs::RoundEvent ev;
+      ev.round = round_ - 1;
+      ev.messages = stats_.messages - prev_messages;
+      ev.bits = stats_.total_bits - prev_bits;
+      ev.max_message_bits = round_max_message_bits_;
+      ev.active_nodes = n_ - done_count;
+      ev.done_nodes = done_count;
+      sink->round(ev);
+      prev_messages = stats_.messages;
+      prev_bits = stats_.total_bits;
+      round_max_message_bits_ = 0;
+    }
     if (all_done && !any_message) break;
     if (rounds_this_run > cfg_.max_rounds)
       throw std::runtime_error("Network::run: round limit exceeded");
+  }
+  if (sink != nullptr) {
+    close_annotation();  // protocol annotations never outlive their run
+    sink->run_end();
   }
   return rounds_this_run;
 }

@@ -23,9 +23,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace dmc::congest {
 
@@ -49,6 +52,10 @@ struct NetworkConfig {
   unsigned id_seed = 0;
   /// Hard cap on rounds per run() call (guards non-terminating protocols).
   int max_rounds = 1'000'000;
+  /// Optional trace sink (not owned; must outlive the network). When null
+  /// — the default — run() takes no tracing branches and performs no
+  /// allocation for observability.
+  obs::TraceSink* sink = nullptr;
 };
 
 struct NetworkStats {
@@ -78,6 +85,15 @@ class NodeCtx {
   int round() const;
   /// Per-edge-per-round bandwidth in bits.
   int bandwidth() const;
+
+  /// True iff a trace sink is configured. Protocols that build annotation
+  /// names dynamically should gate the formatting on this.
+  bool traced() const;
+  /// Labels the network's current protocol step for the trace (a span
+  /// nested under the innermost driver phase). Network-global and
+  /// deduplicated: annotating the current name again is a no-op, a new
+  /// name closes the previous annotation span. No-op when untraced.
+  void annotate(std::string_view name);
 
   /// Queues a message on `port` for delivery next round. Throws if a
   /// message was already queued on this port this round or if `bits`
@@ -127,8 +143,19 @@ class Network {
   /// runs). Throws std::runtime_error if max_rounds is exceeded.
   long run(std::vector<std::unique_ptr<NodeProgram>>& programs);
 
+  /// Tracing (all no-ops when no sink is configured). Driver code brackets
+  /// protocol stages in named spans; spans nest and must close in LIFO
+  /// order (prefer the PhaseScope RAII helper). phase_end closes any open
+  /// NodeCtx annotation first, so annotations never leak across phases.
+  bool traced() const { return cfg_.sink != nullptr; }
+  void phase_begin(std::string_view name);
+  void phase_end();
+  void annotate(std::string_view name);
+
  private:
   friend class NodeCtx;
+
+  void close_annotation();
 
   Graph graph_;
   NetworkConfig cfg_;
@@ -137,8 +164,29 @@ class Network {
   std::vector<int> vertex_of_id_;       // id -> vertex
   NetworkStats stats_;
   int round_ = 0;
+  int round_max_message_bits_ = 0;  // reset per round while traced
   // per vertex, per port
   std::vector<std::vector<std::optional<Message>>> inbox_, outbox_;
+  // Trace state: driver span stack + the current annotation sub-span
+  // ("" = none). Touched only when cfg_.sink != nullptr.
+  std::vector<std::string> span_stack_;
+  std::string annotation_;
+};
+
+/// RAII driver span: opens a named phase on construction, closes it (and
+/// any annotation under it) on destruction. Free when the network is
+/// untraced.
+class PhaseScope {
+ public:
+  PhaseScope(Network& net, std::string_view name) : net_(net) {
+    net_.phase_begin(name);
+  }
+  ~PhaseScope() { net_.phase_end(); }
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+
+ private:
+  Network& net_;
 };
 
 }  // namespace dmc::congest

@@ -1,6 +1,7 @@
 #include "dist/bags.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "congest/fragment.hpp"
@@ -55,6 +56,13 @@ class BagsProgram : public congest::NodeProgram {
   /// Bag acquired: queue it to every child.
   void adopt_bag(NodeCtx& ctx) {
     has_bag_ = true;
+    if (ctx.traced()) {
+      // The bag size equals this node's depth: deeper levels adopt later,
+      // so the annotations spell out the level-by-level pipeline.
+      char label[32];
+      std::snprintf(label, sizeof(label), "level=%zu", bag_.bag.size());
+      ctx.annotate(label);
+    }
     for (VertexId child : children_ids_) {
       const int port = ctx.port_of(child);
       if (port < 0) throw std::logic_error("BagsProgram: child not adjacent");
@@ -120,6 +128,7 @@ BagsResult run_bags(congest::Network& net, const ElimTreeResult& tree,
                     const std::vector<std::string>& elabel_names) {
   if (!tree.success)
     throw std::invalid_argument("run_bags: elimination tree construction failed");
+  congest::PhaseScope trace_scope(net, "bags");
   const Graph& g = net.graph();
   auto vbits = [&](VertexId v) {
     std::uint32_t bits = 0;

@@ -42,6 +42,7 @@ class GatherProgram : public congest::NodeProgram {
     const int n = ctx.n();
     const int id_bits = congest::id_bits(n);
     if (r == 0) {
+      ctx.annotate("bfs");
       root_ = ctx.id();
       dist_ = 0;
       parent_ = -1;
@@ -63,6 +64,7 @@ class GatherProgram : public congest::NodeProgram {
         ctx.send_all(Message(BfsMsg{root_, dist_, parent_},
                              2 * id_bits + congest::count_bits(n)));
       if (r == n) {
+        ctx.annotate("gather");
         // Stable: neighbors whose parent is me are my BFS children.
         // (Their final parent pointer arrived with the last flood.)
         for (int p = 0; p < ctx.degree(); ++p) {
@@ -135,6 +137,7 @@ class GatherProgram : public congest::NodeProgram {
   }
 
   void forward_verdict(NodeCtx& ctx) {
+    ctx.annotate("verdict");
     for (VertexId child : children_)
       ctx.send(ctx.port_of(child), Message(VerdictMsg{verdict_}, 1));
   }
@@ -158,6 +161,7 @@ class GatherProgram : public congest::NodeProgram {
 
 BaselineOutcome run_gather_baseline(congest::Network& net,
                                     const mso::FormulaPtr& formula) {
+  congest::PhaseScope trace_scope(net, "baseline");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<GatherProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {

@@ -51,6 +51,10 @@ class CountingProgram : public congest::NodeProgram {
   std::uint64_t total() const { return total_; }
 
   void on_round(NodeCtx& ctx) override {
+    if (first_round_) {
+      first_round_ = false;
+      ctx.annotate("tables");
+    }
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
       if (auto payload = congest::poll_fragment(ctx, p)) {
@@ -101,6 +105,7 @@ class CountingProgram : public congest::NodeProgram {
 
  private:
   void forward_total(NodeCtx& ctx) {
+    ctx.annotate("total");
     for (VertexId child : children_ids_)
       ctx.send(ctx.port_of(child),
                Message(TotalMsg{total_}, congest::count_bits(total_)));
@@ -114,6 +119,7 @@ class CountingProgram : public congest::NodeProgram {
   std::vector<bpt::CountTable> child_tables_;
   std::vector<bool> have_table_;
   congest::FragmentSender sender_;
+  bool first_round_ = true;
   bool solved_ = false;
   bool finished_ = false;
   std::uint64_t total_ = 0;
@@ -140,6 +146,7 @@ CountingOutcome run_count(
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
 
+  congest::PhaseScope trace_scope(net, "count");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<CountingProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {

@@ -48,6 +48,10 @@ class DecisionProgram : public congest::NodeProgram {
   bool verdict() const { return verdict_; }
 
   void on_round(NodeCtx& ctx) override {
+    if (first_round_) {
+      first_round_ = false;
+      ctx.annotate("fold");
+    }
     // Collect children classes / parent verdict.
     for (int p = 0; p < ctx.degree(); ++p) {
       const auto& msg = ctx.recv(p);
@@ -90,6 +94,7 @@ class DecisionProgram : public congest::NodeProgram {
   }
 
   void forward_verdict(NodeCtx& ctx) {
+    ctx.annotate("verdict");
     for (VertexId child : children_ids_)
       ctx.send(ctx.port_of(child), Message(VerdictMsg{verdict_}, 1));
   }
@@ -100,6 +105,7 @@ class DecisionProgram : public congest::NodeProgram {
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
   std::vector<bpt::TypeId> inputs_;
+  bool first_round_ = true;
   bool sent_ = false;
   bool verdict_known_ = false;
   bool verdict_ = false;
@@ -132,6 +138,7 @@ DecisionOutcome run_decision(congest::Network& net,
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
 
+  congest::PhaseScope trace_scope(net, "decide");
   bpt::Evaluator evaluator(*engine, lowered);
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<DecisionProgram*> handles;

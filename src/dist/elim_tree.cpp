@@ -68,11 +68,13 @@ class ElimTreeProgram : public congest::NodeProgram {
       cur_min_ = marked() ? -1 : ctx.id();
     }
     if (step < E) {
+      ctx.annotate("election");
       if (step > 0) absorb_floods(ctx);
       ctx.send_all(Message(FloodMsg{marked(), cur_min_}, 1 + id_bits));
       return;
     }
     if (step == E) {
+      ctx.annotate("report");
       absorb_floods(ctx);
       if (phase == 0) {
         if (!marked() && cur_min_ == ctx.id()) depth_ = 1;  // root, parent -1
@@ -83,6 +85,7 @@ class ElimTreeProgram : public congest::NodeProgram {
       return;
     }
     // step == E + 1: adoption by nodes of depth == phase.
+    ctx.annotate("adopt");
     if (phase >= 1 && marked() && depth_ == phase) {
       std::map<VertexId, std::pair<VertexId, int>> best;  // leader -> (id, port)
       for (int p = 0; p < ctx.degree(); ++p) {
@@ -144,6 +147,7 @@ class ElimTreeProgram : public congest::NodeProgram {
 
 ElimTreeResult run_elim_tree(congest::Network& net, int d) {
   if (d < 1) throw std::invalid_argument("run_elim_tree: d >= 1 required");
+  congest::PhaseScope trace_scope(net, "elim-tree");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<ElimTreeProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {

@@ -1,6 +1,7 @@
 #include "dist/hfreeness.hpp"
 
 #include <algorithm>
+#include <cstdio>
 #include <stdexcept>
 
 #include "congest/network.hpp"
@@ -38,7 +39,8 @@ LowTdDecomposition grid_low_td_decomposition(const Graph& g, int rows,
 }
 
 HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
-                                     const Graph& h, int td_budget) {
+                                     const Graph& h, int td_budget,
+                                     obs::TraceSink* sink) {
   const int p = h.num_vertices();
   if (p < 1 || !is_connected(h))
     throw std::invalid_argument("run_h_freeness_grid: H must be connected");
@@ -79,8 +81,14 @@ HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
           if (comp[v] == c) cm.push_back(v);
         if (static_cast<int>(cm.size()) < p) continue;  // cannot contain H
         const Graph gc = gi.induced_subgraph(cm);
-        congest::Network net(gc);
+        congest::NetworkConfig net_cfg;
+        net_cfg.sink = sink;
+        congest::Network net(gc, net_cfg);
         ++out.num_component_runs;
+        char span[48];
+        std::snprintf(span, sizeof(span), "subset=%d comp=%d",
+                      out.num_subsets - 1, c);
+        congest::PhaseScope trace_scope(net, span);
         const DecisionOutcome res =
             run_decision(net, formula, td_budget, &engine);
         if (res.treedepth_exceeded)

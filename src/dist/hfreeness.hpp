@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "obs/trace.hpp"
 
 namespace dmc::dist {
 
@@ -56,7 +57,13 @@ struct HFreenessOutcome {
 /// budget passed to Algorithm 2 for the per-union runs (the class constant;
 /// p^2 always suffices for the grid decomposition, and the exact value for
 /// p x p blocks is much smaller).
+///
+/// `sink` (optional) receives the traces of every per-component decision,
+/// each wrapped in a "subset=I comp=C" span. The component networks are
+/// independent, so their round indices restart at 0 per run — consume the
+/// run_begin markers (or the spans) to tell the runs apart.
 HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
-                                     const Graph& h, int td_budget);
+                                     const Graph& h, int td_budget,
+                                     obs::TraceSink* sink = nullptr);
 
 }  // namespace dmc::dist

@@ -65,6 +65,10 @@ class OptimizationProgram : public congest::NodeProgram {
   const LocalContext& local() const { return local_; }
 
   void on_round(NodeCtx& ctx) override {
+    if (first_round_) {
+      first_round_ = false;
+      ctx.annotate("tables");
+    }
     // Receive children tables (bottom-up) and class assignment (top-down).
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
@@ -131,6 +135,7 @@ class OptimizationProgram : public congest::NodeProgram {
   /// Top-down step: adopt the class chosen for this subtree, forward the
   /// children's optimal classes (ARGOPT), mark Selected elements.
   void assign(NodeCtx& ctx, bpt::TypeId type) {
+    ctx.annotate("assign");
     my_class_ = type;
     finished_ = true;
     const auto sol = solver_->reconstruct(type);
@@ -141,6 +146,7 @@ class OptimizationProgram : public congest::NodeProgram {
   }
 
   void broadcast_infeasible(NodeCtx& ctx) {
+    ctx.annotate("assign");
     for (VertexId child : children_ids_)
       ctx.send(ctx.port_of(child), Message(InfeasibleMsg{}, 1));
   }
@@ -156,6 +162,7 @@ class OptimizationProgram : public congest::NodeProgram {
   std::unique_ptr<bpt::OptSolver> solver_;
   congest::FragmentSender sender_;
   bpt::TypeId my_class_ = bpt::kInvalidType;
+  bool first_round_ = true;
   bool finished_ = false;
   bool infeasible_ = false;
 };
@@ -181,6 +188,7 @@ OptimizationOutcome run_impl(congest::Network& net,
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
 
+  congest::PhaseScope trace_scope(net, sign < 0 ? "minimize" : "maximize");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<OptimizationProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {

@@ -66,6 +66,10 @@ class OptMarkedProgram : public congest::NodeProgram {
   bool is_optimal() const { return is_optimal_; }
 
   void on_round(NodeCtx& ctx) override {
+    if (first_round_) {
+      first_round_ = false;
+      ctx.annotate("tables");
+    }
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
       if (auto payload = congest::poll_fragment(ctx, p)) {
@@ -162,6 +166,7 @@ class OptMarkedProgram : public congest::NodeProgram {
   }
 
   void forward_verdict(NodeCtx& ctx) {
+    ctx.annotate("verdict");
     for (VertexId child : children_ids_)
       ctx.send(ctx.port_of(child), Message(VerdictMsg{satisfies_, is_optimal_}, 2));
   }
@@ -180,6 +185,7 @@ class OptMarkedProgram : public congest::NodeProgram {
   std::vector<UpPayload> child_payloads_;
   std::vector<bool> have_payload_;
   congest::FragmentSender sender_;
+  bool first_round_ = true;
   bool solved_ = false;
   bool finished_ = false;
   bool satisfies_ = false;
@@ -214,6 +220,7 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
   const BagsResult bags = run_bags(net, tree, vlabels, elabels);
   out.rounds_bags = bags.rounds;
 
+  congest::PhaseScope trace_scope(net, "optmarked");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<OptMarkedProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {

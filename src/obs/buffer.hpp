@@ -1,0 +1,79 @@
+// In-memory trace sink: records the full event stream in emission order.
+//
+// Tests and benches query it directly; summary.hpp reduces it to per-phase
+// totals. The buffer keeps the interleaving of round and phase events
+// (phase attribution of a round depends on which spans were open when the
+// round executed), plus flat per-kind views for convenience.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dmc::obs {
+
+class TraceBuffer final : public TraceSink {
+ public:
+  struct Item {
+    enum class Kind : std::uint8_t { RunBegin, Round, Phase, RunEnd };
+    Kind kind = Kind::Round;
+    // Exactly one of the following is meaningful, per `kind`.
+    RunInfo run;
+    RoundEvent round;
+    PhaseEvent phase;
+  };
+
+  void run_begin(const RunInfo& info) override {
+    Item item;
+    item.kind = Item::Kind::RunBegin;
+    item.run = info;
+    items_.push_back(std::move(item));
+    ++num_runs_;
+  }
+
+  void round(const RoundEvent& ev) override {
+    Item item;
+    item.kind = Item::Kind::Round;
+    item.round = ev;
+    items_.push_back(std::move(item));
+    rounds_.push_back(ev);
+  }
+
+  void phase(const PhaseEvent& ev) override {
+    Item item;
+    item.kind = Item::Kind::Phase;
+    item.phase = ev;
+    items_.push_back(std::move(item));
+    phases_.push_back(ev);
+  }
+
+  void run_end() override {
+    Item item;
+    item.kind = Item::Kind::RunEnd;
+    items_.push_back(std::move(item));
+  }
+
+  /// Full stream in emission order.
+  const std::vector<Item>& items() const { return items_; }
+  /// All round events, in order.
+  const std::vector<RoundEvent>& rounds() const { return rounds_; }
+  /// All phase events, in order.
+  const std::vector<PhaseEvent>& phases() const { return phases_; }
+  int num_runs() const { return num_runs_; }
+
+  void clear() {
+    items_.clear();
+    rounds_.clear();
+    phases_.clear();
+    num_runs_ = 0;
+  }
+
+ private:
+  std::vector<Item> items_;
+  std::vector<RoundEvent> rounds_;
+  std::vector<PhaseEvent> phases_;
+  int num_runs_ = 0;
+};
+
+}  // namespace dmc::obs

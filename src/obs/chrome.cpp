@@ -1,0 +1,68 @@
+#include "obs/chrome.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmc::obs {
+
+namespace {
+
+std::string counter(const char* name, long ts, const char* key, long long v) {
+  return std::string("{\"name\":\"") + name +
+         "\",\"ph\":\"C\",\"ts\":" + std::to_string(ts) +
+         ",\"pid\":0,\"args\":{\"" + key + "\":" + std::to_string(v) + "}}";
+}
+
+}  // namespace
+
+ChromeTraceExporter::ChromeTraceExporter(std::ostream& out, long us_per_round)
+    : out_(out), us_per_round_(us_per_round) {
+  if (us_per_round_ < 1)
+    throw std::invalid_argument("ChromeTraceExporter: us_per_round >= 1");
+  out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+       "\"args\":{\"name\":\"dmc CONGEST simulator\"}}");
+  emit("{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":0,"
+       "\"args\":{\"name\":\"protocol phases\"}}");
+}
+
+ChromeTraceExporter::~ChromeTraceExporter() { close(); }
+
+void ChromeTraceExporter::emit(const std::string& json) {
+  if (closed_)
+    throw std::logic_error("ChromeTraceExporter: event after close()");
+  if (!first_) out_ << ",";
+  first_ = false;
+  out_ << "\n" << json;
+}
+
+void ChromeTraceExporter::run_begin(const RunInfo& info) {
+  emit("{\"name\":\"run n=" + std::to_string(info.n) +
+       " B=" + std::to_string(info.bandwidth) +
+       "\",\"cat\":\"run\",\"ph\":\"I\",\"s\":\"g\",\"ts\":" +
+       std::to_string(info.first_round * us_per_round_) + ",\"pid\":0}");
+}
+
+void ChromeTraceExporter::round(const RoundEvent& ev) {
+  const long ts = ev.round * us_per_round_;
+  emit(counter("messages/round", ts, "messages", ev.messages));
+  emit(counter("bits/round", ts, "bits", ev.bits));
+  emit(counter("active nodes", ts, "active", ev.active_nodes));
+}
+
+void ChromeTraceExporter::phase(const PhaseEvent& ev) {
+  const char* ph = ev.kind == PhaseEvent::Kind::Begin ? "B" : "E";
+  emit("{\"name\":\"" + detail::json_escape(ev.name) +
+       "\",\"cat\":\"phase\",\"ph\":\"" + ph +
+       "\",\"ts\":" + std::to_string(ev.round * us_per_round_) +
+       ",\"pid\":0,\"tid\":0}");
+}
+
+void ChromeTraceExporter::close() {
+  if (closed_) return;
+  closed_ = true;
+  out_ << "\n]}\n";
+  out_.flush();
+}
+
+}  // namespace dmc::obs

@@ -1,0 +1,44 @@
+// Chrome trace_event exporter: produces a JSON file loadable in
+// chrome://tracing or https://ui.perfetto.dev for a flame view of the
+// protocol's phases over simulated rounds.
+//
+// Time mapping: one CONGEST round = `us_per_round` trace microseconds
+// (default 1000, i.e. a round renders as one millisecond). Phase spans
+// become B/E duration events on a single track; per-round message/bit
+// deltas and the active-node count become counter ("C") tracks, so the
+// flame view shows bandwidth utilization evolving under each phase.
+//
+// The JSON array must be terminated: call close() (or let the destructor
+// do it) before opening the file in a viewer.
+#pragma once
+
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace dmc::obs {
+
+class ChromeTraceExporter final : public TraceSink {
+ public:
+  /// The stream must outlive the exporter. Writes the header immediately.
+  explicit ChromeTraceExporter(std::ostream& out, long us_per_round = 1000);
+  ~ChromeTraceExporter() override;
+
+  void run_begin(const RunInfo& info) override;
+  void round(const RoundEvent& ev) override;
+  void phase(const PhaseEvent& ev) override;
+  void run_end() override {}
+
+  /// Writes the trailer; further events are rejected. Idempotent.
+  void close();
+
+ private:
+  void emit(const std::string& json);  // one event object
+
+  std::ostream& out_;
+  long us_per_round_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+}  // namespace dmc::obs

@@ -1,0 +1,29 @@
+#include "obs/jsonl.hpp"
+
+namespace dmc::obs {
+
+void JsonlExporter::run_begin(const RunInfo& info) {
+  out_ << "{\"type\":\"run_begin\",\"n\":" << info.n
+       << ",\"bandwidth\":" << info.bandwidth
+       << ",\"first_round\":" << info.first_round << "}\n";
+}
+
+void JsonlExporter::round(const RoundEvent& ev) {
+  out_ << "{\"type\":\"round\",\"round\":" << ev.round
+       << ",\"messages\":" << ev.messages << ",\"bits\":" << ev.bits
+       << ",\"max_bits\":" << ev.max_message_bits
+       << ",\"active\":" << ev.active_nodes << ",\"done\":" << ev.done_nodes
+       << "}\n";
+}
+
+void JsonlExporter::phase(const PhaseEvent& ev) {
+  const char* type =
+      ev.kind == PhaseEvent::Kind::Begin ? "phase_begin" : "phase_end";
+  out_ << "{\"type\":\"" << type << "\",\"name\":\""
+       << detail::json_escape(ev.name) << "\",\"round\":" << ev.round
+       << ",\"depth\":" << ev.depth << "}\n";
+}
+
+void JsonlExporter::run_end() { out_ << "{\"type\":\"run_end\"}\n"; }
+
+}  // namespace dmc::obs

@@ -1,0 +1,35 @@
+// Streaming JSONL exporter: one self-describing JSON object per line.
+//
+// Line shapes (stable schema, see docs/OBSERVABILITY.md):
+//   {"type":"run_begin","n":32,"bandwidth":32,"first_round":0}
+//   {"type":"round","round":7,"messages":62,"bits":372,"max_bits":6,
+//    "active":32,"done":0}
+//   {"type":"phase_begin","name":"elim-tree","round":0,"depth":0}
+//   {"type":"phase_end","name":"elim-tree","round":79,"depth":0}
+//   {"type":"run_end"}
+//
+// Lines are written as events arrive, so a crashed run still leaves a
+// valid prefix (every line is independently parseable).
+#pragma once
+
+#include <ostream>
+
+#include "obs/trace.hpp"
+
+namespace dmc::obs {
+
+class JsonlExporter final : public TraceSink {
+ public:
+  /// The stream must outlive the exporter.
+  explicit JsonlExporter(std::ostream& out) : out_(out) {}
+
+  void run_begin(const RunInfo& info) override;
+  void round(const RoundEvent& ev) override;
+  void phase(const PhaseEvent& ev) override;
+  void run_end() override;
+
+ private:
+  std::ostream& out_;
+};
+
+}  // namespace dmc::obs

@@ -1,0 +1,168 @@
+#include "obs/summary.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <set>
+
+namespace dmc::obs {
+
+const PhaseTotals* Summary::find(const std::string& path) const {
+  for (const auto& p : phases)
+    if (p.path == path) return &p;
+  return nullptr;
+}
+
+PhaseTotals Summary::aggregate(const std::string& prefix) const {
+  PhaseTotals out;
+  out.path = prefix;
+  for (const auto& p : phases) {
+    const bool match =
+        p.path == prefix ||
+        (p.path.size() > prefix.size() && p.path.rfind(prefix, 0) == 0 &&
+         p.path[prefix.size()] == '/');
+    if (!match) continue;
+    out.rounds += p.rounds;
+    out.messages += p.messages;
+    out.bits += p.bits;
+    if (out.first_round < 0 || (p.first_round >= 0 && p.first_round < out.first_round))
+      out.first_round = p.first_round;
+    out.last_round = std::max(out.last_round, p.last_round);
+  }
+  return out;
+}
+
+Summary summarize(const TraceBuffer& buffer) {
+  Summary out;
+  out.num_runs = buffer.num_runs();
+  std::vector<std::string> stack;
+  std::string path = "(untraced)";
+  auto rebuild_path = [&] {
+    if (stack.empty()) {
+      path = "(untraced)";
+      return;
+    }
+    path.clear();
+    for (std::size_t i = 0; i < stack.size(); ++i) {
+      if (i > 0) path += '/';
+      path += stack[i];
+    }
+  };
+  std::map<std::string, std::size_t> index;
+  auto totals = [&]() -> PhaseTotals& {
+    auto it = index.find(path);
+    if (it == index.end()) {
+      it = index.emplace(path, out.phases.size()).first;
+      out.phases.push_back(PhaseTotals{path, 0, 0, 0, -1, -1});
+    }
+    return out.phases[it->second];
+  };
+
+  for (const auto& item : buffer.items()) {
+    switch (item.kind) {
+      case TraceBuffer::Item::Kind::RunBegin:
+      case TraceBuffer::Item::Kind::RunEnd:
+        break;
+      case TraceBuffer::Item::Kind::Phase:
+        if (item.phase.kind == PhaseEvent::Kind::Begin) {
+          stack.push_back(item.phase.name);
+        } else {
+          if (stack.empty() || stack.back() != item.phase.name)
+            out.balanced = false;
+          if (!stack.empty()) stack.pop_back();
+        }
+        rebuild_path();
+        break;
+      case TraceBuffer::Item::Kind::Round: {
+        const RoundEvent& ev = item.round;
+        PhaseTotals& t = totals();
+        t.rounds += 1;
+        t.messages += ev.messages;
+        t.bits += ev.bits;
+        if (t.first_round < 0) t.first_round = ev.round;
+        t.last_round = std::max(t.last_round, ev.round);
+        out.total_rounds += 1;
+        out.total_messages += ev.messages;
+        out.total_bits += ev.bits;
+        out.max_message_bits =
+            std::max(out.max_message_bits, ev.max_message_bits);
+        break;
+      }
+    }
+  }
+  if (!stack.empty()) out.balanced = false;
+  return out;
+}
+
+std::string format_summary(const Summary& summary) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "%-34s %10s %12s %16s %7s\n", "phase",
+                "rounds", "messages", "bits", "share");
+  out += line;
+  std::snprintf(line, sizeof(line), "%-34s %10s %12s %16s %7s\n", "-----",
+                "------", "--------", "----", "-----");
+  out += line;
+  for (const auto& p : summary.phases) {
+    const double share =
+        summary.total_rounds > 0
+            ? 100.0 * static_cast<double>(p.rounds) / summary.total_rounds
+            : 0.0;
+    std::snprintf(line, sizeof(line), "%-34s %10ld %12ld %16lld %6.1f%%\n",
+                  p.path.c_str(), p.rounds, p.messages,
+                  static_cast<long long>(p.bits), share);
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "%-34s %10ld %12ld %16lld %6.1f%%\n",
+                "total", summary.total_rounds, summary.total_messages,
+                static_cast<long long>(summary.total_bits),
+                summary.total_rounds > 0 ? 100.0 : 0.0);
+  out += line;
+  return out;
+}
+
+void CurveTable::add(const std::string& series, long x, double value) {
+  points_.push_back(Point{series, x, value});
+}
+
+std::string CurveTable::format(const std::string& x_name) const {
+  // Column order = first-seen series order; row order = ascending x.
+  std::vector<std::string> series;
+  for (const auto& p : points_)
+    if (std::find(series.begin(), series.end(), p.series) == series.end())
+      series.push_back(p.series);
+  std::set<long> xs;
+  for (const auto& p : points_) xs.insert(p.x);
+
+  int width = 14;
+  for (const auto& s : series)
+    width = std::max(width, static_cast<int>(s.size()) + 2);
+
+  std::string out;
+  char cell[96];
+  std::snprintf(cell, sizeof(cell), "%12s", x_name.c_str());
+  out += cell;
+  for (const auto& s : series) {
+    std::snprintf(cell, sizeof(cell), "%*s", width, s.c_str());
+    out += cell;
+  }
+  out += '\n';
+  for (const long x : xs) {
+    std::snprintf(cell, sizeof(cell), "%12ld", x);
+    out += cell;
+    for (const auto& s : series) {
+      const Point* found = nullptr;
+      for (const auto& p : points_)
+        if (p.series == s && p.x == x) found = &p;
+      if (found == nullptr)
+        std::snprintf(cell, sizeof(cell), "%*s", width, "-");
+      else
+        std::snprintf(cell, sizeof(cell), "%*.2f", width, found->value);
+      out += cell;
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace dmc::obs

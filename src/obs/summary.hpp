@@ -1,0 +1,72 @@
+// Reduction of a recorded trace to per-phase totals and sweep curves.
+//
+// summarize() replays a TraceBuffer's event stream in emission order,
+// maintaining the span stack, and attributes every round to the innermost
+// span open while it executed (key = "outer/inner" path). Summing the
+// per-round deltas means the summary's totals reproduce NetworkStats
+// exactly — the invariant the acceptance tests pin down.
+//
+// CurveTable accumulates (series, x) -> value points across runs and
+// renders the rounds-vs-n table EXPERIMENTS.md reads the "flat in n"
+// claims from.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/buffer.hpp"
+
+namespace dmc::obs {
+
+struct PhaseTotals {
+  std::string path;  // "/"-joined span names, "(untraced)" if none open
+  long rounds = 0;
+  long messages = 0;
+  long long bits = 0;
+  long first_round = -1;  // earliest round attributed to this path
+  long last_round = -1;
+};
+
+struct Summary {
+  std::vector<PhaseTotals> phases;  // first-seen order
+  long total_rounds = 0;
+  long total_messages = 0;
+  long long total_bits = 0;
+  int max_message_bits = 0;
+  int num_runs = 0;
+  /// True iff every End matched the innermost open Begin and every span
+  /// was closed by the end of the trace.
+  bool balanced = true;
+
+  /// Totals for one path (exact match), or nullptr.
+  const PhaseTotals* find(const std::string& path) const;
+  /// Aggregated totals over every path equal to `prefix` or nested below
+  /// it (e.g. "elim-tree" sums "elim-tree/election" + "elim-tree/adopt").
+  PhaseTotals aggregate(const std::string& prefix) const;
+};
+
+Summary summarize(const TraceBuffer& buffer);
+
+/// Renders the per-phase table (one row per path plus a total row) as
+/// fixed-width text. The total row is NetworkStats-identical by
+/// construction.
+std::string format_summary(const Summary& summary);
+
+/// Sweep curves: one row per x value (e.g. n), one column per series
+/// (e.g. phase). Missing cells render as "-".
+class CurveTable {
+ public:
+  void add(const std::string& series, long x, double value);
+  std::string format(const std::string& x_name = "n") const;
+  bool empty() const { return points_.empty(); }
+
+ private:
+  struct Point {
+    std::string series;
+    long x = 0;
+    double value = 0;
+  };
+  std::vector<Point> points_;
+};
+
+}  // namespace dmc::obs

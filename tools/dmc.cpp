@@ -1,12 +1,12 @@
 // dmc — command-line front end for the library.
 //
 //   dmc decide   --formula "<mso>" (--graph file.dimacs | --family NAME)
-//                [--dist D]
+//                [--dist D] [--trace FILE[:jsonl|chrome]]
 //   dmc maximize --formula "<mso>" --var S --sort vset|eset (--graph ...)
-//                [--dist D]
+//                [--dist D] [--trace ...]
 //   dmc minimize ... (same as maximize)
 //   dmc count    --formula "<mso>" --vars S:vset[,T:vset...] (--graph ...)
-//                [--dist D]
+//                [--dist D] [--trace ...]
 //   dmc treedepth (--graph ... | --family NAME)
 //
 // --graph reads the DIMACS-like format of src/graph/io.hpp from a file
@@ -14,12 +14,16 @@
 // "path:12", "cycle:9", "grid:4x5", "star:8", "btd:20:3".
 // Without --dist the sequential engine is used; with --dist D the full
 // distributed pipeline runs in the CONGEST simulator with treedepth
-// budget D and round statistics are printed.
+// budget D, a per-phase round/bit summary is printed, and --trace
+// additionally streams the round-level trace to FILE (jsonl by default;
+// the :chrome suffix writes a chrome://tracing-loadable flame view, see
+// docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
@@ -31,6 +35,10 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mso/parser.hpp"
+#include "obs/buffer.hpp"
+#include "obs/chrome.hpp"
+#include "obs/jsonl.hpp"
+#include "obs/summary.hpp"
 #include "seq/courcelle.hpp"
 #include "td/elimination_forest.hpp"
 
@@ -44,34 +52,51 @@ namespace {
                "usage: dmc <decide|maximize|minimize|count|treedepth>\n"
                "           [--formula STR] [--graph FILE|-] [--family SPEC]\n"
                "           [--var NAME --sort vset|eset] [--vars N:S,...]\n"
-               "           [--dist D]\n");
+               "           [--dist D] [--trace FILE[:jsonl|chrome]]\n");
   std::exit(2);
+}
+
+/// Strict integer parse: the whole token must be a number (std::stoi's
+/// exceptions and trailing-garbage acceptance both turn into usage errors,
+/// e.g. "--family path:abc" or "--family grid:4").
+int parse_int(const std::string& token, const char* what) {
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (token.empty() || used != token.size())
+    usage((std::string(what) + " expects an integer, got '" + token + "'")
+              .c_str());
+  return value;
 }
 
 Graph family_graph(const std::string& spec) {
   std::istringstream ss(spec);
   std::string name;
   std::getline(ss, name, ':');
-  auto num = [&]() {
+  auto num = [&](const char* what) {
     std::string part;
     if (!std::getline(ss, part, ':')) usage("family parameter missing");
-    return std::stoi(part);
+    return parse_int(part, what);
   };
-  if (name == "path") return gen::path(num());
-  if (name == "cycle") return gen::cycle(num());
-  if (name == "star") return gen::star(num());
-  if (name == "clique") return gen::clique(num());
+  if (name == "path") return gen::path(num("path size"));
+  if (name == "cycle") return gen::cycle(num("cycle size"));
+  if (name == "star") return gen::star(num("star size"));
+  if (name == "clique") return gen::clique(num("clique size"));
   if (name == "grid") {
     std::string part;
     if (!std::getline(ss, part, ':')) usage("grid needs RxC");
     const auto x = part.find('x');
     if (x == std::string::npos) usage("grid needs RxC");
-    return gen::grid(std::stoi(part.substr(0, x)),
-                     std::stoi(part.substr(x + 1)));
+    return gen::grid(parse_int(part.substr(0, x), "grid rows"),
+                     parse_int(part.substr(x + 1), "grid cols"));
   }
   if (name == "btd") {
-    const int n = num();
-    const int d = num();
+    const int n = num("btd size");
+    const int d = num("btd depth");
     gen::Rng rng(42);
     return gen::random_bounded_treedepth(n, d, 0.4, rng);
   }
@@ -119,23 +144,89 @@ Graph load_graph(const Args& args) {
 }
 
 std::optional<int> dist_budget(const Args& args) {
-  if (!args.has("dist")) return std::nullopt;
-  return std::stoi(args.get("dist"));
+  if (!args.has("dist")) {
+    if (args.has("trace")) usage("--trace requires --dist");
+    return std::nullopt;
+  }
+  return parse_int(args.get("dist"), "--dist");
+}
+
+/// Trace wiring for the distributed commands: an in-memory buffer always
+/// feeds the per-phase summary; --trace additionally streams to a file.
+struct TraceSetup {
+  obs::TraceBuffer buffer;
+  std::ofstream file;  // destroyed after `exporter` flushes its trailer
+  std::unique_ptr<obs::TraceSink> exporter;
+  obs::TeeSink tee;
+
+  obs::TraceSink* sink() { return &tee; }
+};
+
+std::unique_ptr<TraceSetup> make_trace_setup(const Args& args) {
+  auto setup = std::make_unique<TraceSetup>();
+  setup->tee.add(&setup->buffer);
+  if (!args.has("trace")) return setup;
+  std::string path = args.get("trace");
+  std::string format = "jsonl";
+  const auto colon = path.rfind(':');
+  if (colon != std::string::npos) {
+    const std::string suffix = path.substr(colon + 1);
+    if (suffix == "jsonl" || suffix == "chrome") {
+      format = suffix;
+      path.resize(colon);
+    } else if (suffix.find('/') == std::string::npos &&
+               suffix.find('.') == std::string::npos) {
+      usage(("unknown trace format '" + suffix + "' (jsonl|chrome)").c_str());
+    }
+  }
+  if (path.empty()) usage("--trace needs a file name");
+  setup->file.open(path);
+  if (!setup->file) usage(("cannot open trace file " + path).c_str());
+  if (format == "chrome")
+    setup->exporter = std::make_unique<obs::ChromeTraceExporter>(setup->file);
+  else
+    setup->exporter = std::make_unique<obs::JsonlExporter>(setup->file);
+  setup->tee.add(setup->exporter.get());
+  return setup;
+}
+
+/// Prints the per-phase table and cross-checks it against NetworkStats
+/// (the two are deltas vs totals of the same counters, so any mismatch is
+/// a tracing bug; the obs tests enforce equality too).
+void print_phase_summary(const obs::TraceBuffer& buffer,
+                         const congest::NetworkStats& stats) {
+  const obs::Summary summary = obs::summarize(buffer);
+  std::printf("\nper-phase summary:\n%s", obs::format_summary(summary).c_str());
+  const bool consistent = summary.total_rounds == stats.rounds &&
+                          summary.total_messages == stats.messages &&
+                          summary.total_bits == stats.total_bits &&
+                          summary.balanced;
+  std::printf("trace check: %s (NetworkStats: rounds=%ld messages=%ld "
+              "bits=%lld max_msg=%d)\n",
+              consistent ? "ok, totals == NetworkStats" : "MISMATCH",
+              stats.rounds, stats.messages,
+              static_cast<long long>(stats.total_bits),
+              stats.max_message_bits);
 }
 
 int cmd_decide(const Args& args) {
   const Graph g = load_graph(args);
   const auto formula = mso::parse(args.get("formula"));
   if (const auto d = dist_budget(args)) {
-    congest::Network net(g);
+    auto trace = make_trace_setup(args);
+    congest::NetworkConfig cfg;
+    cfg.sink = trace->sink();
+    congest::Network net(g, cfg);
     const auto out = dist::run_decision(net, formula, *d);
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d (reported by Algorithm 2)\n", *d);
+      print_phase_summary(trace->buffer, net.stats());
       return 3;
     }
     std::printf("%s\n", out.holds ? "holds" : "fails");
     std::printf("rounds=%ld classes=%zu class_bits<=%d\n", out.total_rounds(),
                 out.num_classes, out.max_class_bits);
+    print_phase_summary(trace->buffer, net.stats());
     return out.holds ? 0 : 1;
   }
   const bool holds = seq::decide(g, formula);
@@ -149,14 +240,19 @@ int cmd_optimize(const Args& args, bool maximize) {
   const std::string var = args.get("var");
   const mso::Sort sort = parse_sort(args.get("sort"));
   if (const auto d = dist_budget(args)) {
-    congest::Network net(g);
+    auto trace = make_trace_setup(args);
+    congest::NetworkConfig cfg;
+    cfg.sink = trace->sink();
+    congest::Network net(g, cfg);
     const auto out = maximize
                          ? dist::run_maximize(net, formula, var, sort, *d)
                          : dist::run_minimize(net, formula, var, sort, *d);
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
+      print_phase_summary(trace->buffer, net.stats());
       return 3;
     }
+    print_phase_summary(trace->buffer, net.stats());
     if (!out.best_weight) {
       std::printf("infeasible\n");
       return 1;
@@ -201,15 +297,20 @@ int cmd_count(const Args& args) {
     vars.emplace_back(item.substr(0, colon), parse_sort(item.substr(colon + 1)));
   }
   if (const auto d = dist_budget(args)) {
-    congest::Network net(g);
+    auto trace = make_trace_setup(args);
+    congest::NetworkConfig cfg;
+    cfg.sink = trace->sink();
+    congest::Network net(g, cfg);
     const auto out = dist::run_count(net, formula, vars, *d);
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
+      print_phase_summary(trace->buffer, net.stats());
       return 3;
     }
     std::printf("count=%llu rounds=%ld\n",
                 static_cast<unsigned long long>(out.count),
                 out.total_rounds());
+    print_phase_summary(trace->buffer, net.stats());
     return 0;
   }
   std::printf("count=%llu\n",
@@ -218,6 +319,7 @@ int cmd_count(const Args& args) {
 }
 
 int cmd_treedepth(const Args& args) {
+  if (args.has("trace")) usage("--trace requires --dist");
   const Graph g = load_graph(args);
   if (g.num_vertices() <= 20) {
     std::printf("treedepth=%d (exact)\n", exact_treedepth(g));
