@@ -1,0 +1,158 @@
+#include "congest/conformance.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "congest/wire.hpp"
+
+namespace dmc::audit {
+
+void RoundDigestSink::run_begin(const obs::RunInfo& info) {
+  pending_ = mix64(pending_, mix64(static_cast<std::uint64_t>(info.n),
+                                   static_cast<std::uint64_t>(info.bandwidth)));
+}
+
+void RoundDigestSink::round(const obs::RoundEvent& ev) {
+  std::uint64_t h = pending_;
+  pending_ = 0;
+  h = mix64(h, static_cast<std::uint64_t>(ev.messages));
+  h = mix64(h, static_cast<std::uint64_t>(ev.bits));
+  h = mix64(h, (static_cast<std::uint64_t>(ev.max_message_bits) << 32) |
+                   static_cast<std::uint64_t>(ev.done_nodes));
+  digests_.push_back(h);
+}
+
+void RoundDigestSink::phase(const obs::PhaseEvent& ev) {
+  // Phase boundaries land in the digest of the next round (or are folded
+  // into it retroactively for end-of-run closers via pending_ carry).
+  std::uint64_t h = fnv1a(reinterpret_cast<const std::uint8_t*>(ev.name.data()),
+                          ev.name.size());
+  h = mix64(h, (static_cast<std::uint64_t>(ev.kind == obs::PhaseEvent::Kind::End)
+                << 32) |
+                   static_cast<std::uint64_t>(ev.depth));
+  pending_ = mix64(pending_, h);
+}
+
+namespace {
+
+RunFingerprint run_once(const Graph& g, congest::NetworkConfig cfg,
+                        const ProtocolRunner& runner) {
+  RoundDigestSink sink;
+  cfg.audit = true;
+  cfg.sink = &sink;
+  congest::Network net(g, cfg);
+  RunFingerprint fp;
+  fp.verdict = runner(net);
+  fp.rounds = net.stats().rounds;
+  fp.messages = net.stats().messages;
+  fp.declared_bits = net.stats().total_bits;
+  fp.encoded_bits = net.stats().encoded_bits;
+  fp.content_digest = net.audit_digest();
+  fp.round_digests = sink.digests();
+  return fp;
+}
+
+/// Compares two fingerprints field by field; appends one Divergence per
+/// differing field. The three gates scale the comparison down for runs
+/// where a strict match is not meaningful: `compare_rounds` covers the
+/// rounds/messages totals, `compare_structure` the declared bit volume and
+/// per-round trace digests, `compare_content` the payload content digest
+/// (off for id permutation runs — ids are hashed into it — and, by
+/// default, for reverse-order runs, where the shared interner renames
+/// classes; see ConformanceOptions::order_compare_content). The verdict is
+/// always compared.
+void compare(const RunFingerprint& base, const RunFingerprint& other,
+             const std::string& check, bool compare_content,
+             bool compare_structure, bool compare_rounds,
+             std::vector<Divergence>& out) {
+  auto diverge = [&](const std::string& detail) {
+    out.push_back(Divergence{check, detail});
+  };
+  if (base.verdict != other.verdict)
+    diverge("verdict differs: \"" + base.verdict + "\" vs \"" + other.verdict +
+            "\"");
+  if (compare_rounds) {
+    if (base.rounds != other.rounds)
+      diverge("round count differs: " + std::to_string(base.rounds) + " vs " +
+              std::to_string(other.rounds));
+    if (base.messages != other.messages)
+      diverge("message count differs: " + std::to_string(base.messages) +
+              " vs " + std::to_string(other.messages));
+  }
+  if (compare_structure) {
+    if (base.declared_bits != other.declared_bits)
+      diverge("declared bit volume differs: " +
+              std::to_string(base.declared_bits) + " vs " +
+              std::to_string(other.declared_bits));
+    if (base.round_digests != other.round_digests) {
+      std::size_t r = 0;
+      const std::size_t limit =
+          std::min(base.round_digests.size(), other.round_digests.size());
+      while (r < limit && base.round_digests[r] == other.round_digests[r]) ++r;
+      diverge("per-round trace digests first differ at round " +
+              std::to_string(r) + " (of " +
+              std::to_string(base.round_digests.size()) + " vs " +
+              std::to_string(other.round_digests.size()) + " rounds)");
+    }
+  }
+  if (compare_content && base.content_digest != other.content_digest)
+    diverge("message content digest differs");
+}
+
+}  // namespace
+
+std::string ConformanceReport::format() const {
+  std::ostringstream out;
+  out << "conformance: " << (ok() ? "PASS" : "FAIL") << "\n"
+      << "  baseline: verdict=" << baseline.verdict
+      << " rounds=" << baseline.rounds << " messages=" << baseline.messages
+      << " declared_bits=" << baseline.declared_bits
+      << " encoded_bits=" << baseline.encoded_bits << "\n"
+      << "  determinism (identical re-run):   "
+      << (deterministic ? "ok" : "FAIL") << "\n"
+      << "  order-obliviousness (reverse step order): "
+      << (order_oblivious ? "ok" : "FAIL") << "\n"
+      << "  id-obliviousness (permuted ids):  "
+      << (id_oblivious ? "ok" : "FAIL") << "\n";
+  for (const Divergence& d : divergences)
+    out << "  divergence [" << d.check << "] " << d.detail << "\n";
+  return out.str();
+}
+
+ConformanceReport check_conformance(const Graph& g, congest::NetworkConfig cfg,
+                                    const ProtocolRunner& runner,
+                                    const ConformanceOptions& options) {
+  ConformanceReport report;
+  report.baseline = run_once(g, cfg, runner);
+
+  const std::size_t before_determinism = report.divergences.size();
+  compare(report.baseline, run_once(g, cfg, runner), "determinism",
+          /*compare_content=*/true, /*compare_structure=*/true,
+          /*compare_rounds=*/true, report.divergences);
+  report.deterministic = report.divergences.size() == before_determinism;
+
+  congest::NetworkConfig reversed = cfg;
+  reversed.step_order = congest::NetworkConfig::StepOrder::kReverse;
+  const std::size_t before_order = report.divergences.size();
+  compare(report.baseline, run_once(g, reversed, runner), "order-obliviousness",
+          /*compare_content=*/options.order_compare_content,
+          /*compare_structure=*/options.order_compare_content,
+          /*compare_rounds=*/true, report.divergences);
+  report.order_oblivious = report.divergences.size() == before_order;
+
+  const std::size_t before_ids = report.divergences.size();
+  for (unsigned seed : options.id_seeds) {
+    if (seed == cfg.id_seed) continue;
+    congest::NetworkConfig permuted = cfg;
+    permuted.id_seed = seed;
+    compare(report.baseline, run_once(g, permuted, runner), "id-obliviousness",
+            /*compare_content=*/false,
+            /*compare_structure=*/options.require_equal_rounds,
+            /*compare_rounds=*/options.require_equal_rounds,
+            report.divergences);
+  }
+  report.id_oblivious = report.divergences.size() == before_ids;
+  return report;
+}
+
+}  // namespace dmc::audit

@@ -11,6 +11,8 @@
 #include <any>
 #include <deque>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "congest/network.hpp"
@@ -20,16 +22,24 @@ namespace dmc::congest {
 /// Chunk wire format.
 struct Fragment {
   std::any value;  // engaged only on the final chunk
+  /// Declared size of the whole logical payload (the `bits` passed to
+  /// FragmentSender::enqueue). The audit layer checks the carried value's
+  /// true encoded size against this — the chunk stream was budgeted from
+  /// it — rather than against the final chunk's own declared bits.
+  long logical_bits = 0;
 };
 
 /// Sender side: queue logical payloads per port, pump one chunk per round.
 class FragmentSender {
  public:
+  /// Per-chunk framing overhead (sequencing / last-chunk marker).
+  static constexpr int kHeaderBits = 8;
+
   /// Queues a logical payload of `bits` bits for `port`.
   void enqueue(int port, std::any value, long bits) {
     if (bits <= 0) bits = 1;
     queues_.resize(std::max<std::size_t>(queues_.size(), port + 1));
-    queues_[port].push_back(Pending{std::move(value), bits});
+    queues_[port].push_back(Pending{std::move(value), bits, bits});
   }
 
   bool idle() const {
@@ -38,10 +48,18 @@ class FragmentSender {
     return true;
   }
 
-  /// Sends at most one chunk per queued port; call once per round.
+  /// Sends at most one chunk per queued port; call once per round. Every
+  /// chunk must make real payload progress, so the bandwidth has to exceed
+  /// the chunk header — otherwise the ceil(k / (B - header)) round
+  /// accounting would silently degrade to meaningless 1-bit chunks.
   void pump(NodeCtx& ctx) {
-    constexpr int kHeaderBits = 8;
-    const int payload_budget = std::max(1, ctx.bandwidth() - kHeaderBits);
+    if (ctx.bandwidth() <= kHeaderBits)
+      throw std::logic_error(
+          "FragmentSender::pump: bandwidth (" +
+          std::to_string(ctx.bandwidth()) + " bits) must exceed the " +
+          std::to_string(kHeaderBits) +
+          "-bit chunk header; raise NetworkConfig::min_bandwidth");
+    const int payload_budget = ctx.bandwidth() - kHeaderBits;
     for (int port = 0; port < static_cast<int>(queues_.size()); ++port) {
       auto& q = queues_[port];
       if (q.empty()) continue;
@@ -49,6 +67,7 @@ class FragmentSender {
       const long chunk_bits = std::min<long>(p.bits_left, payload_budget);
       p.bits_left -= chunk_bits;
       Fragment frag;
+      frag.logical_bits = p.total_bits;
       if (p.bits_left <= 0) frag.value = std::move(p.value);
       ctx.send(port, Message(std::move(frag),
                              static_cast<int>(chunk_bits) + kHeaderBits));
@@ -60,6 +79,7 @@ class FragmentSender {
   struct Pending {
     std::any value;
     long bits_left = 0;
+    long total_bits = 0;
   };
   std::vector<std::deque<Pending>> queues_;
 };

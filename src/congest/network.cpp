@@ -7,6 +7,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "congest/wire.hpp"
 #include "graph/algorithms.hpp"
 
 namespace dmc::congest {
@@ -45,12 +46,18 @@ void NodeCtx::send(int port, Message msg) {
   if (out[port].has_value())
     throw std::logic_error("NodeCtx::send: port already used this round");
   if (msg.bits <= 0)
-    throw std::invalid_argument("NodeCtx::send: message must declare bits > 0");
+    throw std::invalid_argument(
+        "NodeCtx::send: message of payload type " +
+        audit::payload_type_name(msg.value) + " declares " +
+        std::to_string(msg.bits) +
+        " bits; every message must declare a positive bit size (bits = 0 "
+        "would ride free in the bandwidth accounting)");
   if (msg.bits > net_.bandwidth_)
     throw std::invalid_argument(
         "NodeCtx::send: message exceeds CONGEST bandwidth (" +
         std::to_string(msg.bits) + " > " + std::to_string(net_.bandwidth_) +
         " bits); fragment it");
+  if (net_.cfg_.audit) net_.audit_send(vertex_, port, msg);
   net_.stats_.messages += 1;
   net_.stats_.total_bits += msg.bits;
   net_.stats_.max_message_bits = std::max(net_.stats_.max_message_bits, msg.bits);
@@ -64,6 +71,31 @@ void NodeCtx::send_all(const Message& msg) {
 
 const std::optional<Message>& NodeCtx::recv(int port) const {
   return net_.inbox_[vertex_].at(port);
+}
+
+void Network::audit_send(int vertex, int port, const Message& msg) {
+  audit::WireContext ctx;
+  ctx.n = n();
+  ctx.bandwidth = bandwidth_;
+  audit::AuditOutcome outcome;
+  try {
+    outcome = audit::audit_payload(msg.value, msg.bits, ctx);
+  } catch (const audit::WireError& e) {
+    throw std::invalid_argument(
+        std::string(e.what()) + " [sender id " +
+        std::to_string(ids_[vertex]) + ", port " + std::to_string(port) +
+        ", round " + std::to_string(round_) + "]");
+  }
+  stats_.audited_messages += 1;
+  stats_.encoded_bits += outcome.encoded_bits;
+  // Order-insensitive within the round: sum of per-message hashes.
+  const VertexId receiver = ids_[graph_.incident(vertex).at(port).first];
+  std::uint64_t h = audit::mix64(outcome.content_hash,
+                                 static_cast<std::uint64_t>(ids_[vertex]));
+  h = audit::mix64(h, static_cast<std::uint64_t>(receiver));
+  h = audit::mix64(h, (static_cast<std::uint64_t>(msg.bits) << 32) |
+                          static_cast<std::uint64_t>(outcome.encoded_bits));
+  audit_round_acc_ += h;
 }
 
 Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
@@ -153,9 +185,14 @@ long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
     sink->run_begin(info);
   }
   long rounds_this_run = 0;
+  const bool reverse =
+      cfg_.step_order == NetworkConfig::StepOrder::kReverse;
   for (;;) {
-    // Step every node.
-    for (int v = 0; v < n_; ++v) {
+    // Step every node. Rounds are simultaneous in the model, so the step
+    // order must be immaterial; kReverse exists so the conformance harness
+    // can prove that for each protocol.
+    for (int i = 0; i < n_; ++i) {
+      const int v = reverse ? n_ - 1 - i : i;
       NodeCtx ctx(*this, v);
       programs[v]->on_round(ctx);
     }
@@ -201,6 +238,10 @@ long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
     ++round_;
     ++rounds_this_run;
     stats_.rounds += 1;
+    if (cfg_.audit) {
+      audit_digest_ = audit::mix64(audit_digest_, audit_round_acc_);
+      audit_round_acc_ = 0;
+    }
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = round_ - 1;

@@ -56,6 +56,19 @@ struct NetworkConfig {
   /// — the default — run() takes no tracing branches and performs no
   /// allocation for observability.
   obs::TraceSink* sink = nullptr;
+  /// Wire-format audit mode (src/congest/wire.hpp): every send encodes its
+  /// payload through the registered codec and fails fast on unregistered
+  /// payload types, declared-vs-encoded size mismatches, and encode/decode
+  /// round-trip divergence. Declared sizes stay the accounting currency;
+  /// audit mode proves them achievable. Off by default (it re-encodes
+  /// every message).
+  bool audit = false;
+  /// Order in which nodes are stepped within a round. The CONGEST model
+  /// makes rounds simultaneous, so a conforming protocol must behave
+  /// identically either way — the conformance harness (conformance.hpp)
+  /// runs both to expose cross-node shared state.
+  enum class StepOrder { kForward, kReverse };
+  StepOrder step_order = StepOrder::kForward;
 };
 
 struct NetworkStats {
@@ -63,6 +76,11 @@ struct NetworkStats {
   long messages = 0;
   long long total_bits = 0;
   int max_message_bits = 0;
+  /// Audit-mode counters: messages cross-checked through their codec and
+  /// their true (measured) encoded bits. encoded_bits <= total_bits always;
+  /// the gap is the declared slack. Both stay 0 with audit off.
+  long audited_messages = 0;
+  long long encoded_bits = 0;
 
   void reset() { *this = NetworkStats{}; }
 };
@@ -136,6 +154,14 @@ class Network {
   VertexId id_of_vertex(int vertex) const { return ids_[vertex]; }
   int vertex_of_id(VertexId id) const { return vertex_of_id_.at(id); }
 
+  /// Rolling digest of all audited message traffic (audit mode only; 0
+  /// otherwise). Per round the digest folds an order-insensitive sum of
+  /// per-message hashes (sender id, receiver id, declared bits, encoded
+  /// payload bits), so two executions that send the same messages in any
+  /// within-round order digest identically — the comparison backbone of
+  /// the determinism checker in conformance.hpp.
+  std::uint64_t audit_digest() const { return audit_digest_; }
+
   /// Runs one protocol to completion (all programs done) under the round
   /// cap; `programs[v]` is the program of graph vertex v. The caller keeps
   /// ownership (protocol outputs are read from the programs afterwards).
@@ -156,6 +182,10 @@ class Network {
   friend class NodeCtx;
 
   void close_annotation();
+  /// Audit-mode conformance check of one outgoing message (wire.hpp);
+  /// throws std::invalid_argument with sender/port/round context on any
+  /// violation and folds the message into the round digest accumulator.
+  void audit_send(int vertex, int port, const Message& msg);
 
   Graph graph_;
   NetworkConfig cfg_;
@@ -165,6 +195,9 @@ class Network {
   NetworkStats stats_;
   int round_ = 0;
   int round_max_message_bits_ = 0;  // reset per round while traced
+  // Audit digest state (see audit_digest()); touched only when cfg_.audit.
+  std::uint64_t audit_digest_ = 0;
+  std::uint64_t audit_round_acc_ = 0;
   // per vertex, per port
   std::vector<std::vector<std::optional<Message>>> inbox_, outbox_;
   // Trace state: driver span stack + the current annotation sub-span

@@ -3,10 +3,24 @@
 #include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
+#include <utility>
+
+#include "congest/wire.hpp"
 
 namespace dmc::congest {
 
 namespace {
+
+/// Two's-complement-safe |v| as an unsigned magnitude.
+std::uint64_t magnitude(std::int64_t v) {
+  return v < 0 ? ~static_cast<std::uint64_t>(v) + 1
+               : static_cast<std::uint64_t>(v);
+}
+
+std::int64_t apply_sign(bool negative, std::uint64_t mag) {
+  return negative ? -static_cast<std::int64_t>(mag)
+                  : static_cast<std::int64_t>(mag);
+}
 
 class LeaderProgram : public NodeProgram {
  public:
@@ -108,8 +122,7 @@ class DownProgram : public NodeProgram {
 
  private:
   void forward(NodeCtx& ctx) {
-    const int bits =
-        count_bits(static_cast<std::uint64_t>(std::abs(received))) + 2;
+    const int bits = count_bits(magnitude(received)) + 2;
     for (VertexId c : children_)
       ctx.send(ctx.port_of(c), Message(received, bits));
   }
@@ -167,13 +180,12 @@ class UpDownProgram : public NodeProgram {
         have_result = true;
         forward_down(ctx);
       } else {
+        // 8 framing bits: two signs plus a 6-bit width field delimiting the
+        // first magnitude (the second sizes itself from the frame end).
         ctx.send(ctx.port_of(parent_id_),
                  Message(UpMsg{sum_, max_},
-                         count_bits(static_cast<std::uint64_t>(
-                             std::abs(sum_))) +
-                             count_bits(static_cast<std::uint64_t>(
-                                 std::abs(max_))) +
-                             4));
+                         count_bits(magnitude(sum_)) +
+                             count_bits(magnitude(max_)) + 8));
       }
     }
   }
@@ -181,9 +193,8 @@ class UpDownProgram : public NodeProgram {
 
  private:
   void forward_down(NodeCtx& ctx) {
-    const int bits =
-        count_bits(static_cast<std::uint64_t>(std::abs(result_sum))) +
-        count_bits(static_cast<std::uint64_t>(std::abs(result_max))) + 4;
+    const int bits = count_bits(magnitude(result_sum)) +
+                     count_bits(magnitude(result_max)) + 8;
     for (VertexId c : children_)
       ctx.send(ctx.port_of(c),
                Message(std::make_pair(result_sum, result_max), bits));
@@ -196,6 +207,75 @@ class UpDownProgram : public NodeProgram {
   int pending_;
   bool sent_up_ = false;
 };
+
+/// Wire codecs (audit mode, wire.hpp): one real encoder per payload type
+/// this translation unit sends, each fitting the declared size exactly.
+/// Sum/max pairs spend 2 sign bits + a 6-bit width field for the first
+/// magnitude; the second magnitude sizes itself from the frame end.
+void put_sum_max(audit::BitWriter& w, std::int64_t a, std::int64_t b) {
+  w.put_bit(a < 0);
+  w.put_bit(b < 0);
+  const int wa = audit::uint_bits(magnitude(a));
+  w.put_uint(static_cast<std::uint64_t>(wa - 1), 6);
+  w.put_uint(magnitude(a), wa);
+  w.put_uint_min(magnitude(b));
+}
+
+std::pair<std::int64_t, std::int64_t> get_sum_max(audit::BitReader& r) {
+  const bool neg_a = r.get_bit();
+  const bool neg_b = r.get_bit();
+  const int wa = static_cast<int>(r.get_uint(6)) + 1;
+  const std::uint64_t ma = r.get_uint(wa);
+  const std::uint64_t mb = r.get_rest();
+  return {apply_sign(neg_a, ma), apply_sign(neg_b, mb)};
+}
+
+// The codecs for the bare types VertexId ("congest::id") and std::int64_t
+// ("congest::value") live in wire.cpp: they are part of the audit core, so
+// they must be registered in every binary that links the audit layer, not
+// only ones that happen to pull in this translation unit.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<BfsMsg>(
+      "primitives::BfsMsg",
+      [](const BfsMsg& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        w.put_uint(static_cast<std::uint64_t>(m.root), id_bits(ctx.n));
+        w.put_uint(static_cast<std::uint64_t>(m.dist), count_bits(ctx.n));
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        BfsMsg m;
+        m.root = static_cast<VertexId>(r.get_uint(id_bits(ctx.n)));
+        m.dist = static_cast<int>(r.get_uint(count_bits(ctx.n)));
+        return m;
+      },
+      [](const BfsMsg& a, const BfsMsg& b) {
+        return a.root == b.root && a.dist == b.dist;
+      });
+  audit::register_codec<UpMsg>(
+      "primitives::UpMsg",
+      [](const UpMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        put_sum_max(w, m.sum, m.max);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        const auto [sum, max] = get_sum_max(r);
+        return UpMsg{sum, max};
+      },
+      [](const UpMsg& a, const UpMsg& b) {
+        return a.sum == b.sum && a.max == b.max;
+      });
+  audit::register_codec<std::pair<std::int64_t, std::int64_t>>(
+      "primitives::DownResult",
+      [](const std::pair<std::int64_t, std::int64_t>& m,
+         const audit::WireContext&, audit::BitWriter& w) {
+        put_sum_max(w, m.first, m.second);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return get_sum_max(r);
+      },
+      [](const std::pair<std::int64_t, std::int64_t>& a,
+         const std::pair<std::int64_t, std::int64_t>& b) { return a == b; });
+  return true;
+}();
 
 /// Children lists (by vertex) from BFS parent pointers.
 std::vector<std::vector<VertexId>> children_ids_of(const Network& net,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "congest/fragment.hpp"
+#include "congest/wire.hpp"
 
 namespace dmc::dist {
 
@@ -12,6 +13,71 @@ namespace {
 
 using congest::Message;
 using congest::NodeCtx;
+
+/// Wire codec (audit mode). A bag is a varuint member count, then per
+/// member a fixed id_bits(n) id + zigzag-varint weight + varuint label
+/// bits; then a varuint edge count, then per edge two bag-local indices
+/// (fixed width, wide enough for the largest index) + zigzag-varint
+/// weight + varuint label bits. wire_bits() measures this exact encoding.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<LocalBag>(
+      "dist::LocalBag",
+      [](const LocalBag& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        const int idb = congest::id_bits(ctx.n);
+        w.put_varuint(m.bag.size());
+        for (std::size_t i = 0; i < m.bag.size(); ++i) {
+          w.put_uint(static_cast<std::uint64_t>(m.bag[i]), idb);
+          w.put_varint(m.weights[i]);
+          w.put_varuint(m.vlabel_bits[i]);
+        }
+        const int index_bits =
+            m.bag.empty() ? 1 : audit::uint_bits(m.bag.size() - 1);
+        w.put_varuint(m.edges.size());
+        for (const auto& e : m.edges) {
+          w.put_uint(static_cast<std::uint64_t>(e.i), index_bits);
+          w.put_uint(static_cast<std::uint64_t>(e.j), index_bits);
+          w.put_varint(e.weight);
+          w.put_varuint(e.elabel_bits);
+        }
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        const int idb = congest::id_bits(ctx.n);
+        LocalBag m;
+        const std::uint64_t members = r.get_varuint();
+        for (std::uint64_t i = 0; i < members; ++i) {
+          m.bag.push_back(static_cast<VertexId>(r.get_uint(idb)));
+          m.weights.push_back(r.get_varint());
+          m.vlabel_bits.push_back(
+              static_cast<std::uint32_t>(r.get_varuint()));
+        }
+        const int index_bits =
+            m.bag.empty() ? 1 : audit::uint_bits(m.bag.size() - 1);
+        const std::uint64_t edges = r.get_varuint();
+        for (std::uint64_t i = 0; i < edges; ++i) {
+          LocalBag::BagEdge e;
+          e.i = static_cast<int>(r.get_uint(index_bits));
+          e.j = static_cast<int>(r.get_uint(index_bits));
+          e.weight = r.get_varint();
+          e.elabel_bits = static_cast<std::uint32_t>(r.get_varuint());
+          m.edges.push_back(e);
+        }
+        return m;
+      },
+      [](const LocalBag& a, const LocalBag& b) {
+        auto edge_eq = [](const LocalBag::BagEdge& x,
+                          const LocalBag::BagEdge& y) {
+          return x.i == y.i && x.j == y.j && x.weight == y.weight &&
+                 x.elabel_bits == y.elabel_bits;
+        };
+        return a.bag == b.bag && a.weights == b.weights &&
+               a.vlabel_bits == b.vlabel_bits &&
+               a.edges.size() == b.edges.size() &&
+               std::equal(a.edges.begin(), a.edges.end(), b.edges.begin(),
+                          edge_eq);
+      });
+  return true;
+}();
 
 class BagsProgram : public congest::NodeProgram {
  public:
@@ -116,11 +182,7 @@ class BagsProgram : public congest::NodeProgram {
 }  // namespace
 
 long LocalBag::wire_bits(int n) const {
-  const long idb = congest::id_bits(n);
-  const long member_bits = idb + 32 + 8;  // id + weight + label bits
-  const long edge_bits = 2 * congest::count_bits(bag.size()) + 32 + 8;
-  return static_cast<long>(bag.size()) * member_bits +
-         static_cast<long>(edges.size()) * edge_bits + 16;
+  return audit::measured_bits(*this, audit::WireContext{n, 0});
 }
 
 BagsResult run_bags(congest::Network& net, const ElimTreeResult& tree,

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "congest/fragment.hpp"
+#include "congest/wire.hpp"
 #include "seq/courcelle.hpp"
 
 namespace dmc::dist {
@@ -27,6 +28,73 @@ struct EdgeListPayload {
 struct VerdictMsg {
   bool holds = false;
 };
+
+/// Wire codecs (audit mode). BfsMsg packs root (id field), dist (a BFS
+/// distance, < n, so count_bits(n) wide) and a presence-bit-guarded parent
+/// id (roots have none); EdgeListPayload is a varuint edge count followed
+/// by two id fields per edge and declares its measured size.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<BfsMsg>(
+      "baseline::BfsMsg",
+      [](const BfsMsg& m, const audit::WireContext& ctx, audit::BitWriter& w) {
+        const int id_bits = congest::id_bits(ctx.n);
+        w.put_uint(static_cast<std::uint64_t>(m.root), id_bits);
+        w.put_uint(static_cast<std::uint64_t>(m.dist),
+                   congest::count_bits(static_cast<std::uint64_t>(ctx.n)));
+        w.put_bit(m.parent >= 0);
+        if (m.parent >= 0)
+          w.put_uint(static_cast<std::uint64_t>(m.parent), id_bits);
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        const int id_bits = congest::id_bits(ctx.n);
+        BfsMsg m;
+        m.root = static_cast<VertexId>(r.get_uint(id_bits));
+        m.dist = static_cast<int>(r.get_uint(
+            congest::count_bits(static_cast<std::uint64_t>(ctx.n))));
+        m.parent = r.get_bit() ? static_cast<VertexId>(r.get_uint(id_bits)) : -1;
+        return m;
+      },
+      [](const BfsMsg& a, const BfsMsg& b) {
+        return a.root == b.root && a.dist == b.dist && a.parent == b.parent;
+      });
+  audit::register_codec<EdgeListPayload>(
+      "baseline::EdgeListPayload",
+      [](const EdgeListPayload& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        const int id_bits = congest::id_bits(ctx.n);
+        w.put_varuint(m.edges.size());
+        for (const auto& [a, b] : m.edges) {
+          w.put_uint(static_cast<std::uint64_t>(a), id_bits);
+          w.put_uint(static_cast<std::uint64_t>(b), id_bits);
+        }
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        const int id_bits = congest::id_bits(ctx.n);
+        EdgeListPayload m;
+        const std::uint64_t size = r.get_varuint();
+        for (std::uint64_t i = 0; i < size; ++i) {
+          const auto a = static_cast<VertexId>(r.get_uint(id_bits));
+          const auto b = static_cast<VertexId>(r.get_uint(id_bits));
+          m.edges.emplace_back(a, b);
+        }
+        return m;
+      },
+      [](const EdgeListPayload& a, const EdgeListPayload& b) {
+        return a.edges == b.edges;
+      });
+  audit::register_codec<VerdictMsg>(
+      "baseline::VerdictMsg",
+      [](const VerdictMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_bit(m.holds);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return VerdictMsg{r.get_bit()};
+      },
+      [](const VerdictMsg& a, const VerdictMsg& b) {
+        return a.holds == b.holds;
+      });
+  return true;
+}();
 
 class GatherProgram : public congest::NodeProgram {
  public:
@@ -62,7 +130,7 @@ class GatherProgram : public congest::NodeProgram {
       }
       if (r < n)
         ctx.send_all(Message(BfsMsg{root_, dist_, parent_},
-                             2 * id_bits + congest::count_bits(n)));
+                             2 * id_bits + congest::count_bits(n) + 1));
       if (r == n) {
         ctx.annotate("gather");
         // Stable: neighbors whose parent is me are my BFS children.
@@ -118,9 +186,8 @@ class GatherProgram : public congest::NodeProgram {
       decide(ctx);
       return;
     }
-    const long bits =
-        16 + 2ll * congest::id_bits(ctx.n()) *
-                 static_cast<long>(gathered_.edges.size());
+    const long bits = audit::measured_bits(
+        gathered_, audit::WireContext{ctx.n(), ctx.bandwidth()});
     sender_.enqueue(ctx.port_of(parent_), gathered_, bits);
   }
 

@@ -5,6 +5,7 @@
 
 #include "bpt/tables.hpp"
 #include "congest/fragment.hpp"
+#include "congest/wire.hpp"
 #include "dist/bags.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
@@ -25,12 +26,48 @@ struct TotalMsg {
   std::uint64_t total = 0;
 };
 
-long table_bits(const bpt::Engine& engine, const bpt::CountTable& t) {
-  const int cbits = std::max(
-      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
-  long bits = 8;
-  for (const auto& [c, count] : t) bits += cbits + congest::count_bits(count);
-  return bits;
+/// Wire codecs (audit mode). Count tables declare their *measured*
+/// encoding (varuint entry count, then varuint class + varuint count per
+/// entry); TotalMsg's counter is the frame's only field and is sent
+/// minimal-width, which is exactly the declared count_bits(total).
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<CountTablePayload>(
+      "counting::CountTablePayload",
+      [](const CountTablePayload& m, const audit::WireContext&,
+         audit::BitWriter& w) {
+        w.put_varuint(m.table.size());
+        for (const auto& [c, count] : m.table) {
+          w.put_varuint(static_cast<std::uint64_t>(c));
+          w.put_varuint(count);
+        }
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        CountTablePayload m;
+        const std::uint64_t size = r.get_varuint();
+        for (std::uint64_t i = 0; i < size; ++i) {
+          const auto c = static_cast<bpt::TypeId>(r.get_varuint());
+          m.table[c] = r.get_varuint();
+        }
+        return m;
+      },
+      [](const CountTablePayload& a, const CountTablePayload& b) {
+        return a.table == b.table;
+      });
+  audit::register_codec<TotalMsg>(
+      "counting::TotalMsg",
+      [](const TotalMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_uint_min(m.total);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return TotalMsg{r.get_rest()};
+      },
+      [](const TotalMsg& a, const TotalMsg& b) { return a.total == b.total; });
+  return true;
+}();
+
+long table_bits(const CountTablePayload& payload, const NodeCtx& ctx) {
+  return audit::measured_bits(payload,
+                              audit::WireContext{ctx.n(), ctx.bandwidth()});
 }
 
 class CountingProgram : public congest::NodeProgram {
@@ -92,8 +129,9 @@ class CountingProgram : public congest::NodeProgram {
         finished_ = true;
         forward_total(ctx);
       } else {
-        sender_.enqueue(ctx.port_of(parent_id_), CountTablePayload{root_table},
-                        table_bits(engine_, root_table));
+        CountTablePayload payload{root_table};
+        const long bits = table_bits(payload, ctx);
+        sender_.enqueue(ctx.port_of(parent_id_), std::move(payload), bits);
       }
     }
     sender_.pump(ctx);

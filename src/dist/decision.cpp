@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "bpt/tables.hpp"
+#include "congest/wire.hpp"
 #include "dist/bags.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
@@ -29,6 +30,33 @@ int class_bits(const bpt::Engine& engine) {
   return std::max(
       1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
 }
+
+/// Wire codecs (audit mode). A class id is the frame's only field, so it
+/// is sent minimal-width and sized from the frame end on decode; its
+/// minimal width never exceeds the declared class_bits (type < num_types).
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<ClassMsg>(
+      "decision::ClassMsg",
+      [](const ClassMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_uint_min(static_cast<std::uint64_t>(m.type));
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return ClassMsg{static_cast<bpt::TypeId>(r.get_rest())};
+      },
+      [](const ClassMsg& a, const ClassMsg& b) { return a.type == b.type; });
+  audit::register_codec<VerdictMsg>(
+      "decision::VerdictMsg",
+      [](const VerdictMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_bit(m.holds);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return VerdictMsg{r.get_bit()};
+      },
+      [](const VerdictMsg& a, const VerdictMsg& b) {
+        return a.holds == b.holds;
+      });
+  return true;
+}();
 
 class DecisionProgram : public congest::NodeProgram {
  public:

@@ -4,6 +4,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "congest/wire.hpp"
+
 namespace dmc::dist {
 
 namespace {
@@ -27,6 +29,70 @@ struct ReportMsg {
 struct AdoptMsg {
   VertexId parent = -1;
 };
+
+/// Wire codecs (audit mode): ids are fixed id_bits(n)-wide fields. A
+/// marked flood carries no min-id (marked senders' floods are ignored), so
+/// the flag conditions the id field and the declared 1 + id_bits is an
+/// upper bound, tight for the unmarked case.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<FloodMsg>(
+      "elim_tree::FloodMsg",
+      [](const FloodMsg& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        w.put_bit(m.marked);
+        if (!m.marked)
+          w.put_uint(static_cast<std::uint64_t>(m.min_id),
+                     congest::id_bits(ctx.n));
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        FloodMsg m;
+        m.marked = r.get_bit();
+        m.min_id = m.marked ? -1
+                            : static_cast<VertexId>(
+                                  r.get_uint(congest::id_bits(ctx.n)));
+        return m;
+      },
+      [](const FloodMsg& a, const FloodMsg& b) {
+        return a.marked == b.marked && a.min_id == b.min_id;
+      });
+  audit::register_codec<ReportMsg>(
+      "elim_tree::ReportMsg",
+      [](const ReportMsg& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        w.put_uint(static_cast<std::uint64_t>(m.leader),
+                   congest::id_bits(ctx.n));
+        w.put_uint(static_cast<std::uint64_t>(m.reporter),
+                   congest::id_bits(ctx.n));
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        ReportMsg m;
+        m.leader =
+            static_cast<VertexId>(r.get_uint(congest::id_bits(ctx.n)));
+        m.reporter =
+            static_cast<VertexId>(r.get_uint(congest::id_bits(ctx.n)));
+        return m;
+      },
+      [](const ReportMsg& a, const ReportMsg& b) {
+        return a.leader == b.leader && a.reporter == b.reporter;
+      });
+  audit::register_codec<AdoptMsg>(
+      "elim_tree::AdoptMsg",
+      [](const AdoptMsg& m, const audit::WireContext& ctx,
+         audit::BitWriter& w) {
+        w.put_uint(static_cast<std::uint64_t>(m.parent),
+                   congest::id_bits(ctx.n));
+      },
+      [](const audit::WireContext& ctx, audit::BitReader& r) {
+        AdoptMsg m;
+        m.parent =
+            static_cast<VertexId>(r.get_uint(congest::id_bits(ctx.n)));
+        return m;
+      },
+      [](const AdoptMsg& a, const AdoptMsg& b) {
+        return a.parent == b.parent;
+      });
+  return true;
+}();
 
 // Phase layout (E = election_rounds, L = E + 2):
 //   step 0        : process AdoptMsg from the previous phase (mark self,

@@ -41,6 +41,14 @@ LowTdDecomposition grid_low_td_decomposition(const Graph& g, int rows,
 HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
                                      const Graph& h, int td_budget,
                                      obs::TraceSink* sink) {
+  congest::NetworkConfig base_cfg;
+  base_cfg.sink = sink;
+  return run_h_freeness_grid(g, rows, cols, h, td_budget, base_cfg);
+}
+
+HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
+                                     const Graph& h, int td_budget,
+                                     const congest::NetworkConfig& base_cfg) {
   const int p = h.num_vertices();
   if (p < 1 || !is_connected(h))
     throw std::invalid_argument("run_h_freeness_grid: H must be connected");
@@ -81,9 +89,7 @@ HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
           if (comp[v] == c) cm.push_back(v);
         if (static_cast<int>(cm.size()) < p) continue;  // cannot contain H
         const Graph gc = gi.induced_subgraph(cm);
-        congest::NetworkConfig net_cfg;
-        net_cfg.sink = sink;
-        congest::Network net(gc, net_cfg);
+        congest::Network net(gc, base_cfg);
         ++out.num_component_runs;
         char span[48];
         std::snprintf(span, sizeof(span), "subset=%d comp=%d",

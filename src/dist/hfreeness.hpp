@@ -23,6 +23,7 @@
 
 #include <vector>
 
+#include "congest/network.hpp"
 #include "graph/graph.hpp"
 #include "obs/trace.hpp"
 
@@ -65,5 +66,12 @@ struct HFreenessOutcome {
 HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
                                      const Graph& h, int td_budget,
                                      obs::TraceSink* sink = nullptr);
+
+/// As above, but every per-component network is built from `base_cfg`
+/// (id_seed, audit mode, step order, sink, ...) — the entry point the
+/// conformance harness (congest/conformance.hpp) drives.
+HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
+                                     const Graph& h, int td_budget,
+                                     const congest::NetworkConfig& base_cfg);
 
 }  // namespace dmc::dist

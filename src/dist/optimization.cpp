@@ -8,6 +8,7 @@
 #include "bpt/plan.hpp"
 #include "bpt/tables.hpp"
 #include "congest/fragment.hpp"
+#include "congest/wire.hpp"
 #include "dist/bags.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
@@ -35,12 +36,57 @@ int class_bits(const bpt::Engine& engine) {
       1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
 }
 
-long table_bits(const bpt::Engine& engine, const bpt::OptTable& t) {
-  long bits = 8;
-  for (const auto& [c, w] : t)
-    bits += class_bits(engine) +
-            congest::count_bits(static_cast<std::uint64_t>(std::abs(w))) + 2;
-  return bits;
+/// Wire codecs (audit mode). Tables declare their *measured* encoding
+/// (varuint entry count, then varuint class + zigzag-varint weight per
+/// entry), so declared == encoded exactly; the single-field AssignMsg is
+/// minimal-width within the declared class_bits upper bound.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<TablePayload>(
+      "optimization::TablePayload",
+      [](const TablePayload& m, const audit::WireContext&,
+         audit::BitWriter& w) {
+        w.put_varuint(m.table.size());
+        for (const auto& [c, wt] : m.table) {
+          w.put_varuint(static_cast<std::uint64_t>(c));
+          w.put_varint(wt);
+        }
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        TablePayload m;
+        const std::uint64_t size = r.get_varuint();
+        for (std::uint64_t i = 0; i < size; ++i) {
+          const auto c = static_cast<bpt::TypeId>(r.get_varuint());
+          m.table[c] = r.get_varint();
+        }
+        return m;
+      },
+      [](const TablePayload& a, const TablePayload& b) {
+        return a.table == b.table;
+      });
+  audit::register_codec<AssignMsg>(
+      "optimization::AssignMsg",
+      [](const AssignMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_uint_min(static_cast<std::uint64_t>(m.type));
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        return AssignMsg{static_cast<bpt::TypeId>(r.get_rest())};
+      },
+      [](const AssignMsg& a, const AssignMsg& b) { return a.type == b.type; });
+  audit::register_codec<InfeasibleMsg>(
+      "optimization::InfeasibleMsg",
+      [](const InfeasibleMsg&, const audit::WireContext&,
+         audit::BitWriter& w) { w.put_bit(true); },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        r.get_bit();
+        return InfeasibleMsg{};
+      },
+      [](const InfeasibleMsg&, const InfeasibleMsg&) { return true; });
+  return true;
+}();
+
+long table_bits(const TablePayload& payload, const NodeCtx& ctx) {
+  return audit::measured_bits(payload,
+                              audit::WireContext{ctx.n(), ctx.bandwidth()});
 }
 
 class OptimizationProgram : public congest::NodeProgram {
@@ -120,8 +166,9 @@ class OptimizationProgram : public congest::NodeProgram {
           assign(ctx, best);
         }
       } else {
-        sender_.enqueue(ctx.port_of(parent_id_), TablePayload{root_table},
-                        table_bits(engine_, root_table));
+        TablePayload payload{root_table};
+        const long bits = table_bits(payload, ctx);
+        sender_.enqueue(ctx.port_of(parent_id_), std::move(payload), bits);
       }
     }
     sender_.pump(ctx);

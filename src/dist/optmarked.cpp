@@ -6,6 +6,7 @@
 
 #include "bpt/tables.hpp"
 #include "congest/fragment.hpp"
+#include "congest/wire.hpp"
 #include "dist/bags.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
@@ -31,17 +32,58 @@ struct VerdictMsg {
   bool is_optimal = false;
 };
 
-long payload_bits(const bpt::Engine& engine, const UpPayload& p) {
-  const int cbits = std::max(
-      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
-  long bits = 8 + cbits +
-              congest::count_bits(
-                  static_cast<std::uint64_t>(std::abs(p.marked_weight))) +
-              2;
-  for (const auto& [c, w] : p.opt)
-    bits += cbits +
-            congest::count_bits(static_cast<std::uint64_t>(std::abs(w))) + 2;
-  return bits;
+/// Wire codecs (audit mode). UpPayload declares its *measured* encoding:
+/// the OPT table (varuint entry count, varuint class + zigzag-varint
+/// weight per entry) followed by the marked class as a zigzag varint
+/// (kInvalidType is -1) and the marked weight as a zigzag varint.
+[[maybe_unused]] const bool wire_codecs_registered = [] {
+  audit::register_codec<UpPayload>(
+      "optmarked::UpPayload",
+      [](const UpPayload& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_varuint(m.opt.size());
+        for (const auto& [c, wt] : m.opt) {
+          w.put_varuint(static_cast<std::uint64_t>(c));
+          w.put_varint(wt);
+        }
+        w.put_varint(m.marked_class);
+        w.put_varint(m.marked_weight);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        UpPayload m;
+        const std::uint64_t size = r.get_varuint();
+        for (std::uint64_t i = 0; i < size; ++i) {
+          const auto c = static_cast<bpt::TypeId>(r.get_varuint());
+          m.opt[c] = r.get_varint();
+        }
+        m.marked_class = static_cast<bpt::TypeId>(r.get_varint());
+        m.marked_weight = r.get_varint();
+        return m;
+      },
+      [](const UpPayload& a, const UpPayload& b) {
+        return a.opt == b.opt && a.marked_class == b.marked_class &&
+               a.marked_weight == b.marked_weight;
+      });
+  audit::register_codec<VerdictMsg>(
+      "optmarked::VerdictMsg",
+      [](const VerdictMsg& m, const audit::WireContext&, audit::BitWriter& w) {
+        w.put_bit(m.satisfies);
+        w.put_bit(m.is_optimal);
+      },
+      [](const audit::WireContext&, audit::BitReader& r) {
+        VerdictMsg m;
+        m.satisfies = r.get_bit();
+        m.is_optimal = r.get_bit();
+        return m;
+      },
+      [](const VerdictMsg& a, const VerdictMsg& b) {
+        return a.satisfies == b.satisfies && a.is_optimal == b.is_optimal;
+      });
+  return true;
+}();
+
+long payload_bits(const UpPayload& p, const NodeCtx& ctx) {
+  return audit::measured_bits(p,
+                              audit::WireContext{ctx.n(), ctx.bandwidth()});
 }
 
 class OptMarkedProgram : public congest::NodeProgram {
@@ -116,8 +158,8 @@ class OptMarkedProgram : public congest::NodeProgram {
         finished_ = true;
         forward_verdict(ctx);
       } else {
-        sender_.enqueue(ctx.port_of(parent_id_), mine,
-                        payload_bits(engine_, mine));
+        const long bits = payload_bits(mine, ctx);
+        sender_.enqueue(ctx.port_of(parent_id_), std::move(mine), bits);
       }
     }
     sender_.pump(ctx);

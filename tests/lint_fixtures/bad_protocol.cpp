@@ -1,0 +1,38 @@
+// dmc-lint --self-test fixture: deliberately nonconforming protocol code.
+//
+// Never compiled — scanned by the lint_fixtures ctest entry, which runs
+// `dmc-lint --self-test` over this directory and requires the emitted
+// findings to match the `lint-expect:` markers below exactly (missed or
+// extra findings fail the test). Each marker names the rule that must fire
+// on its line; unmarked lines must stay clean.
+#include <chrono>
+#include <cstdlib>
+#include <random>
+#include <unordered_map>
+
+struct GoodMsg {
+  int x = 0;
+};
+struct BadMsg {
+  int x = 0;
+};
+
+void register_fixture_codecs() {
+  audit::register_codec<GoodMsg>("fixture::GoodMsg", enc, dec, eq);
+}
+
+std::unordered_map<int, int> table;
+
+void on_round(NodeCtx& ctx) {
+  for (const auto& [k, v] : table) use(k, v);  // lint-expect: unordered-iteration
+  auto it = table.begin();  // lint-expect: unordered-iteration
+  int r = rand();  // lint-expect: nondeterminism
+  long t = time(nullptr);  // lint-expect: nondeterminism
+  std::random_device rd;  // lint-expect: nondeterminism
+  auto tick = std::chrono::steady_clock::now();  // lint-expect: nondeterminism
+  static int rounds_seen = 0;  // lint-expect: global-state
+  ctx.send(0, Message(BadMsg{r}, 8));  // lint-expect: unregistered-payload
+  ctx.send(0, Message(GoodMsg{1}, 8));  // registered above: clean
+  static int tolerated = 0;  // dmc-lint: allow(global-state)
+  use(it, t, rd, tick, rounds_seen, tolerated);
+}

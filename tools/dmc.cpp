@@ -1,12 +1,12 @@
 // dmc — command-line front end for the library.
 //
 //   dmc decide   --formula "<mso>" (--graph file.dimacs | --family NAME)
-//                [--dist D] [--trace FILE[:jsonl|chrome]]
+//                [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]
 //   dmc maximize --formula "<mso>" --var S --sort vset|eset (--graph ...)
-//                [--dist D] [--trace ...]
+//                [--dist D] [--trace ...] [--audit]
 //   dmc minimize ... (same as maximize)
 //   dmc count    --formula "<mso>" --vars S:vset[,T:vset...] (--graph ...)
-//                [--dist D] [--trace ...]
+//                [--dist D] [--trace ...] [--audit]
 //   dmc treedepth (--graph ... | --family NAME)
 //
 // --graph reads the DIMACS-like format of src/graph/io.hpp from a file
@@ -18,6 +18,10 @@
 // additionally streams the round-level trace to FILE (jsonl by default;
 // the :chrome suffix writes a chrome://tracing-loadable flame view, see
 // docs/OBSERVABILITY.md).
+// --audit (needs --dist) runs the model-conformance battery instead of a
+// single execution: wire-format audit on every message plus determinism,
+// order-obliviousness, and id-obliviousness dual runs (see
+// docs/STATIC_ANALYSIS.md); exits 5 if any check diverges.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -28,6 +32,7 @@
 #include <sstream>
 #include <string>
 
+#include "congest/conformance.hpp"
 #include "congest/network.hpp"
 #include "dist/counting.hpp"
 #include "dist/decision.hpp"
@@ -52,7 +57,7 @@ namespace {
                "usage: dmc <decide|maximize|minimize|count|treedepth>\n"
                "           [--formula STR] [--graph FILE|-] [--family SPEC]\n"
                "           [--var NAME --sort vset|eset] [--vars N:S,...]\n"
-               "           [--dist D] [--trace FILE[:jsonl|chrome]]\n");
+               "           [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]\n");
   std::exit(2);
 }
 
@@ -128,6 +133,10 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("options start with --");
+    if (key == "--audit") {  // boolean flag, takes no value
+      args.options["audit"] = "1";
+      continue;
+    }
     if (i + 1 >= argc) usage(("missing value for " + key).c_str());
     args.options[key.substr(2)] = argv[++i];
   }
@@ -146,9 +155,26 @@ Graph load_graph(const Args& args) {
 std::optional<int> dist_budget(const Args& args) {
   if (!args.has("dist")) {
     if (args.has("trace")) usage("--trace requires --dist");
+    if (args.has("audit")) usage("--audit requires --dist");
     return std::nullopt;
   }
+  if (args.has("audit") && args.has("trace"))
+    usage("--audit replaces the trace sink; drop --trace");
   return parse_int(args.get("dist"), "--dist");
+}
+
+/// --audit mode: runs the conformance battery (wire audit + determinism +
+/// order-obliviousness + id-obliviousness dual runs) over the protocol the
+/// command would have executed once, and prints the report. Verdicts must
+/// be id-invariant on any graph; round counts are only id-invariant on
+/// vertex-transitive graphs, so they are not compared across seeds here.
+int run_audit_battery(const Graph& g, const audit::ProtocolRunner& runner) {
+  audit::ConformanceOptions opts;
+  opts.id_seeds = {1, 2, 3};
+  opts.require_equal_rounds = false;
+  const auto report = audit::check_conformance(g, {}, runner, opts);
+  std::printf("%s", report.format().c_str());
+  return report.ok() ? 0 : 5;
 }
 
 /// Trace wiring for the distributed commands: an in-memory buffer always
@@ -213,6 +239,12 @@ int cmd_decide(const Args& args) {
   const Graph g = load_graph(args);
   const auto formula = mso::parse(args.get("formula"));
   if (const auto d = dist_budget(args)) {
+    if (args.has("audit"))
+      return run_audit_battery(g, [&](congest::Network& net) {
+        const auto out = dist::run_decision(net, formula, *d);
+        if (out.treedepth_exceeded) return std::string("treedepth exceeded");
+        return std::string(out.holds ? "holds" : "fails");
+      });
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
@@ -240,6 +272,15 @@ int cmd_optimize(const Args& args, bool maximize) {
   const std::string var = args.get("var");
   const mso::Sort sort = parse_sort(args.get("sort"));
   if (const auto d = dist_budget(args)) {
+    if (args.has("audit"))
+      return run_audit_battery(g, [&](congest::Network& net) {
+        const auto out = maximize
+                             ? dist::run_maximize(net, formula, var, sort, *d)
+                             : dist::run_minimize(net, formula, var, sort, *d);
+        if (out.treedepth_exceeded) return std::string("treedepth exceeded");
+        if (!out.best_weight) return std::string("infeasible");
+        return "optimum=" + std::to_string(*out.best_weight);
+      });
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
@@ -297,6 +338,12 @@ int cmd_count(const Args& args) {
     vars.emplace_back(item.substr(0, colon), parse_sort(item.substr(colon + 1)));
   }
   if (const auto d = dist_budget(args)) {
+    if (args.has("audit"))
+      return run_audit_battery(g, [&](congest::Network& net) {
+        const auto out = dist::run_count(net, formula, vars, *d);
+        if (out.treedepth_exceeded) return std::string("treedepth exceeded");
+        return "count=" + std::to_string(out.count);
+      });
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();

@@ -1,0 +1,326 @@
+// dmc-lint — static model-conformance checks for CONGEST protocol code.
+//
+// The dynamic audit layer (src/congest/wire.hpp) catches violations at run
+// time on the inputs you happen to execute; this tool flags the classic
+// sources of nonconformance at the source level, before any run:
+//
+//   unordered-iteration   range-for / .begin() iteration over a variable
+//                         declared as std::unordered_map/set. Iteration
+//                         order is implementation-defined, so any protocol
+//                         decision derived from it is nondeterministic.
+//   nondeterminism        rand()/srand()/std::random_device/time()/clock()
+//                         /steady_clock::now() and friends in protocol
+//                         code. Simulated nodes must be pure functions of
+//                         their messages, ids, and explicit seeds.
+//   global-state          mutable static variables. Cross-node state
+//                         sharing through globals breaks the model (nodes
+//                         only communicate through messages) and breaks
+//                         run-to-run determinism.
+//   unregistered-payload  Message(SomePayload{...}) construction where no
+//                         register_codec<SomePayload> exists in the scanned
+//                         sources — the payload would fail the wire audit.
+//
+// Usage: dmc-lint [--self-test] <file-or-dir>...
+//   Directories are scanned recursively for .cpp/.cc/.hpp/.h files.
+//   Findings print as "file:line: rule: message"; exit status 1 if any.
+//   A finding is suppressed by "// dmc-lint: allow(<rule>)" on its line.
+//   --self-test: every expected finding in the inputs is marked with
+//   "// lint-expect: <rule>"; the tool exits 0 iff the emitted findings
+//   match the markers exactly (used by tests/lint_fixtures).
+//
+// Deliberately a lightweight lexical pass (comments and string literals
+// are stripped, line numbers preserved): it complements, not replaces,
+// clang-tidy (.clang-tidy) and the dynamic audit.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+bool operator<(const Finding& a, const Finding& b) {
+  return std::tie(a.file, a.line, a.rule) < std::tie(b.file, b.line, b.rule);
+}
+
+/// Removes comments and string/char literal *contents* while preserving
+/// the line structure, so regex rules neither fire on prose nor lose line
+/// numbers. Raw lines are kept separately for the marker scans.
+std::string strip_comments_and_strings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  enum class State { Code, Line, Block, Str, Chr } state = State::Code;
+  for (std::size_t i = 0; i < src.size(); ++i) {
+    const char c = src[i];
+    const char next = i + 1 < src.size() ? src[i + 1] : '\0';
+    switch (state) {
+      case State::Code:
+        if (c == '/' && next == '/') {
+          state = State::Line;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::Block;
+          ++i;
+        } else if (c == '"') {
+          state = State::Str;
+          out += c;
+        } else if (c == '\'') {
+          state = State::Chr;
+          out += c;
+        } else {
+          out += c;
+        }
+        break;
+      case State::Line:
+        if (c == '\n') {
+          state = State::Code;
+          out += c;
+        }
+        break;
+      case State::Block:
+        if (c == '*' && next == '/') {
+          state = State::Code;
+          ++i;
+        } else if (c == '\n') {
+          out += c;
+        }
+        break;
+      case State::Str:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '"') {
+          state = State::Code;
+          out += c;
+        } else if (c == '\n') {
+          out += c;  // unterminated; keep line structure
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          state = State::Code;
+          out += c;
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+struct FileText {
+  std::string path;
+  std::vector<std::string> raw;   // original lines (markers live here)
+  std::vector<std::string> code;  // comment/string-stripped lines
+};
+
+const std::regex kUnorderedDecl(
+    R"(std::unordered_(?:map|set|multimap|multiset)\s*<[^;{]*>\s+([A-Za-z_]\w*)\s*[;={(])");
+const std::regex kRegisteredCodec(R"(register_codec\s*<\s*([A-Za-z_][\w:]*))");
+const std::regex kPayloadSend(R"(Message\s*\(\s*([A-Z]\w*)\s*\{)");
+const std::regex kBannedCall(
+    R"((?:^|[^\w.])(rand|srand|time|clock)\s*\(|std::random_device|_clock\s*::\s*now\s*\()");
+const std::regex kMutableStatic(
+    R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
+
+bool suppressed(const std::string& raw_line, const std::string& rule) {
+  return raw_line.find("dmc-lint: allow(" + rule + ")") != std::string::npos;
+}
+
+void add_finding(std::vector<Finding>& out, const FileText& f, int line,
+                 const std::string& rule, const std::string& message) {
+  if (suppressed(f.raw[line], rule)) return;
+  out.push_back(Finding{f.path, line + 1, rule, message});
+}
+
+void lint_file(const FileText& f, const std::set<std::string>& registered,
+               std::vector<Finding>& out) {
+  // Pass 1: names declared with unordered container types in this file.
+  std::set<std::string> unordered_vars;
+  for (const std::string& line : f.code) {
+    for (std::sregex_iterator it(line.begin(), line.end(), kUnorderedDecl), end;
+         it != end; ++it)
+      unordered_vars.insert((*it)[1].str());
+  }
+  // Pass 2: per-line rules.
+  for (int i = 0; i < static_cast<int>(f.code.size()); ++i) {
+    const std::string& line = f.code[i];
+    std::smatch m;
+
+    for (const std::string& var : unordered_vars) {
+      const std::regex iteration("(for\\s*\\([^;)]*:\\s*" + var +
+                                 "\\b)|(\\b" + var + "\\s*\\.\\s*c?begin\\s*\\()");
+      if (std::regex_search(line, m, iteration))
+        add_finding(out, f, i, "unordered-iteration",
+                    "iteration over unordered container '" + var +
+                        "' — order is implementation-defined; use std::map/"
+                        "std::set or sort first");
+    }
+
+    if (std::regex_search(line, m, kBannedCall)) {
+      const std::string what =
+          m[1].matched ? m[1].str() + "()"
+          : m[0].str().find("random_device") != std::string::npos
+              ? "std::random_device"
+              : "<clock>::now()";
+      add_finding(out, f, i, "nondeterminism",
+                  "call to '" + what +
+                      "' — protocol code must be a deterministic function of "
+                      "messages, ids, and explicit seeds");
+    }
+
+    if (std::regex_search(line, m, kMutableStatic))
+      add_finding(out, f, i, "global-state",
+                  "mutable static state — nodes may only share state through "
+                  "messages; make it const/constexpr or pass it explicitly");
+
+    for (std::sregex_iterator it(line.begin(), line.end(), kPayloadSend), end;
+         it != end; ++it) {
+      const std::string type = (*it)[1].str();
+      if (type == "Message" || registered.count(type) != 0) continue;
+      add_finding(out, f, i, "unregistered-payload",
+                  "payload type '" + type +
+                      "' has no register_codec<" + type +
+                      "> in the scanned sources — it would fail the wire "
+                      "audit (see src/congest/wire.hpp)");
+    }
+  }
+}
+
+bool lintable(const std::filesystem::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".hpp" || ext == ".h";
+}
+
+int usage() {
+  std::cerr << "usage: dmc-lint [--self-test] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool self_test = false;
+  std::vector<std::filesystem::path> inputs;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-test")
+      self_test = true;
+    else if (!arg.empty() && arg[0] == '-')
+      return usage();
+    else
+      inputs.emplace_back(arg);
+  }
+  if (inputs.empty()) return usage();
+
+  std::vector<std::filesystem::path> files;
+  for (const auto& input : inputs) {
+    std::error_code ec;
+    if (std::filesystem::is_directory(input, ec)) {
+      for (const auto& entry :
+           std::filesystem::recursive_directory_iterator(input))
+        if (entry.is_regular_file() && lintable(entry.path()))
+          files.push_back(entry.path());
+    } else if (std::filesystem::is_regular_file(input, ec)) {
+      files.push_back(input);
+    } else {
+      std::cerr << "dmc-lint: cannot read " << input << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<FileText> texts;
+  std::set<std::string> registered;
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    std::stringstream buf;
+    buf << in.rdbuf();
+    FileText f;
+    f.path = path.string();
+    f.raw = split_lines(buf.str());
+    f.code = split_lines(strip_comments_and_strings(buf.str()));
+    for (const std::string& line : f.code) {
+      for (std::sregex_iterator it(line.begin(), line.end(), kRegisteredCodec),
+           end;
+           it != end; ++it)
+        registered.insert((*it)[1].str());
+    }
+    texts.push_back(std::move(f));
+  }
+
+  std::vector<Finding> findings;
+  for (const FileText& f : texts) lint_file(f, registered, findings);
+  std::sort(findings.begin(), findings.end());
+
+  if (!self_test) {
+    for (const Finding& f : findings)
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    if (!findings.empty()) {
+      std::cout << findings.size() << " finding(s)\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  // Self-test: findings must equal the "// lint-expect: <rule>" markers.
+  std::set<std::string> expected, actual;
+  const std::regex expect(R"(lint-expect:\s*([a-z-]+))");
+  for (const FileText& f : texts)
+    for (int i = 0; i < static_cast<int>(f.raw.size()); ++i) {
+      std::smatch m;
+      std::string line = f.raw[i];
+      while (std::regex_search(line, m, expect)) {
+        expected.insert(f.path + ":" + std::to_string(i + 1) + ":" +
+                        m[1].str());
+        line = m.suffix();
+      }
+    }
+  for (const Finding& f : findings)
+    actual.insert(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+
+  bool ok = true;
+  for (const std::string& e : expected)
+    if (actual.count(e) == 0) {
+      std::cout << "MISSED expected finding " << e << "\n";
+      ok = false;
+    }
+  for (const std::string& a : actual)
+    if (expected.count(a) == 0) {
+      std::cout << "UNEXPECTED finding " << a << "\n";
+      ok = false;
+    }
+  std::cout << "self-test: " << actual.size() << " findings, "
+            << expected.size() << " expected — " << (ok ? "PASS" : "FAIL")
+            << "\n";
+  return ok ? 0 : 1;
+}
