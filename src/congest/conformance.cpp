@@ -22,6 +22,18 @@ void RoundDigestSink::round(const obs::RoundEvent& ev) {
   digests_.push_back(h);
 }
 
+void RoundDigestSink::fault(const obs::FaultEvent& ev) {
+  // Injected faults are part of the execution shape: two runs under the
+  // same fault plan and seed must inject identically (the determinism
+  // backbone of the fault-sweep tests).
+  std::uint64_t h = mix64(static_cast<std::uint64_t>(ev.kind),
+                          static_cast<std::uint64_t>(ev.round));
+  h = mix64(h, (static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.src))
+                << 32) |
+                   static_cast<std::uint64_t>(static_cast<std::uint32_t>(ev.dst)));
+  pending_ = mix64(pending_, h + static_cast<std::uint64_t>(ev.detail));
+}
+
 void RoundDigestSink::phase(const obs::PhaseEvent& ev) {
   // Phase boundaries land in the digest of the next round (or are folded
   // into it retroactively for end-of-run closers via pending_ carry).

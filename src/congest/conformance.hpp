@@ -43,6 +43,7 @@ class RoundDigestSink final : public obs::TraceSink {
   void run_begin(const obs::RunInfo& info) override;
   void round(const obs::RoundEvent& ev) override;
   void phase(const obs::PhaseEvent& ev) override;
+  void fault(const obs::FaultEvent& ev) override;
 
   const std::vector<std::uint64_t>& digests() const { return digests_; }
 

@@ -8,7 +8,9 @@
 // in order, one per round.
 #pragma once
 
+#include <algorithm>
 #include <any>
+#include <cstdint>
 #include <deque>
 #include <optional>
 #include <stdexcept>
@@ -19,7 +21,11 @@
 
 namespace dmc::congest {
 
-/// Chunk wire format.
+/// Chunk wire format. The sequencing fields ride inside the declared
+/// kHeaderBits chunk header (message sequence within a sliding window,
+/// chunk index, chunk count) — they are what makes reassembly robust to
+/// the duplicated and reordered deliveries a faulty transport can produce
+/// (faults.hpp).
 struct Fragment {
   std::any value;  // engaged only on the final chunk
   /// Declared size of the whole logical payload (the `bits` passed to
@@ -27,6 +33,10 @@ struct Fragment {
   /// true encoded size against this — the chunk stream was budgeted from
   /// it — rather than against the final chunk's own declared bits.
   long logical_bits = 0;
+  /// Per-(sender, port) logical message sequence number.
+  std::uint32_t msg_seq = 0;
+  int chunk = 0;        // chunk index within the message
+  int num_chunks = 1;   // total chunks of the message
 };
 
 /// Sender side: queue logical payloads per port, pump one chunk per round.
@@ -39,7 +49,9 @@ class FragmentSender {
   void enqueue(int port, std::any value, long bits) {
     if (bits <= 0) bits = 1;
     queues_.resize(std::max<std::size_t>(queues_.size(), port + 1));
-    queues_[port].push_back(Pending{std::move(value), bits, bits});
+    next_seq_.resize(queues_.size(), 0);
+    queues_[port].push_back(Pending{std::move(value), bits, bits,
+                                    next_seq_[port]++, 0});
   }
 
   bool idle() const {
@@ -68,6 +80,10 @@ class FragmentSender {
       p.bits_left -= chunk_bits;
       Fragment frag;
       frag.logical_bits = p.total_bits;
+      frag.msg_seq = p.msg_seq;
+      frag.chunk = p.chunks_sent++;
+      frag.num_chunks = static_cast<int>((p.total_bits + payload_budget - 1) /
+                                         payload_budget);
       if (p.bits_left <= 0) frag.value = std::move(p.value);
       ctx.send(port, Message(std::move(frag),
                              static_cast<int>(chunk_bits) + kHeaderBits));
@@ -80,11 +96,18 @@ class FragmentSender {
     std::any value;
     long bits_left = 0;
     long total_bits = 0;
+    std::uint32_t msg_seq = 0;
+    int chunks_sent = 0;
   };
   std::vector<std::deque<Pending>> queues_;
+  std::vector<std::uint32_t> next_seq_;  // per port
 };
 
 /// Polls the message on `port` this round for a completed logical payload.
+/// Only sound on a perfect (in-order, exactly-once) network: a duplicated
+/// final chunk would surface the payload twice, a lost interior chunk goes
+/// unnoticed. Protocol code uses FragmentReassembler, which is robust to
+/// both; this helper remains for unit tests of the perfect path.
 inline std::optional<std::any> poll_fragment(NodeCtx& ctx, int port) {
   const auto& msg = ctx.recv(port);
   if (!msg.has_value()) return std::nullopt;
@@ -92,5 +115,90 @@ inline std::optional<std::any> poll_fragment(NodeCtx& ctx, int port) {
   if (frag == nullptr || !frag->value.has_value()) return std::nullopt;
   return frag->value;
 }
+
+/// Receiver-side reassembly hardened against faulty delivery: chunk
+/// insertion is idempotent (keyed by message sequence number and chunk
+/// index, so duplicates are absorbed), chunks may arrive in any order, and
+/// completed messages are surfaced exactly once, in sequence order — at
+/// most one per poll, matching the one-logical-message-per-round cadence
+/// of the perfect path. Messages whose chunks never all arrive (raw lossy
+/// transport) are simply never surfaced; under the reliable transport
+/// every message completes.
+class FragmentReassembler {
+ public:
+  /// Examines this round's message on `port`; returns a completed logical
+  /// payload when one is deliverable in order. Call once per round per
+  /// port (like poll_fragment).
+  std::optional<std::any> poll(NodeCtx& ctx, int port) {
+    if (port >= static_cast<int>(ports_.size())) ports_.resize(port + 1);
+    PortState& state = ports_[port];
+    const auto& msg = ctx.recv(port);
+    if (msg.has_value()) {
+      const Fragment* frag = std::any_cast<Fragment>(&msg->value);
+      if (frag != nullptr) absorb(state, *frag);
+    }
+    // Surface the next in-sequence completed message, if any.
+    for (std::size_t i = 0; i < state.ready.size(); ++i) {
+      if (state.ready[i].seq != state.next_deliver) continue;
+      std::any value = std::move(state.ready[i].value);
+      state.ready.erase(state.ready.begin() + i);
+      state.next_deliver += 1;
+      return value;
+    }
+    return std::nullopt;
+  }
+
+ private:
+  struct Partial {
+    std::uint32_t seq = 0;
+    std::vector<bool> have;  // chunk index -> received
+    int have_count = 0;
+    std::any value;
+  };
+  struct Ready {
+    std::uint32_t seq = 0;
+    std::any value;
+  };
+  struct PortState {
+    std::uint32_t next_deliver = 0;  // next msg_seq to surface
+    std::vector<Partial> partials;
+    std::vector<Ready> ready;
+  };
+
+  void absorb(PortState& state, const Fragment& frag) {
+    if (frag.msg_seq < state.next_deliver) return;  // stale duplicate
+    for (const Ready& r : state.ready)
+      if (r.seq == frag.msg_seq) return;  // completed, awaiting delivery
+    Partial* partial = nullptr;
+    for (Partial& p : state.partials)
+      if (p.seq == frag.msg_seq) partial = &p;
+    if (partial == nullptr) {
+      state.partials.push_back(Partial{});
+      partial = &state.partials.back();
+      partial->seq = frag.msg_seq;
+      partial->have.assign(std::max(frag.num_chunks, 1), false);
+    }
+    if (frag.chunk < 0 || frag.chunk >= static_cast<int>(partial->have.size()))
+      return;  // malformed header (e.g. forged under corruption): ignore
+    if (partial->have[frag.chunk]) return;  // duplicate chunk: idempotent
+    partial->have[frag.chunk] = true;
+    partial->have_count += 1;
+    if (frag.value.has_value() && !partial->value.has_value())
+      partial->value = frag.value;
+    if (partial->have_count == static_cast<int>(partial->have.size())) {
+      Ready done;
+      done.seq = partial->seq;
+      done.value = std::move(partial->value);
+      for (std::size_t i = 0; i < state.partials.size(); ++i)
+        if (state.partials[i].seq == done.seq) {
+          state.partials.erase(state.partials.begin() + i);
+          break;
+        }
+      state.ready.push_back(std::move(done));
+    }
+  }
+
+  std::vector<PortState> ports_;
+};
 
 }  // namespace dmc::congest

@@ -7,10 +7,23 @@
 #include <random>
 #include <stdexcept>
 
+#include "congest/reliable.hpp"
 #include "congest/wire.hpp"
 #include "graph/algorithms.hpp"
 
 namespace dmc::congest {
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted:
+      return "completed";
+    case RunStatus::kRoundLimit:
+      return "round-limit";
+    case RunStatus::kCrashed:
+      return "crashed";
+  }
+  return "?";
+}
 
 int id_bits(int n) {
   return std::max(1, static_cast<int>(std::bit_width(static_cast<unsigned>(std::max(1, n - 1)))));
@@ -69,6 +82,11 @@ void NodeCtx::send_all(const Message& msg) {
   for (int port = 0; port < degree(); ++port) send(port, msg);
 }
 
+void NodeCtx::send_unreliable(int port, Message msg) {
+  send(port, std::move(msg));  // validation + accounting first
+  if (net_.fault_rt_ != nullptr) net_.fault_rt_->note_best_effort(vertex_, port);
+}
+
 const std::optional<Message>& NodeCtx::recv(int port) const {
   return net_.inbox_[vertex_].at(port);
 }
@@ -119,10 +137,20 @@ Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
     inbox_[v].resize(g.degree(v));
     outbox_[v].resize(g.degree(v));
   }
+  if (cfg_.faults.has_value())
+    fault_rt_ = std::make_unique<detail::FaultRuntime>(*this, *cfg_.faults);
 }
 
+Network::~Network() = default;
+
 void Network::phase_begin(std::string_view name) {
-  if (cfg_.sink == nullptr) return;
+  if (cfg_.sink == nullptr) {
+    // No trace events, but fault-aware / phase-tracking networks still
+    // maintain the span stack so degraded outcomes can name their phase.
+    if (cfg_.track_phases || fault_rt_ != nullptr)
+      span_stack_.emplace_back(name);
+    return;
+  }
   close_annotation();
   obs::PhaseEvent ev;
   ev.kind = obs::PhaseEvent::Kind::Begin;
@@ -134,7 +162,11 @@ void Network::phase_begin(std::string_view name) {
 }
 
 void Network::phase_end() {
-  if (cfg_.sink == nullptr) return;
+  if (cfg_.sink == nullptr) {
+    if ((cfg_.track_phases || fault_rt_ != nullptr) && !span_stack_.empty())
+      span_stack_.pop_back();
+    return;
+  }
   if (span_stack_.empty())
     throw std::logic_error("Network::phase_end: no open phase");
   close_annotation();
@@ -171,8 +203,38 @@ void Network::close_annotation() {
 }
 
 long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  RunOutcome outcome = run_outcome(programs);
+  switch (outcome.status) {
+    case RunStatus::kCompleted:
+      return outcome.rounds;
+    case RunStatus::kRoundLimit: {
+      std::string msg = "Network::run: round limit exceeded";
+      if (!outcome.stalled_phase.empty())
+        msg += " in phase '" + outcome.stalled_phase + "'";
+      throw RoundLimitError(msg, std::move(outcome));
+    }
+    case RunStatus::kCrashed: {
+      std::string msg = "Network::run: " +
+                        std::to_string(outcome.crashed.size()) +
+                        " node(s) crash-stopped; outputs untrusted";
+      if (!outcome.stalled_phase.empty())
+        msg += " (stalled in phase '" + outcome.stalled_phase + "')";
+      throw CrashedError(msg, std::move(outcome));
+    }
+  }
+  return outcome.rounds;
+}
+
+RunOutcome Network::run_outcome(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
   if (static_cast<int>(programs.size()) != n())
     throw std::invalid_argument("Network::run: one program per vertex needed");
+  if (fault_rt_ != nullptr) return fault_rt_->run(programs);
+  return run_perfect(programs);
+}
+
+RunOutcome Network::run_perfect(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
   const int n_ = n();
   obs::TraceSink* const sink = cfg_.sink;
   long prev_messages = stats_.messages;
@@ -256,14 +318,33 @@ long Network::run(std::vector<std::unique_ptr<NodeProgram>>& programs) {
       round_max_message_bits_ = 0;
     }
     if (all_done && !any_message) break;
-    if (rounds_this_run > cfg_.max_rounds)
-      throw std::runtime_error("Network::run: round limit exceeded");
+    if (rounds_this_run > cfg_.max_rounds) {
+      if (sink != nullptr) {
+        close_annotation();
+        sink->run_end();
+      }
+      RunOutcome outcome;
+      outcome.status = RunStatus::kRoundLimit;
+      outcome.rounds = rounds_this_run;
+      outcome.virtual_rounds = rounds_this_run;
+      if (!span_stack_.empty()) {
+        for (const std::string& name : span_stack_) {
+          if (!outcome.stalled_phase.empty()) outcome.stalled_phase += '/';
+          outcome.stalled_phase += name;
+        }
+      }
+      return outcome;
+    }
   }
   if (sink != nullptr) {
     close_annotation();  // protocol annotations never outlive their run
     sink->run_end();
   }
-  return rounds_this_run;
+  RunOutcome outcome;
+  outcome.status = RunStatus::kCompleted;
+  outcome.rounds = rounds_this_run;
+  outcome.virtual_rounds = rounds_this_run;
+  return outcome;
 }
 
 }  // namespace dmc::congest

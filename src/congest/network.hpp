@@ -27,10 +27,15 @@
 #include <string_view>
 #include <vector>
 
+#include "congest/faults.hpp"
 #include "graph/graph.hpp"
 #include "obs/trace.hpp"
 
 namespace dmc::congest {
+
+namespace detail {
+struct FaultRuntime;  // reliable.hpp: fault-injecting / reliable-transport runs
+}
 
 struct Message {
   std::any value;
@@ -69,6 +74,26 @@ struct NetworkConfig {
   /// runs both to expose cross-node shared state.
   enum class StepOrder { kForward, kReverse };
   StepOrder step_order = StepOrder::kForward;
+  /// Maintain the driver phase span stack even without a trace sink, so a
+  /// degraded run can name the phase it stalled in (RunOutcome::
+  /// stalled_phase; the dmc CLI turns this on). Implied by `faults`. Off by
+  /// default: the untraced perfect path stays allocation-free and ignores
+  /// the phase API entirely.
+  bool track_phases = false;
+  /// Fault injection (faults.hpp). Engaging this switches run() onto the
+  /// fault-tolerant delivery path: by default the reliable-transport shim
+  /// (reliable.hpp) carries every protocol step over the lossy links, so
+  /// protocols run unmodified; with FaultPlan::raw_transport the faults hit
+  /// the protocol messages directly. Disengaged (the default), the perfect
+  /// delivery path is byte-for-byte the pre-fault simulator.
+  std::optional<FaultPlan> faults = std::nullopt;
+  /// Fault-mode stall detector: a run that makes no protocol progress (no
+  /// payload traffic, nodes not done) for this many consecutive protocol
+  /// rounds stops with a degraded outcome instead of burning max_rounds.
+  /// Generous default: quiet stretches of honest protocols (e.g. the
+  /// elimination-tree phase schedule) are far shorter on the graphs in
+  /// scope.
+  int stall_quiet_rounds = 1024;
 };
 
 struct NetworkStats {
@@ -81,8 +106,68 @@ struct NetworkStats {
   /// the gap is the declared slack. Both stay 0 with audit off.
   long audited_messages = 0;
   long long encoded_bits = 0;
+  /// Fault-mode counters (all stay 0 on the perfect path). `rounds` above
+  /// counts *physical* rounds; `messages`/`total_bits` keep counting the
+  /// protocol-level (logical) sends, so the gap between them and the frame
+  /// counters below is exactly the transport overhead.
+  long frames = 0;            // reliable-transport frames transmitted
+  long retransmissions = 0;   // frames beyond the first per link per step
+  long marker_frames = 0;     // payload-less frames (round advance only)
+  long long frame_bits = 0;   // physical bits incl. transport headers
+  long faults_dropped = 0;
+  long faults_duplicated = 0;
+  long faults_corrupted = 0;
+  long faults_delayed = 0;
+  int crashes = 0;
 
   void reset() { *this = NetworkStats{}; }
+};
+
+/// How a run ended. Anything but kCompleted is a *degraded* outcome: the
+/// protocol's outputs must not be trusted as a verdict (the graceful
+/// alternative to an uncaught exception — or worse, a silently wrong
+/// answer).
+enum class RunStatus {
+  kCompleted,   // all nodes done; outputs valid
+  kRoundLimit,  // max_rounds exhausted or the run stalled without crashes
+  kCrashed,     // crash-stop faults occurred; outputs untrusted
+};
+
+const char* to_string(RunStatus status);
+
+struct RunOutcome {
+  RunStatus status = RunStatus::kCompleted;
+  /// Physical rounds this run consumed (the cost currency; equals the
+  /// protocol rounds on the perfect path, exceeds them under the reliable
+  /// transport, which spends extra rounds retransmitting).
+  long rounds = 0;
+  /// Protocol steps executed (what NodeCtx::round() advanced by).
+  long virtual_rounds = 0;
+  /// Innermost driver phase path (e.g. "decide") when a degraded run
+  /// stopped; empty for completed runs or when no phase was open.
+  std::string stalled_phase;
+  /// Ids of nodes crash-stopped by the end of the run.
+  std::vector<VertexId> crashed;
+
+  bool ok() const { return status == RunStatus::kCompleted; }
+};
+
+/// Thrown by the legacy Network::run() wrapper on a degraded outcome (both
+/// derive from std::runtime_error, preserving the historical contract that
+/// run() throws std::runtime_error when max_rounds is exhausted). Callers
+/// wanting graceful degradation use run_outcome() instead.
+class RoundLimitError : public std::runtime_error {
+ public:
+  explicit RoundLimitError(const std::string& msg, RunOutcome outcome_)
+      : std::runtime_error(msg), outcome(std::move(outcome_)) {}
+  RunOutcome outcome;
+};
+
+class CrashedError : public std::runtime_error {
+ public:
+  explicit CrashedError(const std::string& msg, RunOutcome outcome_)
+      : std::runtime_error(msg), outcome(std::move(outcome_)) {}
+  RunOutcome outcome;
 };
 
 class Network;
@@ -115,15 +200,24 @@ class NodeCtx {
 
   /// Queues a message on `port` for delivery next round. Throws if a
   /// message was already queued on this port this round or if `bits`
-  /// exceeds the bandwidth.
+  /// exceeds the bandwidth. Under the reliable transport the delivery is
+  /// guaranteed (retransmitted until it lands); under raw faulty transport
+  /// it is subject to the fault plan.
   void send(int port, Message msg);
   void send_all(const Message& msg);
+  /// Best-effort variant: under the reliable transport the payload rides
+  /// only the first transmission — if that frame is lost, the receiver sees
+  /// nothing (the round still advances). Identical to send() on the perfect
+  /// path. Protocol code in src/dist/ that bypasses the reliable shim this
+  /// way must carry a dmc-lint allow(raw-send) suppression.
+  void send_unreliable(int port, Message msg);
 
   /// Message received from `port` at the end of the previous round.
   const std::optional<Message>& recv(int port) const;
 
  private:
   friend class Network;
+  friend struct detail::FaultRuntime;
   NodeCtx(Network& net, int vertex) : net_(net), vertex_(vertex) {}
   Network& net_;
   int vertex_;
@@ -144,6 +238,7 @@ class NodeProgram {
 class Network {
  public:
   Network(const Graph& g, NetworkConfig cfg = {});
+  ~Network();  // out of line: detail::FaultRuntime is incomplete here
 
   int n() const { return graph_.num_vertices(); }
   int bandwidth() const { return bandwidth_; }
@@ -166,8 +261,17 @@ class Network {
   /// cap; `programs[v]` is the program of graph vertex v. The caller keeps
   /// ownership (protocol outputs are read from the programs afterwards).
   /// Returns the number of rounds this run took (stats accumulate across
-  /// runs). Throws std::runtime_error if max_rounds is exceeded.
+  /// runs). Throws std::runtime_error if max_rounds is exceeded — a
+  /// RoundLimitError — and CrashedError on crash-stop faults; prefer
+  /// run_outcome() where degraded outcomes are expected.
   long run(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+  /// Like run(), but degraded endings come back as a structured RunOutcome
+  /// instead of an exception: round-budget exhaustion and crash-stop faults
+  /// report their status, per-phase progress (stalled_phase), and the
+  /// crashed node set. Protocol outputs are only meaningful when
+  /// outcome.ok().
+  RunOutcome run_outcome(std::vector<std::unique_ptr<NodeProgram>>& programs);
 
   /// Tracing (all no-ops when no sink is configured). Driver code brackets
   /// protocol stages in named spans; spans nest and must close in LIFO
@@ -180,6 +284,11 @@ class Network {
 
  private:
   friend class NodeCtx;
+  friend struct detail::FaultRuntime;
+
+  /// The perfect (fault-free) delivery loop — the original simulator path,
+  /// kept branch- and allocation-free when untraced.
+  RunOutcome run_perfect(std::vector<std::unique_ptr<NodeProgram>>& programs);
 
   void close_annotation();
   /// Audit-mode conformance check of one outgoing message (wire.hpp);
@@ -204,6 +313,10 @@ class Network {
   // ("" = none). Touched only when cfg_.sink != nullptr.
   std::vector<std::string> span_stack_;
   std::string annotation_;
+  // Fault-mode runtime (reliable.hpp); null unless cfg_.faults is engaged,
+  // so the perfect path pays one pointer test per phase call and nothing
+  // per round.
+  std::unique_ptr<detail::FaultRuntime> fault_rt_;
 };
 
 /// RAII driver span: opens a named phase on construction, closes it (and

@@ -298,7 +298,9 @@ LeaderResult run_leader_election(Network& net, int budget) {
     programs.push_back(std::move(p));
   }
   LeaderResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: outputs untrusted
   result.known.resize(net.n());
   for (int v = 0; v < net.n(); ++v) result.known[v] = handles[v]->known;
   result.leader = *std::min_element(result.known.begin(), result.known.end());
@@ -314,7 +316,9 @@ BfsTreeResult run_bfs_tree(Network& net, int budget) {
     programs.push_back(std::move(p));
   }
   BfsTreeResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: outputs untrusted
   result.parent.assign(net.n(), -1);
   result.depth.assign(net.n(), 0);
   result.root_id = handles[0]->root;
@@ -342,7 +346,9 @@ BroadcastResult run_broadcast(Network& net, const BfsTreeResult& tree,
     programs.push_back(std::move(p));
   }
   BroadcastResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: outputs untrusted
   result.received.resize(net.n());
   for (int v = 0; v < net.n(); ++v) result.received[v] = handles[v]->received;
   return result;
@@ -364,7 +370,9 @@ AggregateResult run_aggregate(Network& net, const BfsTreeResult& tree,
     programs.push_back(std::move(p));
   }
   AggregateResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: outputs untrusted
   result.sum = handles[0]->result_sum;
   result.max = handles[0]->result_max;
   for (int v = 0; v < net.n(); ++v) {

@@ -20,6 +20,8 @@ struct LeaderResult {
   VertexId leader = -1;            // the global minimum id
   std::vector<VertexId> known;     // per vertex: the leader it learned
   long rounds = 0;
+  /// How the run ended; outputs are untrusted when !run.ok().
+  RunOutcome run;
 };
 
 /// Min-id flooding for `budget` rounds (a correct leader election whenever
@@ -33,6 +35,8 @@ struct BfsTreeResult {
   std::vector<int> parent;   // per graph vertex: BFS parent vertex (-1 root)
   std::vector<int> depth;    // hop distance from the root
   long rounds = 0;
+  /// How the run ended; outputs are untrusted when !run.ok().
+  RunOutcome run;
 };
 
 /// BFS tree rooted at the minimum-id node; floods for `budget` rounds
@@ -44,6 +48,8 @@ BfsTreeResult run_bfs_tree(Network& net, int budget);
 struct BroadcastResult {
   std::vector<std::int64_t> received;  // per vertex
   long rounds = 0;
+  /// How the run ended; outputs are untrusted when !run.ok().
+  RunOutcome run;
 };
 
 /// The root (minimum id, computed via the BFS tree) broadcasts `value`
@@ -57,6 +63,8 @@ struct AggregateResult {
   std::int64_t sum = 0;
   std::int64_t max = 0;
   long rounds = 0;
+  /// How the run ended; outputs are untrusted when !run.ok().
+  RunOutcome run;
 };
 
 /// Convergecast of per-node values up the BFS tree; the root learns the sum

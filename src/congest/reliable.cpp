@@ -1,0 +1,528 @@
+#include "congest/reliable.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmc::congest::detail {
+
+FaultRuntime::FaultRuntime(Network& net, const FaultPlan& plan)
+    : net_(net), injector_(plan) {
+  const Graph& g = net_.graph_;
+  const int n = g.num_vertices();
+  link_of_.resize(n);
+  for (int v = 0; v < n; ++v) {
+    const auto& inc = g.incident(v);
+    link_of_[v].resize(inc.size(), -1);
+    for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
+      Link link;
+      link.u = v;
+      link.uport = port;
+      link.v = inc[port].first;
+      link_of_[v][port] = static_cast<int>(links_.size());
+      links_.push_back(link);
+    }
+  }
+  // Resolve receiver-side ports and reverse links in a second pass.
+  for (Link& link : links_) {
+    const auto& vinc = g.incident(link.v);
+    for (int port = 0; port < static_cast<int>(vinc.size()); ++port) {
+      if (vinc[port].first == link.u) {
+        link.vport = port;
+        link.reverse = link_of_[link.v][port];
+        break;
+      }
+    }
+  }
+  channels_.resize(links_.size());
+  flight_.resize(links_.size());
+  best_effort_.resize(n);
+  for (int v = 0; v < n; ++v) best_effort_[v].resize(g.degree(v), 0);
+  crashed_.assign(n, 0);
+  schedule_ = injector_.plan().crashes;
+  std::stable_sort(schedule_.begin(), schedule_.end(),
+                   [](const CrashFault& a, const CrashFault& b) {
+                     return a.round < b.round;
+                   });
+}
+
+void FaultRuntime::note_best_effort(int vertex, int port) {
+  best_effort_[vertex][port] = 1;
+  any_best_effort_ = true;
+}
+
+void FaultRuntime::emit_fault(obs::FaultEvent::Kind kind, long round,
+                              VertexId src, VertexId dst, int detail_value) {
+  if (net_.cfg_.sink == nullptr) return;
+  obs::FaultEvent ev;
+  ev.kind = kind;
+  ev.round = round;
+  ev.src = src;
+  ev.dst = dst;
+  ev.detail = detail_value;
+  net_.cfg_.sink->fault(ev);
+}
+
+std::string FaultRuntime::phase_path() const {
+  std::string path;
+  for (const std::string& name : net_.span_stack_) {
+    if (!path.empty()) path += '/';
+    path += name;
+  }
+  return path;
+}
+
+void FaultRuntime::apply_scheduled_crashes() {
+  while (next_crash_ < schedule_.size() &&
+         schedule_[next_crash_].round <= physical_round_) {
+    const CrashFault& crash = schedule_[next_crash_++];
+    if (crash.node < 0 ||
+        crash.node >= static_cast<VertexId>(net_.vertex_of_id_.size()))
+      continue;  // id not present in this network
+    const int v = net_.vertex_of_id_[crash.node];
+    if (crashed_[v]) continue;
+    crashed_[v] = 1;
+    crashed_ids_.push_back(crash.node);
+    net_.stats_.crashes += 1;
+    emit_fault(obs::FaultEvent::Kind::Crash, physical_round_, crash.node, -1,
+               0);
+    // Crash-stop cuts the node's links: queued sends vanish and frames on
+    // the wire to/from it are lost; live links stop waiting on it.
+    for (auto& slot : net_.outbox_[v]) slot.reset();
+    for (int port = 0; port < static_cast<int>(link_of_[v].size()); ++port) {
+      const int out = link_of_[v][port];
+      channels_[out].active = false;
+      channels_[links_[out].reverse].active = false;
+      flight_[out].clear();
+      flight_[links_[out].reverse].clear();
+    }
+  }
+}
+
+void FaultRuntime::launch(int link, long seq, long ack_seq, bool with_payload,
+                          std::uint64_t salt) {
+  const Link& L = links_[link];
+  const VertexId src = net_.ids_[L.u];
+  const VertexId dst = net_.ids_[L.v];
+  const long now = physical_round_;
+  const FaultInjector::Fate fate = injector_.fate(src, dst, now, salt);
+  if (fate.drop) {
+    net_.stats_.faults_dropped += 1;
+    emit_fault(obs::FaultEvent::Kind::Drop, now, src, dst, 0);
+  } else {
+    InFlight copy;
+    copy.due = now + 1 + fate.delay;
+    copy.order = order_counter_++;
+    copy.seq = seq;
+    copy.ack_seq = ack_seq;
+    copy.corrupt = fate.corrupt;
+    copy.with_payload = with_payload;
+    if (fate.delay > 0) {
+      net_.stats_.faults_delayed += 1;
+      emit_fault(obs::FaultEvent::Kind::Delay, now, src, dst, fate.delay);
+    }
+    if (fate.corrupt) {
+      net_.stats_.faults_corrupted += 1;
+      emit_fault(obs::FaultEvent::Kind::Corrupt, now, src, dst, 0);
+    }
+    flight_[link].push_back(std::move(copy));
+  }
+  if (fate.duplicate) {
+    InFlight copy;
+    copy.due = now + 1 + fate.dup_delay;
+    copy.order = order_counter_++;
+    copy.seq = seq;
+    copy.ack_seq = ack_seq;
+    copy.corrupt = fate.dup_corrupt;
+    copy.with_payload = with_payload;
+    net_.stats_.faults_duplicated += 1;
+    emit_fault(obs::FaultEvent::Kind::Duplicate, now, src, dst, fate.dup_delay);
+    if (fate.dup_corrupt) {
+      net_.stats_.faults_corrupted += 1;
+      emit_fault(obs::FaultEvent::Kind::Corrupt, now, src, dst, 0);
+    }
+    flight_[link].push_back(std::move(copy));
+  }
+}
+
+int FaultRuntime::deliver_due(
+    long now, const std::function<void(int link, InFlight& copy)>& handler) {
+  int delivered = 0;
+  for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+    auto& fl = flight_[k];
+    if (fl.empty()) continue;
+    int best = -1;
+    for (int i = 0; i < static_cast<int>(fl.size()); ++i) {
+      if (fl[i].due > now) continue;
+      if (best < 0 || fl[i].order < fl[best].order) best = i;
+    }
+    if (best < 0) continue;
+    // One delivery per directed link per round; other due copies queue
+    // behind it (bounded reordering, never starvation).
+    for (auto& copy : fl)
+      if (copy.due <= now) copy.due = now + 1;
+    InFlight winner = std::move(fl[best]);
+    fl.erase(fl.begin() + best);
+    handler(k, winner);
+    ++delivered;
+  }
+  return delivered;
+}
+
+RunOutcome FaultRuntime::finish(RunStatus status, long physical,
+                                long virtual_rounds, bool stalled) {
+  RunOutcome outcome;
+  outcome.status = status;
+  outcome.rounds = physical;
+  outcome.virtual_rounds = virtual_rounds;
+  outcome.crashed = crashed_ids_;
+  if (stalled) outcome.stalled_phase = phase_path();
+  if (net_.cfg_.sink != nullptr) {
+    net_.close_annotation();
+    net_.cfg_.sink->run_end();
+  }
+  return outcome;
+}
+
+RunOutcome FaultRuntime::run(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  if (net_.cfg_.sink != nullptr) {
+    obs::RunInfo info;
+    info.n = net_.n();
+    info.bandwidth = net_.bandwidth_;
+    info.first_round = physical_round_;
+    net_.cfg_.sink->run_begin(info);
+  }
+  return injector_.plan().raw_transport ? run_raw(programs)
+                                        : run_reliable(programs);
+}
+
+RunOutcome FaultRuntime::run_reliable(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  const int n = net_.n();
+  obs::TraceSink* const sink = net_.cfg_.sink;
+  const bool reverse =
+      net_.cfg_.step_order == NetworkConfig::StepOrder::kReverse;
+  long prev_messages = net_.stats_.messages;
+  long long prev_bits = net_.stats_.total_bits;
+  long physical = 0;
+  long vrounds = 0;
+  int quiet = 0;
+
+  auto tick = [&](int done_count) {
+    physical_round_ += 1;
+    physical += 1;
+    net_.stats_.rounds += 1;
+    if (sink != nullptr) {
+      obs::RoundEvent ev;
+      ev.round = physical_round_ - 1;
+      ev.messages = net_.stats_.messages - prev_messages;
+      ev.bits = net_.stats_.total_bits - prev_bits;
+      ev.max_message_bits = net_.round_max_message_bits_;
+      ev.active_nodes = n - done_count;
+      ev.done_nodes = done_count;
+      sink->round(ev);
+      prev_messages = net_.stats_.messages;
+      prev_bits = net_.stats_.total_bits;
+      net_.round_max_message_bits_ = 0;
+    }
+  };
+
+  for (;;) {
+    apply_scheduled_crashes();
+
+    // Step every live node: one *virtual* round (NodeCtx::round() is the
+    // virtual clock, so fixed-schedule protocols run unmodified).
+    int live = 0;
+    for (int i = 0; i < n; ++i) {
+      const int v = reverse ? n - 1 - i : i;
+      if (crashed_[v]) continue;
+      ++live;
+      NodeCtx ctx(net_, v);
+      programs[v]->on_round(ctx);
+    }
+    if (live == 0) return finish(RunStatus::kCrashed, physical, vrounds, true);
+
+    bool all_done = true;
+    int done_count = 0;
+    for (int v = 0; v < n; ++v) {
+      if (crashed_[v]) continue;
+      NodeCtx ctx(net_, v);
+      if (programs[v]->done(ctx))
+        ++done_count;
+      else
+        all_done = false;
+    }
+
+    // Load this virtual round's frame onto every live-to-live channel (the
+    // queued payload or an empty marker) and wipe the inboxes the step
+    // just consumed.
+    for (int v = 0; v < n; ++v)
+      for (auto& slot : net_.inbox_[v]) slot.reset();
+    bool any_payload = false;
+    for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+      Channel& ch = channels_[k];
+      const Link& L = links_[k];
+      auto& slot = net_.outbox_[L.u][L.uport];
+      if (crashed_[L.u] || crashed_[L.v]) {
+        slot.reset();
+        ch.active = false;
+        continue;
+      }
+      ch.seq = net_.round_;
+      ch.active = true;
+      ch.has_payload = slot.has_value();
+      if (ch.has_payload) {
+        ch.payload = std::move(*slot);
+        ch.payload_bits = ch.payload.bits;
+        slot.reset();
+        any_payload = true;
+      } else {
+        ch.payload = Message{};
+        ch.payload_bits = 0;
+      }
+      ch.best_effort = best_effort_[L.u][L.uport] != 0;
+      ch.delivered = false;
+      ch.acked = false;
+      ch.next_tx = physical_round_;
+      ch.rto = kInitialRto;
+      ch.tx_count = 0;
+    }
+    if (any_best_effort_) {
+      for (auto& row : best_effort_) std::fill(row.begin(), row.end(), 0);
+      any_best_effort_ = false;
+    }
+
+    if (all_done && !any_payload) {
+      // Settle round: everyone finished and nothing is queued — mirror the
+      // perfect loop's final (message-free) round and stop.
+      tick(done_count);
+      net_.round_ += 1;
+      vrounds += 1;
+      return finish(
+          crashed_ids_.empty() ? RunStatus::kCompleted : RunStatus::kCrashed,
+          physical, vrounds, false);
+    }
+
+    // Transport the frames over the faulty physical links until every live
+    // link delivered (the synchronizer barrier). Cost: >= 1 physical round.
+    for (;;) {
+      for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+        Channel& ch = channels_[k];
+        const Link& L = links_[k];
+        if (!ch.active || ch.acked || crashed_[L.u]) continue;
+        if (physical_round_ < ch.next_tx) continue;
+        ch.tx_count += 1;
+        const bool carry =
+            ch.has_payload && (!ch.best_effort || ch.tx_count == 1);
+        net_.stats_.frames += 1;
+        net_.stats_.frame_bits +=
+            kTransportHeaderBits + (carry ? ch.payload_bits : 0);
+        if (!ch.has_payload) net_.stats_.marker_frames += 1;
+        if (ch.tx_count > 1) net_.stats_.retransmissions += 1;
+        const Channel& rev = channels_[L.reverse];
+        const long ack_seq =
+            (rev.active && rev.delivered) ? rev.seq : ch.seq - 1;
+        launch(k, ch.seq, ack_seq, carry,
+               static_cast<std::uint64_t>(ch.tx_count));
+        ch.next_tx = physical_round_ + ch.rto;
+        ch.rto = std::min(ch.rto * 2, kMaxRto);
+      }
+
+      tick(done_count);
+      apply_scheduled_crashes();
+
+      deliver_due(physical_round_, [&](int k, InFlight& copy) {
+        Channel& ch = channels_[k];
+        const Link& L = links_[k];
+        if (crashed_[L.v]) return;
+        if (copy.corrupt) return;  // checksum failure: discarded, retried
+        // Piggybacked cumulative ack quiets the reverse sender.
+        Channel& rev = channels_[L.reverse];
+        if (rev.active && !rev.acked && copy.ack_seq >= rev.seq)
+          rev.acked = true;
+        if (!ch.active || copy.seq != ch.seq || ch.delivered)
+          return;  // duplicate / stale frame: suppressed by sequence number
+        ch.delivered = true;
+        if (copy.with_payload)
+          net_.inbox_[L.v][L.vport] = std::move(ch.payload);
+      });
+
+      bool all_delivered = true;
+      for (const Channel& ch : channels_)
+        if (ch.active && !ch.delivered) {
+          all_delivered = false;
+          break;
+        }
+      if (all_delivered) break;
+      if (physical > net_.cfg_.max_rounds)
+        return finish(RunStatus::kRoundLimit, physical, vrounds, true);
+    }
+
+    net_.round_ += 1;  // the virtual clock advances only after the barrier
+    vrounds += 1;
+    if (!any_payload && !all_done)
+      ++quiet;
+    else
+      quiet = 0;
+    if (quiet >= net_.cfg_.stall_quiet_rounds)
+      return finish(
+          crashed_ids_.empty() ? RunStatus::kRoundLimit : RunStatus::kCrashed,
+          physical, vrounds, true);
+    if (physical > net_.cfg_.max_rounds)
+      return finish(RunStatus::kRoundLimit, physical, vrounds, true);
+  }
+}
+
+RunOutcome FaultRuntime::run_raw(
+    std::vector<std::unique_ptr<NodeProgram>>& programs) {
+  const int n = net_.n();
+  obs::TraceSink* const sink = net_.cfg_.sink;
+  const bool reverse =
+      net_.cfg_.step_order == NetworkConfig::StepOrder::kReverse;
+  long prev_messages = net_.stats_.messages;
+  long long prev_bits = net_.stats_.total_bits;
+  long physical = 0;
+  int quiet = 0;
+
+  for (;;) {
+    apply_scheduled_crashes();
+
+    int live = 0;
+    for (int i = 0; i < n; ++i) {
+      const int v = reverse ? n - 1 - i : i;
+      if (crashed_[v]) continue;
+      ++live;
+      NodeCtx ctx(net_, v);
+      programs[v]->on_round(ctx);
+    }
+    if (live == 0)
+      return finish(RunStatus::kCrashed, physical, physical, true);
+
+    bool all_done = true;
+    int done_count = 0;
+    for (int v = 0; v < n; ++v) {
+      if (crashed_[v]) continue;
+      NodeCtx ctx(net_, v);
+      if (programs[v]->done(ctx))
+        ++done_count;
+      else
+        all_done = false;
+    }
+
+    // Launch this round's messages straight onto the faulty links.
+    bool any_send = false;
+    for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+      const Link& L = links_[k];
+      auto& slot = net_.outbox_[L.u][L.uport];
+      if (!slot.has_value()) continue;
+      if (crashed_[L.u]) {
+        slot.reset();
+        continue;
+      }
+      any_send = true;
+      const VertexId src = net_.ids_[L.u];
+      const VertexId dst = net_.ids_[L.v];
+      const FaultInjector::Fate fate =
+          injector_.fate(src, dst, physical_round_, 0);
+      if (fate.duplicate) {
+        InFlight copy;
+        copy.due = physical_round_ + 1 + fate.dup_delay;
+        copy.order = order_counter_ + 1;  // behind the primary copy
+        copy.corrupt = fate.dup_corrupt;
+        copy.with_payload = true;
+        copy.payload = *slot;  // copied before the primary moves it
+        net_.stats_.faults_duplicated += 1;
+        emit_fault(obs::FaultEvent::Kind::Duplicate, physical_round_, src, dst,
+                   fate.dup_delay);
+        if (fate.dup_corrupt) {
+          net_.stats_.faults_corrupted += 1;
+          emit_fault(obs::FaultEvent::Kind::Corrupt, physical_round_, src, dst,
+                     0);
+        }
+        flight_[k].push_back(std::move(copy));
+      }
+      if (fate.drop) {
+        net_.stats_.faults_dropped += 1;
+        emit_fault(obs::FaultEvent::Kind::Drop, physical_round_, src, dst, 0);
+      } else {
+        InFlight copy;
+        copy.due = physical_round_ + 1 + fate.delay;
+        copy.order = order_counter_;
+        copy.corrupt = fate.corrupt;
+        copy.with_payload = true;
+        copy.payload = std::move(*slot);
+        if (fate.delay > 0) {
+          net_.stats_.faults_delayed += 1;
+          emit_fault(obs::FaultEvent::Kind::Delay, physical_round_, src, dst,
+                     fate.delay);
+        }
+        if (fate.corrupt) {
+          net_.stats_.faults_corrupted += 1;
+          emit_fault(obs::FaultEvent::Kind::Corrupt, physical_round_, src, dst,
+                     0);
+        }
+        flight_[k].push_back(std::move(copy));
+      }
+      order_counter_ += 2;
+      slot.reset();
+    }
+
+    physical_round_ += 1;
+    physical += 1;
+    net_.round_ += 1;  // raw mode: protocol clock == physical clock
+    net_.stats_.rounds += 1;
+    if (sink != nullptr) {
+      obs::RoundEvent ev;
+      ev.round = physical_round_ - 1;
+      ev.messages = net_.stats_.messages - prev_messages;
+      ev.bits = net_.stats_.total_bits - prev_bits;
+      ev.max_message_bits = net_.round_max_message_bits_;
+      ev.active_nodes = n - done_count;
+      ev.done_nodes = done_count;
+      sink->round(ev);
+      prev_messages = net_.stats_.messages;
+      prev_bits = net_.stats_.total_bits;
+      net_.round_max_message_bits_ = 0;
+    }
+
+    for (int v = 0; v < n; ++v)
+      for (auto& slot : net_.inbox_[v]) slot.reset();
+    const int delivered =
+        deliver_due(physical_round_, [&](int k, InFlight& copy) {
+          const Link& L = links_[k];
+          if (crashed_[L.v]) return;
+          if (copy.corrupt)
+            // Detectably garbled: the payload arrives as a CorruptedPayload
+            // marker of the same declared size; std::any_cast to the real
+            // type fails and robust receivers ignore it.
+            net_.inbox_[L.v][L.vport] =
+                Message(CorruptedPayload{}, copy.payload.bits);
+          else
+            net_.inbox_[L.v][L.vport] = std::move(copy.payload);
+        });
+
+    bool flight_empty = true;
+    for (const auto& fl : flight_)
+      if (!fl.empty()) {
+        flight_empty = false;
+        break;
+      }
+
+    if (all_done && !any_send && flight_empty)
+      return finish(
+          crashed_ids_.empty() ? RunStatus::kCompleted : RunStatus::kCrashed,
+          physical, physical, false);
+    if (!any_send && delivered == 0 && flight_empty && !all_done)
+      ++quiet;
+    else
+      quiet = 0;
+    if (quiet >= net_.cfg_.stall_quiet_rounds)
+      return finish(
+          crashed_ids_.empty() ? RunStatus::kRoundLimit : RunStatus::kCrashed,
+          physical, physical, true);
+    if (physical > net_.cfg_.max_rounds)
+      return finish(RunStatus::kRoundLimit, physical, physical, true);
+  }
+}
+
+}  // namespace dmc::congest::detail

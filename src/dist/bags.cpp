@@ -104,7 +104,7 @@ class BagsProgram : public congest::NodeProgram {
         adopt_bag(ctx);
       } else {
         const int pport = ctx.port_of(parent_id_);
-        if (auto payload = congest::poll_fragment(ctx, pport)) {
+        if (auto payload = reasm_.poll(ctx, pport)) {
           const LocalBag parent_bag = std::any_cast<LocalBag>(*payload);
           extend_from(parent_bag, ctx);
           adopt_bag(ctx);
@@ -177,6 +177,7 @@ class BagsProgram : public congest::NodeProgram {
   LocalBag bag_;
   bool has_bag_ = false;
   congest::FragmentSender sender_;
+  congest::FragmentReassembler reasm_;
 };
 
 }  // namespace
@@ -220,7 +221,9 @@ BagsResult run_bags(congest::Network& net, const ElimTreeResult& tree,
     programs.push_back(std::move(p));
   }
   BagsResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: bags incomplete
   result.bags.resize(net.n());
   for (int v = 0; v < net.n(); ++v) {
     if (!handles[v]->has_bag())

@@ -37,6 +37,9 @@ struct LocalBag {
 struct BagsResult {
   std::vector<LocalBag> bags;  // per graph vertex
   long rounds = 0;
+  /// Degraded endings (see congest::RunOutcome) leave `bags` incomplete;
+  /// callers must check run.ok() before using them.
+  congest::RunOutcome run;
 };
 
 /// Runs the top-down bag construction. `vlabel_names` / `elabel_names` fix

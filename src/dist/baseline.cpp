@@ -153,7 +153,7 @@ class GatherProgram : public congest::NodeProgram {
     }
     // Convergecast of edge lists.
     for (int p = 0; p < ctx.degree(); ++p) {
-      if (auto payload = congest::poll_fragment(ctx, p)) {
+      if (auto payload = reasm_.poll(ctx, p)) {
         const auto& el = std::any_cast<const EdgeListPayload&>(*payload);
         gathered_.edges.insert(gathered_.edges.end(), el.edges.begin(),
                                el.edges.end());
@@ -219,6 +219,7 @@ class GatherProgram : public congest::NodeProgram {
   int expected_payloads_ = -1;
   EdgeListPayload gathered_;
   congest::FragmentSender sender_;
+  congest::FragmentReassembler reasm_;
   bool forwarded_ = false;
   bool verdict_known_ = false;
   bool verdict_ = false;
@@ -240,7 +241,9 @@ BaselineOutcome run_gather_baseline(congest::Network& net,
     programs.push_back(std::move(p));
   }
   BaselineOutcome out;
-  out.rounds = net.run(programs);
+  out.run = net.run_outcome(programs);
+  out.rounds = out.run.rounds;
+  if (!out.run.ok()) return out;  // degraded: verdict untrusted
   out.holds = true;
   for (const auto* h : handles) out.holds = out.holds && h->verdict();
   return out;

@@ -18,6 +18,8 @@ namespace dmc::dist {
 struct BaselineOutcome {
   bool holds = false;
   long rounds = 0;
+  /// How the run ended. When !run.ok() `holds` is untrusted.
+  congest::RunOutcome run;
 };
 
 BaselineOutcome run_gather_baseline(congest::Network& net,

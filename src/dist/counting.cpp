@@ -94,7 +94,7 @@ class CountingProgram : public congest::NodeProgram {
     }
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
-      if (auto payload = congest::poll_fragment(ctx, p)) {
+      if (auto payload = reasm_.poll(ctx, p)) {
         const auto& tp = std::any_cast<const CountTablePayload&>(*payload);
         for (std::size_t i = 0; i < children_ids_.size(); ++i)
           if (children_ids_[i] == from) {
@@ -157,6 +157,7 @@ class CountingProgram : public congest::NodeProgram {
   std::vector<bpt::CountTable> child_tables_;
   std::vector<bool> have_table_;
   congest::FragmentSender sender_;
+  congest::FragmentReassembler reasm_;
   bool first_round_ = true;
   bool solved_ = false;
   bool finished_ = false;
@@ -175,6 +176,8 @@ CountingOutcome run_count(
 
   const ElimTreeResult tree = run_elim_tree(net, d);
   out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
   if (!tree.success) {
     out.treedepth_exceeded = true;
     return out;
@@ -183,6 +186,8 @@ CountingOutcome run_count(
   const BagsResult bags =
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "count");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
@@ -199,8 +204,10 @@ CountingOutcome run_count(
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.rounds_solve = net.run(programs);
+  out.run = net.run_outcome(programs);
+  out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
+  if (!out.run.ok()) return out;  // degraded: count untrusted
   out.count = handles[0]->total();
   for (const auto* h : handles)
     if (h->total() != out.count)

@@ -155,6 +155,8 @@ DecisionOutcome run_decision(congest::Network& net,
 
   const ElimTreeResult tree = run_elim_tree(net, d);
   out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
   if (!tree.success) {
     out.treedepth_exceeded = true;
     return out;
@@ -165,6 +167,8 @@ DecisionOutcome run_decision(congest::Network& net,
   const BagsResult bags =
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "decide");
   bpt::Evaluator evaluator(*engine, lowered);
@@ -182,8 +186,10 @@ DecisionOutcome run_decision(congest::Network& net,
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.rounds_updown = net.run(programs);
+  out.run = net.run_outcome(programs);
+  out.rounds_updown = out.run.rounds;
   out.num_classes = engine->num_types();
+  if (!out.run.ok()) return out;  // degraded: verdict untrusted
   // Distributed decision semantics: G |= phi iff every node accepts; all
   // nodes received the root's verdict.
   out.holds = true;

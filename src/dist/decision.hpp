@@ -27,6 +27,10 @@ struct DecisionOutcome {
   int tree_depth = 0;          // depth of the constructed elimination tree
   std::size_t num_classes = 0;      // |C| reached by the engine
   int max_class_bits = 0;           // bits of the largest class message
+  /// How the pipeline ended. When !run.ok() (round budget exhausted or
+  /// crash-stop faults in any stage) `holds` and `treedepth_exceeded` are
+  /// untrusted and must not be interpreted.
+  congest::RunOutcome run;
 
   long total_rounds() const { return rounds_elim + rounds_bags + rounds_updown; }
 };

@@ -222,7 +222,9 @@ ElimTreeResult run_elim_tree(congest::Network& net, int d) {
     programs.push_back(std::move(p));
   }
   ElimTreeResult result;
-  result.rounds = net.run(programs);
+  result.run = net.run_outcome(programs);
+  result.rounds = result.run.rounds;
+  if (!result.run.ok()) return result;  // degraded: outputs untrusted
   result.success = true;
   result.parent.assign(net.n(), -1);
   result.depth.assign(net.n(), 0);

@@ -29,6 +29,10 @@ struct ElimTreeResult {
   std::vector<int> depth;
   std::vector<std::vector<int>> children;
   long rounds = 0;
+  /// How the underlying run ended. When !run.ok() (round budget exhausted
+  /// or crash-stop faults) the protocol outputs are untrusted: success is
+  /// forced false and must not be read as "td(G) > d".
+  congest::RunOutcome run;
 };
 
 /// Runs Algorithm 2 on the network. Stats accumulate in net.stats().

@@ -97,6 +97,13 @@ HFreenessOutcome run_h_freeness_grid(const Graph& g, int rows, int cols,
         congest::PhaseScope trace_scope(net, span);
         const DecisionOutcome res =
             run_decision(net, formula, td_budget, &engine);
+        if (!res.run.ok()) {
+          // Degraded component run: stop the sweep, surface the outcome.
+          out.run = res.run;
+          out.max_run_rounds = std::max(out.max_run_rounds, res.total_rounds());
+          out.multiplexed_rounds = out.max_run_rounds * out.num_subsets;
+          return out;
+        }
         if (res.treedepth_exceeded)
           throw std::logic_error(
               "run_h_freeness_grid: td budget too small for a union "

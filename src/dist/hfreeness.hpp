@@ -51,6 +51,10 @@ struct HFreenessOutcome {
   long multiplexed_rounds = 0; // max_run_rounds * number of subsets
   int num_subsets = 0;
   int num_component_runs = 0;
+  /// Outcome of the first degraded per-component run (kCompleted when all
+  /// runs finished cleanly). When !run.ok() the sweep stopped early and
+  /// `h_free` is untrusted.
+  congest::RunOutcome run;
 };
 
 /// Corollary 7.3 on a grid-family network: decides whether g contains h

@@ -118,7 +118,7 @@ class OptimizationProgram : public congest::NodeProgram {
     // Receive children tables (bottom-up) and class assignment (top-down).
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
-      if (auto payload = congest::poll_fragment(ctx, p)) {
+      if (auto payload = reasm_.poll(ctx, p)) {
         const auto& tp = std::any_cast<const TablePayload&>(*payload);
         for (std::size_t i = 0; i < children_ids_.size(); ++i) {
           if (children_ids_[i] == from) {
@@ -208,6 +208,7 @@ class OptimizationProgram : public congest::NodeProgram {
   std::vector<bool> have_table_;
   std::unique_ptr<bpt::OptSolver> solver_;
   congest::FragmentSender sender_;
+  congest::FragmentReassembler reasm_;
   bpt::TypeId my_class_ = bpt::kInvalidType;
   bool first_round_ = true;
   bool finished_ = false;
@@ -226,6 +227,8 @@ OptimizationOutcome run_impl(congest::Network& net,
 
   const ElimTreeResult tree = run_elim_tree(net, d);
   out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
   if (!tree.success) {
     out.treedepth_exceeded = true;
     return out;
@@ -234,6 +237,8 @@ OptimizationOutcome run_impl(congest::Network& net,
   const BagsResult bags =
       run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
   out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, sign < 0 ? "minimize" : "maximize");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
@@ -256,8 +261,10 @@ OptimizationOutcome run_impl(congest::Network& net,
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.rounds_solve = net.run(programs);
+  out.run = net.run_outcome(programs);
+  out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
+  if (!out.run.ok()) return out;  // degraded: solution untrusted
   if (handles[0]->infeasible()) {
     out.best_weight.reset();
     return out;

@@ -31,6 +31,8 @@ struct OptimizationOutcome {
   long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
   std::size_t num_classes = 0;
   int max_table_entries = 0;  // largest OPT table sent
+  /// How the pipeline ended. When !run.ok() every other field is untrusted.
+  congest::RunOutcome run;
 
   long total_rounds() const {
     return rounds_elim + rounds_bags + rounds_solve;

@@ -114,7 +114,7 @@ class OptMarkedProgram : public congest::NodeProgram {
     }
     for (int p = 0; p < ctx.degree(); ++p) {
       const VertexId from = ctx.neighbor_id(p);
-      if (auto payload = congest::poll_fragment(ctx, p)) {
+      if (auto payload = reasm_.poll(ctx, p)) {
         const auto& up = std::any_cast<const UpPayload&>(*payload);
         for (std::size_t i = 0; i < children_ids_.size(); ++i)
           if (children_ids_[i] == from) {
@@ -227,6 +227,7 @@ class OptMarkedProgram : public congest::NodeProgram {
   std::vector<UpPayload> child_payloads_;
   std::vector<bool> have_payload_;
   congest::FragmentSender sender_;
+  congest::FragmentReassembler reasm_;
   bool first_round_ = true;
   bool solved_ = false;
   bool finished_ = false;
@@ -248,6 +249,8 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
 
   const ElimTreeResult tree = run_elim_tree(net, d);
   out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
   if (!tree.success) {
     out.treedepth_exceeded = true;
     return out;
@@ -261,6 +264,8 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     elabels.push_back(kMarkLabel);
   const BagsResult bags = run_bags(net, tree, vlabels, elabels);
   out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "optmarked");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
@@ -284,8 +289,10 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.rounds_solve = net.run(programs);
+  out.run = net.run_outcome(programs);
+  out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
+  if (!out.run.ok()) return out;  // degraded: verdict untrusted
   out.satisfies = handles[0]->satisfies();
   out.is_optimal = handles[0]->is_optimal();
   if (minimize) {

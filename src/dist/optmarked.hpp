@@ -28,6 +28,8 @@ struct OptMarkedOutcome {
   Weight best_weight = 0;   // optimum over accepting classes (if any)
   long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
   std::size_t num_classes = 0;
+  /// How the pipeline ended. When !run.ok() every other field is untrusted.
+  congest::RunOutcome run;
 
   long total_rounds() const { return rounds_elim + rounds_bags + rounds_solve; }
 };

@@ -16,12 +16,13 @@ namespace dmc::obs {
 class TraceBuffer final : public TraceSink {
  public:
   struct Item {
-    enum class Kind : std::uint8_t { RunBegin, Round, Phase, RunEnd };
+    enum class Kind : std::uint8_t { RunBegin, Round, Phase, Fault, RunEnd };
     Kind kind = Kind::Round;
     // Exactly one of the following is meaningful, per `kind`.
     RunInfo run;
     RoundEvent round;
     PhaseEvent phase;
+    FaultEvent fault;
   };
 
   void run_begin(const RunInfo& info) override {
@@ -48,6 +49,14 @@ class TraceBuffer final : public TraceSink {
     phases_.push_back(ev);
   }
 
+  void fault(const FaultEvent& ev) override {
+    Item item;
+    item.kind = Item::Kind::Fault;
+    item.fault = ev;
+    items_.push_back(std::move(item));
+    faults_.push_back(ev);
+  }
+
   void run_end() override {
     Item item;
     item.kind = Item::Kind::RunEnd;
@@ -60,12 +69,15 @@ class TraceBuffer final : public TraceSink {
   const std::vector<RoundEvent>& rounds() const { return rounds_; }
   /// All phase events, in order.
   const std::vector<PhaseEvent>& phases() const { return phases_; }
+  /// All injected-fault events, in order.
+  const std::vector<FaultEvent>& faults() const { return faults_; }
   int num_runs() const { return num_runs_; }
 
   void clear() {
     items_.clear();
     rounds_.clear();
     phases_.clear();
+    faults_.clear();
     num_runs_ = 0;
   }
 
@@ -73,6 +85,7 @@ class TraceBuffer final : public TraceSink {
   std::vector<Item> items_;
   std::vector<RoundEvent> rounds_;
   std::vector<PhaseEvent> phases_;
+  std::vector<FaultEvent> faults_;
   int num_runs_ = 0;
 };
 

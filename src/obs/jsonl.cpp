@@ -24,6 +24,12 @@ void JsonlExporter::phase(const PhaseEvent& ev) {
        << ",\"depth\":" << ev.depth << "}\n";
 }
 
+void JsonlExporter::fault(const FaultEvent& ev) {
+  out_ << "{\"type\":\"fault\",\"kind\":\"" << to_string(ev.kind)
+       << "\",\"round\":" << ev.round << ",\"src\":" << ev.src
+       << ",\"dst\":" << ev.dst << ",\"detail\":" << ev.detail << "}\n";
+}
+
 void JsonlExporter::run_end() { out_ << "{\"type\":\"run_end\"}\n"; }
 
 }  // namespace dmc::obs

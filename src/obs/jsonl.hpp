@@ -6,6 +6,7 @@
 //    "active":32,"done":0}
 //   {"type":"phase_begin","name":"elim-tree","round":0,"depth":0}
 //   {"type":"phase_end","name":"elim-tree","round":79,"depth":0}
+//   {"type":"fault","kind":"drop","round":12,"src":3,"dst":7,"detail":0}
 //   {"type":"run_end"}
 //
 // Lines are written as events arrive, so a crashed run still leaves a
@@ -26,6 +27,7 @@ class JsonlExporter final : public TraceSink {
   void run_begin(const RunInfo& info) override;
   void round(const RoundEvent& ev) override;
   void phase(const PhaseEvent& ev) override;
+  void fault(const FaultEvent& ev) override;
   void run_end() override;
 
  private:

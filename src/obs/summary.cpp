@@ -62,6 +62,7 @@ Summary summarize(const TraceBuffer& buffer) {
     switch (item.kind) {
       case TraceBuffer::Item::Kind::RunBegin:
       case TraceBuffer::Item::Kind::RunEnd:
+      case TraceBuffer::Item::Kind::Fault:  // faults carry no round totals
         break;
       case TraceBuffer::Item::Kind::Phase:
         if (item.phase.kind == PhaseEvent::Kind::Begin) {

@@ -6,6 +6,17 @@ namespace dmc::obs {
 
 TraceSink::~TraceSink() = default;
 
+const char* to_string(FaultEvent::Kind kind) {
+  switch (kind) {
+    case FaultEvent::Kind::Drop: return "drop";
+    case FaultEvent::Kind::Duplicate: return "duplicate";
+    case FaultEvent::Kind::Corrupt: return "corrupt";
+    case FaultEvent::Kind::Delay: return "delay";
+    case FaultEvent::Kind::Crash: return "crash";
+  }
+  return "?";
+}
+
 namespace detail {
 
 std::string json_escape(std::string_view s) {

@@ -12,7 +12,11 @@
 //     helper); node programs emit sub-spans through NodeCtx::annotate,
 //     which the network deduplicates (an annotation is a network-global
 //     "current step" label — re-annotating the same name is free, a new
-//     name closes the previous annotation span and opens a new one).
+//     name closes the previous annotation span and opens a new one);
+//   - one FaultEvent per injected fault when the network runs under a
+//     fault plan (src/congest/faults.hpp), so a trace shows exactly which
+//     message was dropped, duplicated, delayed, or corrupted and which
+//     node crash-stopped, at which round.
 //
 // Tracing is strictly opt-in: with no sink configured the simulator skips
 // every tracing branch and performs no allocation for it (enforced by
@@ -60,6 +64,21 @@ struct PhaseEvent {
   int depth = 0;     // nesting depth of the span (0 = outermost)
 };
 
+/// One injected fault (emitted only when the network runs under a fault
+/// plan, see src/congest/faults.hpp). src/dst are node *ids* (not graph
+/// vertices); Crash events carry the crashed node in src and dst = -1.
+struct FaultEvent {
+  enum class Kind : std::uint8_t { Drop, Duplicate, Corrupt, Delay, Crash };
+  Kind kind = Kind::Drop;
+  long round = 0;   // physical round the fault was injected at
+  int src = -1;     // sender id (Crash: the crashed node's id)
+  int dst = -1;     // receiver id (-1 for Crash)
+  int detail = 0;   // Delay/Duplicate: extra delivery rounds; else 0
+};
+
+/// Stable lowercase name of a fault kind ("drop", "duplicate", ...).
+const char* to_string(FaultEvent::Kind kind);
+
 /// Event consumer interface. Implementations must tolerate events from
 /// several consecutive runs on one network (round indices keep growing).
 class TraceSink {
@@ -68,6 +87,8 @@ class TraceSink {
   virtual void run_begin(const RunInfo&) {}
   virtual void round(const RoundEvent&) = 0;
   virtual void phase(const PhaseEvent&) = 0;
+  /// Default no-op: sinks that predate fault injection ignore the stream.
+  virtual void fault(const FaultEvent&) {}
   virtual void run_end() {}
 };
 
@@ -89,6 +110,9 @@ class TeeSink final : public TraceSink {
   }
   void phase(const PhaseEvent& ev) override {
     for (auto* s : sinks_) s->phase(ev);
+  }
+  void fault(const FaultEvent& ev) override {
+    for (auto* s : sinks_) s->fault(ev);
   }
   void run_end() override {
     for (auto* s : sinks_) s->run_end();

@@ -1,0 +1,16 @@
+// dmc-lint --self-test fixture for the raw-send rule.
+//
+// Never compiled — the path deliberately contains "src/dist" so the rule
+// applies (it is scoped to protocol sources; the transport layer itself
+// may use best-effort sends freely). Scanned by the lint_fixtures ctest
+// entry together with ../../bad_protocol.cpp.
+
+// Registered so the unregistered-payload rule stays quiet here (this
+// fixture exercises raw-send only).
+const bool reg = (audit::register_codec<Ping>("Ping", enc, dec, eq), true);
+
+void on_round(NodeCtx& ctx) {
+  ctx.send_unreliable(0, Message(Ping{}, 1));  // lint-expect: raw-send
+  ctx.send(0, Message(Ping{}, 1));  // plain send: no finding
+  ctx.send_unreliable(1, Message(Ping{}, 1));  // dmc-lint: allow(raw-send)
+}

@@ -22,6 +22,12 @@
 // single execution: wire-format audit on every message plus determinism,
 // order-obliviousness, and id-obliviousness dual runs (see
 // docs/STATIC_ANALYSIS.md); exits 5 if any check diverges.
+// --faults SPEC (needs --dist) injects deterministic link/node faults, e.g.
+// "drop=0.1,dup=0.05,crash=3@r20,seed=42" (grammar in congest/faults.hpp),
+// and layers the reliable transport under the protocols unless the spec
+// says transport=raw. Degraded endings are structured, never silently
+// wrong: exit 6 = round budget exhausted (diagnostic names the stalled
+// phase), exit 7 = crash-stop faults occurred. See docs/ROBUSTNESS.md.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -33,6 +39,7 @@
 #include <string>
 
 #include "congest/conformance.hpp"
+#include "congest/faults.hpp"
 #include "congest/network.hpp"
 #include "dist/counting.hpp"
 #include "dist/decision.hpp"
@@ -57,7 +64,9 @@ namespace {
                "usage: dmc <decide|maximize|minimize|count|treedepth>\n"
                "           [--formula STR] [--graph FILE|-] [--family SPEC]\n"
                "           [--var NAME --sort vset|eset] [--vars N:S,...]\n"
-               "           [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]\n");
+               "           [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]\n"
+               "           [--faults drop=P,dup=P,corrupt=P,reorder=P,"
+               "crash=ID@rR,seed=N[,transport=raw]]\n");
   std::exit(2);
 }
 
@@ -156,11 +165,65 @@ std::optional<int> dist_budget(const Args& args) {
   if (!args.has("dist")) {
     if (args.has("trace")) usage("--trace requires --dist");
     if (args.has("audit")) usage("--audit requires --dist");
+    if (args.has("faults")) usage("--faults requires --dist");
     return std::nullopt;
   }
   if (args.has("audit") && args.has("trace"))
     usage("--audit replaces the trace sink; drop --trace");
+  if (args.has("audit") && args.has("faults"))
+    usage("--audit runs the fault-free conformance battery; drop --faults");
   return parse_int(args.get("dist"), "--dist");
+}
+
+/// Wires --faults into the network config. Phase tracking is forced on so
+/// degraded outcomes can name the stalled pipeline stage.
+void apply_fault_options(const Args& args, congest::NetworkConfig& cfg) {
+  if (!args.has("faults")) return;
+  try {
+    cfg.faults = congest::parse_fault_plan(args.get("faults"));
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  cfg.track_phases = true;
+}
+
+/// Degraded-run reporting: diagnostic to stderr (naming the stalled phase
+/// and the crashed nodes) and the dedicated exit code — 6 for an exhausted
+/// round budget, 7 for crash-stop faults.
+int report_degraded(const congest::RunOutcome& run) {
+  const std::string where = run.stalled_phase.empty()
+                                ? std::string()
+                                : " in phase " + run.stalled_phase;
+  if (run.status == congest::RunStatus::kCrashed) {
+    std::string nodes;
+    for (VertexId v : run.crashed)
+      nodes += (nodes.empty() ? "" : ",") + std::to_string(v);
+    std::fprintf(stderr,
+                 "degraded: %zu node(s) crash-stopped [%s]%s after %ld "
+                 "rounds; outputs untrusted\n",
+                 run.crashed.size(), nodes.c_str(), where.c_str(), run.rounds);
+    return 7;
+  }
+  std::fprintf(stderr,
+               "degraded: round budget exhausted%s after %ld rounds "
+               "(%ld protocol steps); no verdict\n",
+               where.c_str(), run.rounds, run.virtual_rounds);
+  return 6;
+}
+
+/// Transport/fault counters, printed after the per-phase summary whenever
+/// fault injection was active.
+void print_fault_summary(const congest::NetworkStats& s,
+                         const congest::RunOutcome& run) {
+  std::printf("transport: status=%s physical_rounds=%ld frames=%ld "
+              "markers=%ld retransmits=%ld frame_bits=%lld\n",
+              congest::to_string(run.status), s.rounds, s.frames,
+              s.marker_frames, s.retransmissions,
+              static_cast<long long>(s.frame_bits));
+  std::printf("faults: dropped=%ld duplicated=%ld corrupted=%ld delayed=%ld "
+              "crashes=%d\n",
+              s.faults_dropped, s.faults_duplicated, s.faults_corrupted,
+              s.faults_delayed, s.crashes);
 }
 
 /// --audit mode: runs the conformance battery (wire audit + determinism +
@@ -248,8 +311,14 @@ int cmd_decide(const Args& args) {
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
     const auto out = dist::run_decision(net, formula, *d);
+    if (!out.run.ok()) {
+      print_phase_summary(trace->buffer, net.stats());
+      print_fault_summary(net.stats(), out.run);
+      return report_degraded(out.run);
+    }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d (reported by Algorithm 2)\n", *d);
       print_phase_summary(trace->buffer, net.stats());
@@ -259,6 +328,7 @@ int cmd_decide(const Args& args) {
     std::printf("rounds=%ld classes=%zu class_bits<=%d\n", out.total_rounds(),
                 out.num_classes, out.max_class_bits);
     print_phase_summary(trace->buffer, net.stats());
+    if (args.has("faults")) print_fault_summary(net.stats(), out.run);
     return out.holds ? 0 : 1;
   }
   const bool holds = seq::decide(g, formula);
@@ -284,16 +354,23 @@ int cmd_optimize(const Args& args, bool maximize) {
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
     const auto out = maximize
                          ? dist::run_maximize(net, formula, var, sort, *d)
                          : dist::run_minimize(net, formula, var, sort, *d);
+    if (!out.run.ok()) {
+      print_phase_summary(trace->buffer, net.stats());
+      print_fault_summary(net.stats(), out.run);
+      return report_degraded(out.run);
+    }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
       print_phase_summary(trace->buffer, net.stats());
       return 3;
     }
     print_phase_summary(trace->buffer, net.stats());
+    if (args.has("faults")) print_fault_summary(net.stats(), out.run);
     if (!out.best_weight) {
       std::printf("infeasible\n");
       return 1;
@@ -347,8 +424,14 @@ int cmd_count(const Args& args) {
     auto trace = make_trace_setup(args);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
     const auto out = dist::run_count(net, formula, vars, *d);
+    if (!out.run.ok()) {
+      print_phase_summary(trace->buffer, net.stats());
+      print_fault_summary(net.stats(), out.run);
+      return report_degraded(out.run);
+    }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
       print_phase_summary(trace->buffer, net.stats());
@@ -358,6 +441,7 @@ int cmd_count(const Args& args) {
                 static_cast<unsigned long long>(out.count),
                 out.total_rounds());
     print_phase_summary(trace->buffer, net.stats());
+    if (args.has("faults")) print_fault_summary(net.stats(), out.run);
     return 0;
   }
   std::printf("count=%llu\n",
@@ -388,6 +472,12 @@ int main(int argc, char** argv) {
     if (args.command == "count") return cmd_count(args);
     if (args.command == "treedepth") return cmd_treedepth(args);
     usage("unknown command");
+  } catch (const congest::RoundLimitError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 6;
+  } catch (const congest::CrashedError& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 7;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 4;

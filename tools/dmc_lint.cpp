@@ -19,6 +19,13 @@
 //   unregistered-payload  Message(SomePayload{...}) construction where no
 //                         register_codec<SomePayload> exists in the scanned
 //                         sources — the payload would fail the wire audit.
+//   raw-send              NodeCtx::send_unreliable(...) in protocol code
+//                         (paths under src/dist). Best-effort sends bypass
+//                         the reliable-transport shim, so under fault
+//                         injection the message may silently never arrive;
+//                         protocols must either use plain send() or mark
+//                         the loss-tolerant call site with
+//                         "dmc-lint: allow(raw-send)".
 //
 // Usage: dmc-lint [--self-test] <file-or-dir>...
 //   Directories are scanned recursively for .cpp/.cc/.hpp/.h files.
@@ -150,6 +157,17 @@ const std::regex kBannedCall(
     R"((?:^|[^\w.])(rand|srand|time|clock)\s*\(|std::random_device|_clock\s*::\s*now\s*\()");
 const std::regex kMutableStatic(
     R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
+const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
+
+/// The raw-send rule only applies to protocol sources (paths under
+/// src/dist); the transport layer itself legitimately uses best-effort
+/// sends. Separators are normalized so the check is OS-independent.
+bool in_protocol_tree(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/dist/") != std::string::npos ||
+         p.find("src/dist") == 0;
+}
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
   return raw_line.find("dmc-lint: allow(" + rule + ")") != std::string::npos;
@@ -201,6 +219,13 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
       add_finding(out, f, i, "global-state",
                   "mutable static state — nodes may only share state through "
                   "messages; make it const/constexpr or pass it explicitly");
+
+    if (in_protocol_tree(f.path) && std::regex_search(line, m, kRawSend))
+      add_finding(out, f, i, "raw-send",
+                  "best-effort send_unreliable() bypasses the reliable "
+                  "transport — the message may be lost under fault "
+                  "injection; use send(), or mark the loss-tolerant call "
+                  "site with dmc-lint: allow(raw-send)");
 
     for (std::sregex_iterator it(line.begin(), line.end(), kPayloadSend), end;
          it != end; ++it) {
