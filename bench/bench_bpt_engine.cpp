@@ -79,11 +79,31 @@ void BM_FoldConnected(benchmark::State& state) {
 }
 BENCHMARK(BM_FoldConnected)->Arg(16)->Arg(64)->Arg(256);
 
+// OPT-table fold throughput. The OPT and COUNT tables are sorted flat
+// vectors (bpt/flat_map.hpp); this microbench hammers their find/insert
+// path through the weighted fold, so a regression in the table
+// representation shows up directly as a throughput delta here.
+void BM_OptTableFold(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  gen::Rng rng(7);
+  const Graph g = gen::random_bounded_treedepth(n, 3, 0.5, rng);
+  const std::vector<std::pair<std::string, mso::Sort>> frees{
+      {"S", mso::Sort::VertexSet}};
+  const auto lowered = mso::lower(mso::lib::dominating_set(), frees);
+  const auto td = seq::decomposition_for(g);
+  const auto plan = bpt::build_global_plan(g, td);
+  for (auto _ : state) {
+    bpt::Engine engine(bpt::config_for(*lowered, frees));
+    bpt::OptSolver solver(engine, plan, g);
+    benchmark::DoNotOptimize(solver.root_table().size());
+  }
+}
+BENCHMARK(BM_OptTableFold)->Arg(8)->Arg(16)->Arg(32);
+
 }  // namespace
 
 int main(int argc, char** argv) {
   report_universe();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
+  bench::run_benchmarks(argc, argv);
   return 0;
 }

@@ -45,6 +45,8 @@ std::uint64_t hash_node(const TypeNode& n) {
 
 }  // namespace
 
+std::size_t hash_type_node(const TypeNode& n) { return hash_node(n); }
+
 int pair_index(int i, int j, int tau) {
   if (i > j) std::swap(i, j);
   return i * tau - i * (i + 1) / 2 + (j - i - 1);
@@ -219,8 +221,29 @@ EngineConfig without_singleton_modes(EngineConfig cfg) {
   return cfg;
 }
 
-Engine::Engine(EngineConfig cfg) : cfg_(std::move(cfg)) {
+Engine::Engine(EngineConfig cfg)
+    : cfg_(std::move(cfg)),
+      index_stripes_(new IndexStripe[kIndexStripes]),
+      memo_stripes_(new MemoStripe[kMemoStripes]) {
   if (cfg_.rank < 0) throw std::invalid_argument("Engine: negative rank");
+}
+
+Engine::Engine(const Engine& other)
+    : cfg_(other.cfg_),
+      nodes_(other.nodes_),
+      index_stripes_(new IndexStripe[kIndexStripes]),
+      ops_(other.ops_),
+      op_index_(other.op_index_),
+      memo_stripes_(new MemoStripe[kMemoStripes]),
+      primitive_memo_(other.primitive_memo_),
+      type_limit_(other.type_limit_.load()),
+      compose_calls_(other.compose_calls_.load()),
+      memo_hits_(other.memo_hits_.load()),
+      invalid_compositions_(other.invalid_compositions_.load()) {
+  for (std::size_t s = 0; s < kIndexStripes; ++s)
+    index_stripes_[s].buckets = other.index_stripes_[s].buckets;
+  for (std::size_t s = 0; s < kMemoStripes; ++s)
+    memo_stripes_[s].map = other.memo_stripes_[s].map;
 }
 
 void Engine::prune(AtomicInfo& a) const {
@@ -239,12 +262,25 @@ void Engine::prune(AtomicInfo& a) const {
 }
 
 TypeId Engine::intern(TypeNode node) {
-  if (nodes_.size() >= type_limit_)
+  if (nodes_.size() >= type_limit_.load(std::memory_order_relaxed))
     throw std::runtime_error(
         "bpt::Engine: type universe limit exceeded (instance too large for "
         "this formula's rank/width; see set_type_limit)");
-  const std::size_t h = hash_node(node);
-  auto& bucket = node_index_[h];
+  const std::size_t h = hash_type_node(node);
+  IndexStripe& stripe = index_stripes_[h % kIndexStripes];
+  {
+    std::lock_guard<std::mutex> lk(stripe.m);
+    auto it = stripe.buckets.find(h);
+    if (it != stripe.buckets.end())
+      for (TypeId t : it->second)
+        if (nodes_[t] == node) return t;
+  }
+  // Not found: take the append lock (lock order: append before stripe),
+  // re-check under both, then publish. Ids remain insertion order, so the
+  // single-threaded id sequence is exactly the legacy one.
+  std::lock_guard<std::mutex> append(intern_mutex_);
+  std::lock_guard<std::mutex> lk(stripe.m);
+  auto& bucket = stripe.buckets[h];
   for (TypeId t : bucket)
     if (nodes_[t] == node) return t;
   const TypeId id = static_cast<TypeId>(nodes_.size());
@@ -288,8 +324,11 @@ TypeId Engine::primitive(bool is_k2, std::uint32_t la, std::uint32_t lb,
       (static_cast<std::uint64_t>(lb) << 20) ^
       (static_cast<std::uint64_t>(le) << 40);
   const auto key = std::make_tuple(is_k2, desc, slots, rank);
-  auto it = primitive_memo_.find(key);
-  if (it != primitive_memo_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lk(primitive_mutex_);
+    auto it = primitive_memo_.find(key);
+    if (it != primitive_memo_.end()) return it->second;
+  }
 
   const int p = static_cast<int>(slots.size());
   if (p > kMaxSlots) throw std::logic_error("primitive: too many slots");
@@ -379,20 +418,36 @@ TypeId Engine::primitive(bool is_k2, std::uint32_t la, std::uint32_t lb,
   }
   prune(node.atoms);
   const TypeId id = intern(std::move(node));
+  std::lock_guard<std::mutex> lk(primitive_mutex_);
   primitive_memo_[key] = id;
   return id;
 }
 
 int Engine::op_id(const GluingMatrix& f, int left_tau, int right_tau) {
-  auto it = op_index_.find(f);
-  if (it != op_index_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lk(ops_mutex_);
+    auto it = op_index_.find(f);
+    if (it != op_index_.end()) return it->second;
+  }
   f.validate(left_tau, right_tau);
   if (f.parent_tau() > kMaxTerminals)
     throw std::invalid_argument("compose: too many terminals for the engine");
+  std::lock_guard<std::mutex> lk(ops_mutex_);
+  auto it = op_index_.find(f);
+  if (it != op_index_.end()) return it->second;
   const int id = static_cast<int>(ops_.size());
   ops_.push_back(f);
   op_index_[f] = id;
   return id;
+}
+
+void Engine::memo_store(std::uint64_t key, TypeId value) {
+  MemoStripe& ms = memo_stripes_[(key * 0x9e3779b97f4a7c15ull) >> 58];
+  std::lock_guard<std::mutex> lk(ms.m);
+  // Bounded: a full stripe is cleared wholesale. Recomputing an evicted
+  // composition re-interns to the same id, so results never change.
+  if (ms.map.size() >= kMemoStripeCap) ms.map.clear();
+  ms.map[key] = value;
 }
 
 TypeId Engine::compose(const GluingMatrix& f, TypeId left, TypeId right) {
@@ -408,12 +463,16 @@ TypeId Engine::compose_by_id(int op, TypeId left, TypeId right) {
   const std::uint64_t key = (static_cast<std::uint64_t>(op) << 50) |
                             (static_cast<std::uint64_t>(left) << 25) |
                             static_cast<std::uint64_t>(right);
-  auto memo = compose_memo_.find(key);
-  if (memo != compose_memo_.end()) {
-    ++stats_.memo_hits;
-    return memo->second;
+  {
+    MemoStripe& ms = memo_stripes_[(key * 0x9e3779b97f4a7c15ull) >> 58];
+    std::lock_guard<std::mutex> lk(ms.m);
+    auto memo = ms.map.find(key);
+    if (memo != ms.map.end()) {
+      memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      return memo->second;
+    }
   }
-  ++stats_.compose_calls;
+  compose_calls_.fetch_add(1, std::memory_order_relaxed);
 
   const GluingMatrix& f = ops_[op];
   const TypeNode& L = nodes_[left];
@@ -439,8 +498,8 @@ TypeId Engine::compose_by_id(int op, TypeId left, TypeId right) {
   }
 
   auto fail = [&]() {
-    ++stats_.invalid_compositions;
-    compose_memo_[key] = kInvalidType;
+    invalid_compositions_.fetch_add(1, std::memory_order_relaxed);
+    memo_store(key, kInvalidType);
     return kInvalidType;
   };
 
@@ -607,7 +666,9 @@ TypeId Engine::compose_by_id(int op, TypeId left, TypeId right) {
       std::sort(into.begin(), into.end());
       into.erase(std::unique(into.begin(), into.end()), into.end());
     };
-    // note: nodes_ may reallocate during recursion; copy the ext lists.
+    // Copy the ext lists: recursion interns new nodes, and holding child
+    // references across that would be fragile even though ChunkedVector
+    // keeps published elements at stable addresses.
     const std::vector<TypeId> lv = L.vexts, rv = R.vexts;
     const std::vector<TypeId> le = L.eexts, re = R.eexts;
     combine(lv, rv, cfg_.vertex_mode.at(level), out.vexts);
@@ -616,7 +677,7 @@ TypeId Engine::compose_by_id(int op, TypeId left, TypeId right) {
 
   prune(out.atoms);
   const TypeId id = intern(std::move(out));
-  compose_memo_[key] = id;
+  memo_store(key, id);
   return id;
 }
 

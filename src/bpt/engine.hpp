@@ -21,8 +21,12 @@
 // whole pipeline against brute-force MSO semantics.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <iosfwd>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -30,6 +34,7 @@
 
 #include "bpt/gluing.hpp"
 #include "mso/ast.hpp"
+#include "par/chunked.hpp"
 
 namespace dmc::bpt {
 
@@ -80,6 +85,10 @@ struct TypeNode {
 
   bool operator==(const TypeNode&) const = default;
 };
+
+/// The interner's structural hash (exposed for universe-cache index
+/// rebuilding).
+std::size_t hash_type_node(const TypeNode& n);
 
 /// Which atomic-table features the formula can observe. Features the
 /// formula never reads are canonicalized to zero in every type, which
@@ -145,6 +154,11 @@ class Engine {
  public:
   explicit Engine(EngineConfig cfg);
 
+  /// Deep copy with fresh synchronization state (for per-task engines in
+  /// parallel sweeps). Only safe while no other thread mutates `other`.
+  explicit Engine(const Engine& other);
+  Engine& operator=(const Engine&) = delete;
+
   const EngineConfig& config() const { return cfg_; }
   const TypeNode& node(TypeId t) const { return nodes_.at(t); }
   std::size_t num_types() const { return nodes_.size(); }
@@ -178,7 +192,12 @@ class Engine {
     long memo_hits = 0;
     long invalid_compositions = 0;
   };
-  const Stats& stats() const { return stats_; }
+  /// Snapshot of the (atomic) counters.
+  Stats stats() const {
+    return {compose_calls_.load(std::memory_order_relaxed),
+            memo_hits_.load(std::memory_order_relaxed),
+            invalid_compositions_.load(std::memory_order_relaxed)};
+  }
 
   /// Safety valve: compose/primitive throw std::runtime_error once the
   /// interner holds more than this many types (the type universe of the
@@ -187,25 +206,62 @@ class Engine {
   void set_type_limit(std::size_t limit) { type_limit_ = limit; }
   std::size_t type_limit() const { return type_limit_; }
 
+  /// Versioned serialization of the interned tables for the persistent
+  /// universe cache (defined in universe_cache.cpp). load_universe returns
+  /// false — leaving the engine untouched — on a format-version, engine-
+  /// version, config or checksum mismatch. Both require exclusive access.
+  void save_universe(std::ostream& out) const;
+  bool load_universe(std::istream& in);
+
  private:
+  // Concurrency model: k1/k2/compose may be called from any number of
+  // threads. The interner appends under a single append mutex (ids stay
+  // equal to insertion order — the serial thread count reproduces the
+  // legacy id sequence exactly), lookups go through 64 mutex-striped hash
+  // buckets, and node storage is a ChunkedVector so published elements
+  // have stable addresses and indexed reads take no lock. The compose
+  // memo is mutex-striped and bounded (full stripes are cleared; a
+  // recompute re-interns to the same id, so eviction never changes
+  // results). No lock is ever held across compose/primitive recursion.
+  static constexpr std::size_t kIndexStripes = 64;
+  static constexpr std::size_t kMemoStripes = 64;
+  static constexpr std::size_t kMemoStripeCap = 1 << 15;
+
+  struct IndexStripe {
+    std::mutex m;
+    std::unordered_map<std::size_t, std::vector<TypeId>> buckets;
+  };
+  struct MemoStripe {
+    std::mutex m;
+    std::unordered_map<std::uint64_t, TypeId> map;
+  };
+
   TypeId intern(TypeNode node);
   void prune(AtomicInfo& atoms) const;
   TypeId primitive(bool is_k2, std::uint32_t la, std::uint32_t lb,
                    std::uint32_t le, const SlotBits& slots, int rank);
   int op_id(const GluingMatrix& f, int left_tau, int right_tau);
   TypeId compose_by_id(int op, TypeId left, TypeId right);
+  void memo_store(std::uint64_t key, TypeId value);
 
   EngineConfig cfg_;
-  std::vector<TypeNode> nodes_;
-  std::unordered_map<std::size_t, std::vector<TypeId>> node_index_;  // hash buckets
-  std::vector<GluingMatrix> ops_;
+  par::ChunkedVector<TypeNode> nodes_;
+  mutable std::mutex intern_mutex_;  // serializes appends / id assignment
+  std::unique_ptr<IndexStripe[]> index_stripes_;
+  par::ChunkedVector<GluingMatrix> ops_;
+  mutable std::mutex ops_mutex_;
   std::map<GluingMatrix, int> op_index_;
-  std::unordered_map<std::uint64_t, TypeId> compose_memo_;
+  std::unique_ptr<MemoStripe[]> memo_stripes_;
+  mutable std::mutex primitive_mutex_;
   std::map<std::tuple<bool, std::uint64_t, std::vector<std::uint8_t>, int>,
            TypeId>
       primitive_memo_;
-  std::size_t type_limit_ = 4'000'000;
-  Stats stats_;
+  std::atomic<std::size_t> type_limit_{4'000'000};
+  std::atomic<long> compose_calls_{0};
+  std::atomic<long> memo_hits_{0};
+  std::atomic<long> invalid_compositions_{0};
+
+  friend struct UniverseCacheAccess;
 };
 
 /// Evaluates a lowered formula against types of an engine, with

@@ -1,0 +1,92 @@
+// Sorted flat-vector map used for the DP tables (OPT/ARGOPT/COUNT).
+//
+// The folds build tables keyed by interned TypeIds and then iterate them
+// far more often than they mutate them (bucketing by trace signature,
+// composing pairwise, encoding to the wire in key order). A sorted
+// std::vector<pair> gives contiguous iteration and binary-search lookups,
+// which is where std::map's pointer-chasing hurt (see bench_bpt_engine's
+// fold-throughput microbench). Insertion keeps the vector sorted; the
+// common append pattern (keys arriving in increasing order, e.g. wire
+// decode) hits the push_back fast path.
+//
+// Iteration order is ascending key order — identical to std::map — so
+// root tie-breaks and codec encode order are unchanged by the migration.
+#pragma once
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace dmc::bpt {
+
+template <typename K, typename V>
+class FlatMap {
+ public:
+  using value_type = std::pair<K, V>;
+  using iterator = typename std::vector<value_type>::iterator;
+  using const_iterator = typename std::vector<value_type>::const_iterator;
+
+  iterator begin() { return data_.begin(); }
+  iterator end() { return data_.end(); }
+  const_iterator begin() const { return data_.begin(); }
+  const_iterator end() const { return data_.end(); }
+
+  std::size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+  void clear() { data_.clear(); }
+  void reserve(std::size_t n) { data_.reserve(n); }
+
+  iterator find(const K& key) {
+    auto it = lower(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+  const_iterator find(const K& key) const {
+    auto it = lower(key);
+    return it != data_.end() && it->first == key ? it : data_.end();
+  }
+  bool contains(const K& key) const { return find(key) != end(); }
+
+  /// Value for `key`, default-constructed and inserted at its sorted
+  /// position if absent (appends without a shift when keys arrive in
+  /// increasing order).
+  V& operator[](const K& key) {
+    if (!data_.empty() && data_.back().first < key) {
+      data_.emplace_back(key, V{});
+      return data_.back().second;
+    }
+    auto it = lower(key);
+    if (it == data_.end() || it->first != key)
+      it = data_.emplace(it, key, V{});
+    return it->second;
+  }
+
+  V& at(const K& key) {
+    auto it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+  const V& at(const K& key) const {
+    auto it = find(key);
+    if (it == end()) throw std::out_of_range("FlatMap::at");
+    return it->second;
+  }
+
+  bool operator==(const FlatMap&) const = default;
+
+ private:
+  iterator lower(const K& key) {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+  const_iterator lower(const K& key) const {
+    return std::lower_bound(
+        data_.begin(), data_.end(), key,
+        [](const value_type& e, const K& k) { return e.first < k; });
+  }
+
+  std::vector<value_type> data_;
+};
+
+}  // namespace dmc::bpt

@@ -8,11 +8,11 @@
 #pragma once
 
 #include <cstdint>
-#include <map>
 #include <span>
 #include <vector>
 
 #include "bpt/engine.hpp"
+#include "bpt/flat_map.hpp"
 #include "bpt/plan.hpp"
 #include "graph/graph.hpp"
 
@@ -23,12 +23,22 @@ namespace dmc::bpt {
 TypeId fold_type(Engine& engine, const Plan& plan, const Graph& g,
                  std::span<const TypeId> inputs = {});
 
+/// fold_type with the plan's independent nodes evaluated concurrently
+/// (topological levels: Glue children always precede their parent, so a
+/// level is every node whose children are already folded). The engine's
+/// interner is thread-safe; the resulting root class is identical to
+/// fold_type's — only TypeId numbering may differ between thread counts.
+/// threads <= 1 is exactly fold_type.
+TypeId fold_type_parallel(Engine& engine, const Plan& plan, const Graph& g,
+                          int threads, std::span<const TypeId> inputs = {});
+
 // --- optimization (one free set slot) ----------------------------------------
 
 /// OPT table of Definition 4.5: per homomorphism class, the max total weight
 /// of an assignment of the free slot with that class (classes without
-/// assignments are absent rather than -infinity).
-using OptTable = std::map<TypeId, Weight>;
+/// assignments are absent rather than -infinity). Stored as a sorted flat
+/// vector — iteration order (ascending TypeId) matches the old std::map.
+using OptTable = FlatMap<TypeId, Weight>;
 
 /// Optimization fold with ARGOPT backpointers for solution reconstruction
 /// (Lemma 4.6 / the top-down phase of Algorithm 1).
@@ -70,12 +80,12 @@ class OptSolver {
   const Graph& g_;
   std::vector<OptTable> inputs_;
   std::vector<OptTable> tables_;                  // per plan node
-  std::vector<std::map<TypeId, Back>> backs_;     // per plan node
+  std::vector<FlatMap<TypeId, Back>> backs_;      // per plan node
 };
 
 // --- counting (any number of free slots) --------------------------------------
 
-using CountTable = std::map<TypeId, std::uint64_t>;
+using CountTable = FlatMap<TypeId, std::uint64_t>;
 
 /// COUNT table: per class, the number of assignments of the free slots with
 /// that class (Section 6, counting). Throws on std::uint64_t overflow.

@@ -1,0 +1,61 @@
+// Persistent on-disk cache of the BPT type universe.
+//
+// The universe depends only on the engine configuration — itself a pure
+// function of the lowered formula and the slot layout (Theorem 4.2's
+// computability claim) — so repeated runs of the same (φ, w) workload can
+// skip universe construction entirely. A cache file holds a versioned
+// binary serialization of the interned type table, the gluing-operation
+// table, and both memo tables:
+//
+//   magic "DMCU" | format version | engine version | config hash
+//   | type nodes | gluing ops | primitive memo | compose memo | checksum
+//
+// Invalidation is by construction: the file name and the embedded config
+// hash both derive from (formula text hash, config hash, engine version),
+// so a different formula, width, slot layout, pruning mask, or engine
+// release simply misses. Stale-version or corrupted files (bad magic,
+// short read, checksum mismatch) fail load_universe_cache, which leaves
+// the engine untouched — callers then rebuild and overwrite. Writes go to
+// a temp file in the same directory followed by an atomic rename, so a
+// crashed writer never publishes a torn file.
+//
+// Integers are serialized in host byte order: the cache is a per-machine
+// artifact (like a compiler cache), not an interchange format.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "bpt/engine.hpp"
+
+namespace dmc::bpt {
+
+/// Bump when the serialized layout changes.
+inline constexpr std::uint32_t kUniverseCacheFormatVersion = 1;
+/// Bump when engine semantics change (type contents, pruning, hashing):
+/// caches written by older engines must be rejected.
+inline constexpr std::uint32_t kEngineCacheVersion = 1;
+
+/// Structural hash of everything that determines the type universe.
+std::uint64_t config_hash(const EngineConfig& cfg);
+
+/// Default cache directory: $DMC_CACHE_DIR, else $XDG_CACHE_HOME/dmc,
+/// else $HOME/.cache/dmc, else "" (caching disabled).
+std::string default_universe_cache_dir();
+
+/// File path (inside `dir`) keyed by (formula text, config, engine
+/// version). `formula_text` should be the printed lowered formula.
+std::string universe_cache_path(const std::string& dir,
+                                const std::string& formula_text,
+                                const EngineConfig& cfg);
+
+/// Loads the universe into a freshly-constructed engine (same config).
+/// Returns false — engine untouched — if the file is missing, stale,
+/// corrupted, or was written for a different config.
+bool load_universe_cache(Engine& engine, const std::string& path);
+
+/// Serializes the engine's tables to `path` (atomic write+rename,
+/// creating `dir` if needed). Returns false on IO failure.
+bool save_universe_cache(const Engine& engine, const std::string& path);
+
+}  // namespace dmc::bpt

@@ -10,6 +10,7 @@
 #include "congest/reliable.hpp"
 #include "congest/wire.hpp"
 #include "graph/algorithms.hpp"
+#include "par/pool.hpp"
 
 namespace dmc::congest {
 
@@ -39,7 +40,20 @@ int NodeCtx::n() const { return net_.n(); }
 int NodeCtx::round() const { return net_.round_; }
 int NodeCtx::bandwidth() const { return net_.bandwidth_; }
 bool NodeCtx::traced() const { return net_.traced(); }
-void NodeCtx::annotate(std::string_view name) { net_.annotate(name); }
+bool NodeCtx::audited() const { return net_.cfg_.audit; }
+
+void NodeCtx::annotate(std::string_view name) {
+  if (net_.cfg_.sink == nullptr) return;
+  if (net_.stepping_parallel_) {
+    // Buffered during a parallel step and replayed in step order after the
+    // join (the sink is not thread-safe and event order must match the
+    // serial execution). Dedup happens at replay, like the live path.
+    auto& buf = net_.pending_annotations_[vertex_];
+    if (buf.empty() || buf.back() != name) buf.emplace_back(name);
+    return;
+  }
+  net_.annotate(name);
+}
 
 VertexId NodeCtx::neighbor_id(int port) const {
   return net_.ids_[net_.graph_.incident(vertex_).at(port).first];
@@ -71,10 +85,14 @@ void NodeCtx::send(int port, Message msg) {
         std::to_string(msg.bits) + " > " + std::to_string(net_.bandwidth_) +
         " bits); fragment it");
   if (net_.cfg_.audit) net_.audit_send(vertex_, port, msg);
-  net_.stats_.messages += 1;
-  net_.stats_.total_bits += msg.bits;
-  net_.stats_.max_message_bits = std::max(net_.stats_.max_message_bits, msg.bits);
-  net_.round_max_message_bits_ = std::max(net_.round_max_message_bits_, msg.bits);
+  // Atomic accumulation: sends from concurrently-stepped nodes race on
+  // the counters, and sums/maxes are order-independent. Serial runs take
+  // the same path (uncontended atomics, same results).
+  par::atomic_fetch_add(net_.stats_.messages, 1L);
+  par::atomic_fetch_add(net_.stats_.total_bits,
+                        static_cast<long long>(msg.bits));
+  par::atomic_fetch_max(net_.stats_.max_message_bits, msg.bits);
+  par::atomic_fetch_max(net_.round_max_message_bits_, msg.bits);
   out[port] = std::move(msg);
 }
 
@@ -136,6 +154,20 @@ Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
   for (int v = 0; v < g.num_vertices(); ++v) {
     inbox_[v].resize(g.degree(v));
     outbox_[v].resize(g.degree(v));
+  }
+  peer_port_.resize(g.num_vertices());
+  for (int v = 0; v < g.num_vertices(); ++v) {
+    const auto& inc = g.incident(v);
+    peer_port_[v].assign(inc.size(), -1);
+    for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
+      const auto& winc = g.incident(inc[port].first);
+      for (int wp = 0; wp < static_cast<int>(winc.size()); ++wp) {
+        if (winc[wp].first == v) {
+          peer_port_[v][port] = wp;
+          break;
+        }
+      }
+    }
   }
   if (cfg_.faults.has_value())
     fault_rt_ = std::make_unique<detail::FaultRuntime>(*this, *cfg_.faults);
@@ -233,6 +265,48 @@ RunOutcome Network::run_outcome(
   return run_perfect(programs);
 }
 
+int Network::effective_step_threads() const {
+  if (cfg_.audit || serial_section_depth_ > 0) return 1;
+  return cfg_.threads <= 0 ? par::hardware_threads() : cfg_.threads;
+}
+
+void Network::step_programs(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                            int threads) {
+  const int n_ = n();
+  const bool reverse = cfg_.step_order == NetworkConfig::StepOrder::kReverse;
+  if (threads <= 1) {
+    for (int i = 0; i < n_; ++i) {
+      const int v = reverse ? n_ - 1 - i : i;
+      NodeCtx ctx(*this, v);
+      programs[v]->on_round(ctx);
+    }
+    return;
+  }
+  const bool buffer_annotations = cfg_.sink != nullptr;
+  if (buffer_annotations) {
+    pending_annotations_.assign(n_, {});
+    stepping_parallel_ = true;
+  }
+  par::parallel_for(threads, static_cast<std::size_t>(n_),
+                    [&](std::size_t i) {
+                      const int v =
+                          reverse ? n_ - 1 - static_cast<int>(i)
+                                  : static_cast<int>(i);
+                      NodeCtx ctx(*this, v);
+                      programs[v]->on_round(ctx);
+                    });
+  if (buffer_annotations) {
+    stepping_parallel_ = false;
+    // Replay in step order: each vertex's calls in call order, vertices in
+    // the order a serial step would have run them — the resulting event
+    // stream (and any digest over it) matches the serial one exactly.
+    for (int i = 0; i < n_; ++i) {
+      const int v = reverse ? n_ - 1 - i : i;
+      for (const std::string& name : pending_annotations_[v]) annotate(name);
+    }
+  }
+}
+
 RunOutcome Network::run_perfect(
     std::vector<std::unique_ptr<NodeProgram>>& programs) {
   const int n_ = n();
@@ -247,17 +321,14 @@ RunOutcome Network::run_perfect(
     sink->run_begin(info);
   }
   long rounds_this_run = 0;
-  const bool reverse =
-      cfg_.step_order == NetworkConfig::StepOrder::kReverse;
+  const int step_threads = effective_step_threads();
   for (;;) {
+    if (round_begin_hook_) round_begin_hook_();
     // Step every node. Rounds are simultaneous in the model, so the step
     // order must be immaterial; kReverse exists so the conformance harness
-    // can prove that for each protocol.
-    for (int i = 0; i < n_; ++i) {
-      const int v = reverse ? n_ - 1 - i : i;
-      NodeCtx ctx(*this, v);
-      programs[v]->on_round(ctx);
-    }
+    // can prove that for each protocol, and that same property is what
+    // makes parallel stepping sound (see docs/PERFORMANCE.md).
+    step_programs(programs, step_threads);
     // Check completion *after* the step (so final outputs are set). The
     // untraced path short-circuits; the traced path counts done nodes.
     bool all_done = true;
@@ -285,15 +356,8 @@ RunOutcome Network::run_perfect(
       for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
         if (!outbox_[v][port].has_value()) continue;
         any_message = true;
-        const auto [w, e] = inc[port];
-        // Find w's port back to v.
-        const auto& winc = graph_.incident(w);
-        for (int wp = 0; wp < static_cast<int>(winc.size()); ++wp) {
-          if (winc[wp].first == v) {
-            inbox_[w][wp] = std::move(outbox_[v][port]);
-            break;
-          }
-        }
+        const int w = inc[port].first;
+        inbox_[w][peer_port_[v][port]] = std::move(outbox_[v][port]);
         outbox_[v][port].reset();
       }
     }

@@ -94,6 +94,13 @@ struct NetworkConfig {
   /// elimination-tree phase schedule) are far shorter on the graphs in
   /// scope.
   int stall_quiet_rounds = 1024;
+  /// Worker threads for per-node stepping inside each simulated round
+  /// (rounds are simultaneous in the model, so stepping is embarrassingly
+  /// parallel; see docs/PERFORMANCE.md for the determinism argument).
+  /// 1 (the default) is the exact legacy serial path; 0 = hardware
+  /// concurrency. Audit mode, fault injection, and serial sections
+  /// (Network::SerialSection) force serial stepping regardless.
+  int threads = 1;
 };
 
 struct NetworkStats {
@@ -192,6 +199,12 @@ class NodeCtx {
   /// True iff a trace sink is configured. Protocols that build annotation
   /// names dynamically should gate the formatting on this.
   bool traced() const;
+  /// True iff wire-format audit mode is on. Protocols whose declared bit
+  /// sizes depend on *when* in the round they are computed branch on this:
+  /// audit mode keeps the legacy send-time value (audit validates encoded
+  /// <= declared per message), while non-audit runs may use a
+  /// round-start snapshot that is step-order independent.
+  bool audited() const;
   /// Labels the network's current protocol step for the trace (a span
   /// nested under the innermost driver phase). Network-global and
   /// deduplicated: annotating the current name again is a no-op, a new
@@ -282,6 +295,34 @@ class Network {
   void phase_end();
   void annotate(std::string_view name);
 
+  /// Called at the start of every protocol round, before any node steps
+  /// (on the perfect path and on both fault-mode paths, so fault-free
+  /// parity holds). Drivers use it to snapshot round-start state that all
+  /// nodes must agree on — e.g. the decision protocol's class-bits width.
+  /// One hook at a time; replaced by the next set, cleared with {}.
+  void set_round_begin_hook(std::function<void()> hook) {
+    round_begin_hook_ = std::move(hook);
+  }
+
+  /// While at least one SerialSection is alive, run() steps nodes
+  /// serially even when cfg.threads > 1. Drivers wrap protocol stages
+  /// whose *declared message sizes* measure schedule-dependent values
+  /// (the table-shipping solve phases varuint-encode interned class ids,
+  /// and parallel folding permutes id values), so their declared-bits
+  /// traces stay deterministic. See docs/PERFORMANCE.md.
+  class SerialSection {
+   public:
+    explicit SerialSection(Network& net) : net_(net) {
+      ++net_.serial_section_depth_;
+    }
+    ~SerialSection() { --net_.serial_section_depth_; }
+    SerialSection(const SerialSection&) = delete;
+    SerialSection& operator=(const SerialSection&) = delete;
+
+   private:
+    Network& net_;
+  };
+
  private:
   friend class NodeCtx;
   friend struct detail::FaultRuntime;
@@ -289,6 +330,16 @@ class Network {
   /// The perfect (fault-free) delivery loop — the original simulator path,
   /// kept branch- and allocation-free when untraced.
   RunOutcome run_perfect(std::vector<std::unique_ptr<NodeProgram>>& programs);
+
+  /// Step-loop parallelism for this run: cfg_.threads resolved against
+  /// hardware concurrency, forced to 1 by audit mode and serial sections.
+  int effective_step_threads() const;
+  /// Steps all programs once in cfg_.step_order with `threads` workers.
+  /// When traced, NodeCtx annotations are buffered per vertex during the
+  /// parallel step and replayed in step order after the join, so the
+  /// trace-event sequence is identical to a serial step.
+  void step_programs(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                     int threads);
 
   void close_annotation();
   /// Audit-mode conformance check of one outgoing message (wire.hpp);
@@ -304,6 +355,14 @@ class Network {
   NetworkStats stats_;
   int round_ = 0;
   int round_max_message_bits_ = 0;  // reset per round while traced
+  // peer_port_[v][port] = the port on which v's neighbor across `port`
+  // sees v (precomputed; delivery was a per-message reverse scan before).
+  std::vector<std::vector<int>> peer_port_;
+  std::function<void()> round_begin_hook_;
+  int serial_section_depth_ = 0;
+  // Parallel-step annotation buffering (traced runs only).
+  bool stepping_parallel_ = false;
+  std::vector<std::vector<std::string>> pending_annotations_;
   // Audit digest state (see audit_digest()); touched only when cfg_.audit.
   std::uint64_t audit_digest_ = 0;
   std::uint64_t audit_round_acc_ = 0;

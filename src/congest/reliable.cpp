@@ -229,6 +229,9 @@ RunOutcome FaultRuntime::run_reliable(
 
   for (;;) {
     apply_scheduled_crashes();
+    // Same hook point as the perfect path, once per virtual round, so
+    // round-start snapshots keep exact fault-free (p = 0) parity.
+    if (net_.round_begin_hook_) net_.round_begin_hook_();
 
     // Step every live node: one *virtual* round (NodeCtx::round() is the
     // virtual clock, so fixed-schedule protocols run unmodified).
@@ -386,6 +389,7 @@ RunOutcome FaultRuntime::run_raw(
 
   for (;;) {
     apply_scheduled_crashes();
+    if (net_.round_begin_hook_) net_.round_begin_hook_();
 
     int live = 0;
     for (int i = 0; i < n; ++i) {

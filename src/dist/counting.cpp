@@ -1,6 +1,7 @@
 #include "dist/counting.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <stdexcept>
 
 #include "bpt/tables.hpp"
@@ -168,10 +169,16 @@ class CountingProgram : public congest::NodeProgram {
 
 CountingOutcome run_count(
     congest::Network& net, const mso::FormulaPtr& formula,
-    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d) {
+    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
+    bpt::Engine* engine_in) {
   CountingOutcome out;
   const mso::FormulaPtr lowered = mso::lower(formula, vars);
-  bpt::Engine engine(bpt::config_for(*lowered, vars));
+  std::optional<bpt::Engine> own_engine;
+  if (engine_in == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered, vars));
+    engine_in = &*own_engine;
+  }
+  bpt::Engine& engine = *engine_in;
   bpt::Evaluator evaluator(engine, lowered, vars);
 
   const ElimTreeResult tree = run_elim_tree(net, d);
@@ -204,7 +211,13 @@ CountingOutcome run_count(
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.run = net.run_outcome(programs);
+  {
+    // COUNT payloads declare their measured varuint encoding of class-id
+    // values, which depend on the interning schedule; keep the solve phase
+    // on the exact serial path regardless of --threads.
+    congest::Network::SerialSection serial(net);
+    out.run = net.run_outcome(programs);
+  }
   out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
   if (!out.run.ok()) return out;  // degraded: count untrusted

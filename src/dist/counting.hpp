@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "bpt/engine.hpp"
 #include "congest/network.hpp"
 #include "mso/ast.hpp"
 
@@ -29,9 +30,13 @@ struct CountingOutcome {
 };
 
 /// Counts satisfying assignments of the free variables (slot order =
-/// `vars`) distributively, with treedepth budget d.
+/// `vars`) distributively, with treedepth budget d. When `engine` is
+/// non-null it is used instead of a fresh one (its config must match
+/// `config_for(lower(formula, vars), vars)`); this is how the CLI injects
+/// a cache-warmed universe.
 CountingOutcome run_count(
     congest::Network& net, const mso::FormulaPtr& formula,
-    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d);
+    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
+    bpt::Engine* engine = nullptr);
 
 }  // namespace dmc::dist

@@ -10,6 +10,7 @@
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
+#include "par/pool.hpp"
 
 namespace dmc::dist {
 
@@ -26,9 +27,13 @@ struct VerdictMsg {
   bool holds = false;
 };
 
+int bits_for_count(std::size_t num_types) {
+  return std::max(1,
+                  congest::count_bits(static_cast<std::uint64_t>(num_types)));
+}
+
 int class_bits(const bpt::Engine& engine) {
-  return std::max(
-      1, congest::count_bits(static_cast<std::uint64_t>(engine.num_types())));
+  return bits_for_count(engine.num_types());
 }
 
 /// Wire codecs (audit mode). A class id is the frame's only field, so it
@@ -62,13 +67,15 @@ class DecisionProgram : public congest::NodeProgram {
  public:
   DecisionProgram(bpt::Engine& engine, bpt::Evaluator* evaluator,
                   LocalContext ctx, VertexId parent_id,
-                  std::vector<VertexId> children_ids, int* max_bits)
+                  std::vector<VertexId> children_ids, int* max_bits,
+                  const std::size_t* types_at_round_start)
       : engine_(engine),
         evaluator_(evaluator),
         local_(std::move(ctx)),
         parent_id_(parent_id),
         children_ids_(std::move(children_ids)),
-        max_bits_(max_bits) {
+        max_bits_(max_bits),
+        types_at_round_start_(types_at_round_start) {
     inputs_.assign(children_ids_.size(), bpt::kInvalidType);
   }
 
@@ -105,8 +112,16 @@ class DecisionProgram : public congest::NodeProgram {
         verdict_ = evaluator_->eval(my_class);
         forward_verdict(ctx);
       } else {
-        const int bits = class_bits(engine_);
-        *max_bits_ = std::max(*max_bits_, bits);
+        // Declared width must be schedule-independent under parallel
+        // stepping (send-time num_types depends on the interning
+        // schedule), so it is sized from the round-start universe
+        // snapshot. The declaration is cost accounting only; the
+        // simulator ships the value itself either way. Audit mode steps
+        // serially and keeps the legacy send-time width so wire
+        // re-encoding checks the exact declared frame.
+        const int bits = ctx.audited() ? class_bits(engine_)
+                                       : bits_for_count(*types_at_round_start_);
+        par::atomic_fetch_max(*max_bits_, bits);
         ctx.send(ctx.port_of(parent_id_), Message(ClassMsg{my_class}, bits));
       }
     }
@@ -138,6 +153,7 @@ class DecisionProgram : public congest::NodeProgram {
   bool verdict_known_ = false;
   bool verdict_ = false;
   int* max_bits_;
+  const std::size_t* types_at_round_start_;
 };
 
 }  // namespace
@@ -172,6 +188,11 @@ DecisionOutcome run_decision(congest::Network& net,
 
   congest::PhaseScope trace_scope(net, "decide");
   bpt::Evaluator evaluator(*engine, lowered);
+  // Round-start universe snapshot for schedule-independent class_bits
+  // declarations; refreshed by the network before each round's steps.
+  std::size_t types_at_round_start = engine->num_types();
+  net.set_round_begin_hook(
+      [&types_at_round_start, engine] { types_at_round_start = engine->num_types(); });
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<DecisionProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {
@@ -182,11 +203,12 @@ DecisionOutcome run_decision(congest::Network& net,
     auto p = std::make_unique<DecisionProgram>(
         *engine, &evaluator, std::move(lctx),
         tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
-        std::move(children_ids), &out.max_class_bits);
+        std::move(children_ids), &out.max_class_bits, &types_at_round_start);
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
   out.run = net.run_outcome(programs);
+  net.set_round_begin_hook(nullptr);
   out.rounds_updown = out.run.rounds;
   out.num_classes = engine->num_types();
   if (!out.run.ok()) return out;  // degraded: verdict untrusted

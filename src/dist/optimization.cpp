@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 
 #include "bpt/plan.hpp"
@@ -13,6 +14,7 @@
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
+#include "par/pool.hpp"
 
 namespace dmc::dist {
 
@@ -145,8 +147,8 @@ class OptimizationProgram : public congest::NodeProgram {
       solver_ = std::make_unique<bpt::OptSolver>(engine_, local_.plan,
                                                  local_.graph, child_tables_);
       const bpt::OptTable& root_table = solver_->root_table();
-      shared_->max_table_entries = std::max(
-          shared_->max_table_entries, static_cast<int>(root_table.size()));
+      par::atomic_fetch_max(shared_->max_table_entries,
+                            static_cast<int>(root_table.size()));
       if (parent_id_ < 0) {
         // Root: pick the accepting class of maximum weight.
         bpt::TypeId best = bpt::kInvalidType;
@@ -218,11 +220,16 @@ class OptimizationProgram : public congest::NodeProgram {
 OptimizationOutcome run_impl(congest::Network& net,
                              const mso::FormulaPtr& formula,
                              const std::string& var, mso::Sort var_sort, int d,
-                             Weight sign) {
+                             Weight sign, bpt::Engine* engine_in) {
   OptimizationOutcome out;
   const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
   const mso::FormulaPtr lowered = mso::lower(formula, frees);
-  bpt::Engine engine(bpt::config_for(*lowered, frees));
+  std::optional<bpt::Engine> own_engine;
+  if (engine_in == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered, frees));
+    engine_in = &*own_engine;
+  }
+  bpt::Engine& engine = *engine_in;
   bpt::Evaluator evaluator(engine, lowered, frees);
 
   const ElimTreeResult tree = run_elim_tree(net, d);
@@ -261,7 +268,13 @@ OptimizationOutcome run_impl(congest::Network& net,
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.run = net.run_outcome(programs);
+  {
+    // Table payloads declare their *measured* varuint encoding of class-id
+    // values, which depend on the interning schedule; the solve phase must
+    // therefore run on the exact serial path regardless of --threads.
+    congest::Network::SerialSection serial(net);
+    out.run = net.run_outcome(programs);
+  }
   out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
   if (!out.run.ok()) return out;  // degraded: solution untrusted
@@ -313,15 +326,15 @@ OptimizationOutcome run_impl(congest::Network& net,
 OptimizationOutcome run_maximize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d) {
-  return run_impl(net, formula, var, var_sort, d, 1);
+                                 int d, bpt::Engine* engine) {
+  return run_impl(net, formula, var, var_sort, d, 1, engine);
 }
 
 OptimizationOutcome run_minimize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d) {
-  return run_impl(net, formula, var, var_sort, d, -1);
+                                 int d, bpt::Engine* engine) {
+  return run_impl(net, formula, var, var_sort, d, -1, engine);
 }
 
 }  // namespace dmc::dist

@@ -41,15 +41,18 @@ struct OptimizationOutcome {
 
 /// Solves max phi(S) distributively (free variable `var` of sort
 /// `var_sort`, weights from the network's graph). Budget d as in Alg. 2.
+/// When `engine` is non-null it is used instead of a fresh one (its config
+/// must match `config_for(lower(formula, frees), frees)`); this is how the
+/// CLI injects a cache-warmed universe.
 OptimizationOutcome run_maximize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d);
+                                 int d, bpt::Engine* engine = nullptr);
 
 /// min phi(S): maximization over negated weights.
 OptimizationOutcome run_minimize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d);
+                                 int d, bpt::Engine* engine = nullptr);
 
 }  // namespace dmc::dist

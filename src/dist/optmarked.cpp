@@ -289,7 +289,13 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
-  out.run = net.run_outcome(programs);
+  {
+    // UpPayloads declare their measured varuint encoding of class-id
+    // values, which depend on the interning schedule; keep the solve phase
+    // on the exact serial path regardless of --threads.
+    congest::Network::SerialSection serial(net);
+    out.run = net.run_outcome(programs);
+  }
   out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
   if (!out.run.ok()) return out;  // degraded: verdict untrusted

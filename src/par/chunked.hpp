@@ -1,0 +1,109 @@
+// A chunked, append-only vector with lock-free indexed reads.
+//
+// The chunk-pointer directory is allocated once at construction and never
+// reallocates, so a reader holding an index obtained from size() can
+// dereference it while another thread appends: push_back publishes the new
+// element with a release store of size_, and readers that observed that
+// size with an acquire load see the fully-constructed element. push_back
+// itself is externally synchronized (the BPT engine serializes appends
+// under its intern mutex); copying is only safe while no writer is active.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+namespace dmc::par {
+
+template <typename T>
+class ChunkedVector {
+ public:
+  static constexpr std::size_t kChunkBits = 13;  // 8192 elements per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkBits;
+  static constexpr std::size_t kMaxChunks = std::size_t{1} << 11;
+  static constexpr std::size_t kCapacity = kChunkSize * kMaxChunks;  // 2^24
+
+  ChunkedVector() : chunks_(new std::atomic<T*>[kMaxChunks]()) {}
+
+  ChunkedVector(const ChunkedVector& other)
+      : chunks_(new std::atomic<T*>[kMaxChunks]()) {
+    const std::size_t n = other.size();
+    for (std::size_t i = 0; i < n; ++i) push_back(other[i]);
+  }
+
+  ChunkedVector& operator=(const ChunkedVector& other) {
+    if (this != &other) {
+      ChunkedVector copy(other);
+      swap(copy);
+    }
+    return *this;
+  }
+
+  ChunkedVector(ChunkedVector&& other) noexcept
+      : chunks_(std::move(other.chunks_)),
+        size_(other.size_.load(std::memory_order_relaxed)) {
+    other.chunks_.reset(new std::atomic<T*>[kMaxChunks]());
+    other.size_.store(0, std::memory_order_relaxed);
+  }
+
+  ~ChunkedVector() {
+    if (!chunks_) return;
+    for (std::size_t c = 0; c < kMaxChunks; ++c)
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+  }
+
+  std::size_t size() const { return size_.load(std::memory_order_acquire); }
+  bool empty() const { return size() == 0; }
+
+  const T& operator[](std::size_t i) const {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)
+        [i & (kChunkSize - 1)];
+  }
+  T& operator[](std::size_t i) {
+    return chunks_[i >> kChunkBits].load(std::memory_order_acquire)
+        [i & (kChunkSize - 1)];
+  }
+
+  const T& at(std::size_t i) const {
+    if (i >= size()) throw std::out_of_range("ChunkedVector::at");
+    return (*this)[i];
+  }
+
+  /// Externally synchronized: at most one writer at a time.
+  void push_back(T value) {
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    if (i >= kCapacity) throw std::length_error("ChunkedVector capacity");
+    const std::size_t c = i >> kChunkBits;
+    T* chunk = chunks_[c].load(std::memory_order_relaxed);
+    if (chunk == nullptr) {
+      chunk = new T[kChunkSize]();
+      chunks_[c].store(chunk, std::memory_order_release);
+    }
+    chunk[i & (kChunkSize - 1)] = std::move(value);
+    size_.store(i + 1, std::memory_order_release);
+  }
+
+  void swap(ChunkedVector& other) noexcept {
+    chunks_.swap(other.chunks_);
+    const std::size_t a = size_.load(std::memory_order_relaxed);
+    const std::size_t b = other.size_.load(std::memory_order_relaxed);
+    size_.store(b, std::memory_order_relaxed);
+    other.size_.store(a, std::memory_order_relaxed);
+  }
+
+  void clear() {
+    for (std::size_t c = 0; c < kMaxChunks; ++c) {
+      T* chunk = chunks_[c].exchange(nullptr, std::memory_order_relaxed);
+      delete[] chunk;
+    }
+    size_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::unique_ptr<std::atomic<T*>[]> chunks_;
+  std::atomic<std::size_t> size_{0};
+};
+
+}  // namespace dmc::par

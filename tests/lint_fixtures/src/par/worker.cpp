@@ -1,0 +1,17 @@
+// dmc-lint --self-test fixture: the raw-thread rule must NOT fire under
+// src/par — the pool implementation is the one owner of std::thread.
+// Never compiled; no lint-expect markers, so any finding here fails the
+// self-test.
+#include <thread>
+#include <vector>
+
+struct PoolLike {
+  std::vector<std::thread> workers;
+  void spawn() { workers.emplace_back([] {}); }
+  ~PoolLike() {
+    for (std::thread& t : workers)
+      if (t.joinable()) t.join();
+  }
+};
+
+unsigned pool_default_threads() { return std::thread::hardware_concurrency(); }

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Aggregates machine-readable benchmark output into BENCH_<exp>.json files.
+
+Every bench binary emits JSON lines (one object per table row or timing)
+when $DMC_BENCH_JSON names a file — see bench/bench_util.hpp. This script
+either runs the whole suite that way (--run) or consumes existing .jsonl
+files, groups the rows by experiment tag (the "E<n>" prefix of the
+experiment string), and writes one BENCH_<exp>.json per experiment:
+
+    {"experiment": "E8", "title": "...", "rows": [...]}
+
+Usage:
+    tools/collect_bench.py --run [--bench-dir build/bench] [--out-dir .]
+    tools/collect_bench.py file1.jsonl [file2.jsonl ...] [--out-dir .]
+
+Exit status is non-zero if a bench binary fails (--run) or a line cannot
+be parsed, so CI treats truncated output as an error rather than silently
+publishing partial numbers.
+"""
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def run_suite(bench_dir):
+    """Runs every binary in bench_dir with DMC_BENCH_JSON; returns lines."""
+    lines = []
+    binaries = sorted(
+        os.path.join(bench_dir, name)
+        for name in os.listdir(bench_dir)
+        if os.access(os.path.join(bench_dir, name), os.X_OK)
+        and not os.path.isdir(os.path.join(bench_dir, name))
+    )
+    if not binaries:
+        sys.exit(f"error: no executables in {bench_dir}")
+    for binary in binaries:
+        with tempfile.NamedTemporaryFile(mode="r", suffix=".jsonl") as tmp:
+            env = dict(os.environ, DMC_BENCH_JSON=tmp.name)
+            print(f"collect_bench: running {binary}", file=sys.stderr)
+            result = subprocess.run([binary], env=env, stdout=subprocess.DEVNULL)
+            if result.returncode != 0:
+                sys.exit(
+                    f"error: {binary} exited with {result.returncode}"
+                )
+            lines.extend(
+                (tmp.name, i + 1, line)
+                for i, line in enumerate(tmp.read().splitlines())
+                if line.strip()
+            )
+    return lines
+
+
+def read_files(paths):
+    lines = []
+    for path in paths:
+        with open(path) as f:
+            lines.extend(
+                (path, i + 1, line)
+                for i, line in enumerate(f.read().splitlines())
+                if line.strip()
+            )
+    return lines
+
+
+def experiment_tag(experiment):
+    """'E8: BPT type universe ...' -> 'E8' (sanitized fallback otherwise)."""
+    head = experiment.split(":", 1)[0].strip()
+    if head and all(c.isalnum() or c in "_-" for c in head):
+        return head
+    return "misc"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", help="existing .jsonl files")
+    parser.add_argument("--run", action="store_true",
+                        help="run every binary in --bench-dir first")
+    parser.add_argument("--bench-dir", default="build/bench")
+    parser.add_argument("--out-dir", default=".")
+    args = parser.parse_args()
+
+    if args.run == bool(args.files):
+        parser.error("pass either --run or one or more .jsonl files")
+    lines = run_suite(args.bench_dir) if args.run else read_files(args.files)
+
+    by_exp = {}
+    for origin, lineno, line in lines:
+        try:
+            row = json.loads(line)
+        except json.JSONDecodeError as e:
+            sys.exit(f"error: {origin}:{lineno}: bad JSON line: {e}")
+        experiment = row.pop("experiment", "")
+        tag = experiment_tag(experiment)
+        entry = by_exp.setdefault(tag, {"experiment": tag,
+                                        "title": experiment, "rows": []})
+        entry["rows"].append(row)
+
+    if not by_exp:
+        sys.exit("error: no benchmark rows collected")
+    os.makedirs(args.out_dir, exist_ok=True)
+    for tag, entry in sorted(by_exp.items()):
+        out_path = os.path.join(args.out_dir, f"BENCH_{tag}.json")
+        with open(out_path, "w") as f:
+            json.dump(entry, f, indent=2)
+            f.write("\n")
+        print(f"collect_bench: wrote {out_path} ({len(entry['rows'])} rows)")
+
+
+if __name__ == "__main__":
+    main()

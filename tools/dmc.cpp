@@ -28,6 +28,12 @@
 // says transport=raw. Degraded endings are structured, never silently
 // wrong: exit 6 = round budget exhausted (diagnostic names the stalled
 // phase), exit 7 = crash-stop faults occurred. See docs/ROBUSTNESS.md.
+// --threads N (needs --dist) sets the simulator/engine worker count
+// (default: hardware concurrency; 1 = the exact legacy serial path);
+// verdicts and traces are thread-count-invariant, see docs/PERFORMANCE.md.
+// --universe-cache DIR (needs --dist) persists the type universe under
+// DIR ("auto" = $DMC_CACHE_DIR / $XDG_CACHE_HOME/dmc / ~/.cache/dmc) so
+// repeated runs of the same formula skip universe construction.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -38,12 +44,14 @@
 #include <sstream>
 #include <string>
 
+#include "bpt/universe_cache.hpp"
 #include "congest/conformance.hpp"
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
 #include "dist/counting.hpp"
 #include "dist/decision.hpp"
 #include "dist/optimization.hpp"
+#include "mso/lower.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mso/parser.hpp"
@@ -66,7 +74,8 @@ namespace {
                "           [--var NAME --sort vset|eset] [--vars N:S,...]\n"
                "           [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]\n"
                "           [--faults drop=P,dup=P,corrupt=P,reorder=P,"
-               "crash=ID@rR,seed=N[,transport=raw]]\n");
+               "crash=ID@rR,seed=N[,transport=raw]]\n"
+               "           [--threads N] [--universe-cache DIR|auto]\n");
   std::exit(2);
 }
 
@@ -166,6 +175,8 @@ std::optional<int> dist_budget(const Args& args) {
     if (args.has("trace")) usage("--trace requires --dist");
     if (args.has("audit")) usage("--audit requires --dist");
     if (args.has("faults")) usage("--faults requires --dist");
+    if (args.has("threads")) usage("--threads requires --dist");
+    if (args.has("universe-cache")) usage("--universe-cache requires --dist");
     return std::nullopt;
   }
   if (args.has("audit") && args.has("trace"))
@@ -173,6 +184,43 @@ std::optional<int> dist_budget(const Args& args) {
   if (args.has("audit") && args.has("faults"))
     usage("--audit runs the fault-free conformance battery; drop --faults");
   return parse_int(args.get("dist"), "--dist");
+}
+
+/// --threads: worker count for the simulated rounds and engine folds.
+/// Omitted = 0 = hardware concurrency; 1 = the exact legacy serial path.
+int thread_count(const Args& args) {
+  return args.has("threads") ? parse_int(args.get("threads"), "--threads") : 0;
+}
+
+/// --universe-cache wiring. When active, owns the engine the distributed
+/// run should use: warm-loaded from disk when a valid cache file exists,
+/// freshly built (and saved back after the run) otherwise.
+struct UniverseCache {
+  std::optional<bpt::Engine> engine;
+  std::string path;
+  bool warm = false;
+
+  bpt::Engine* get() { return engine ? &*engine : nullptr; }
+  void save() {
+    if (engine && !path.empty() && !warm)
+      warm = bpt::save_universe_cache(*engine, path);
+  }
+};
+
+UniverseCache make_universe_cache(
+    const Args& args, const mso::FormulaPtr& formula,
+    const std::vector<std::pair<std::string, mso::Sort>>& frees) {
+  UniverseCache uc;
+  if (!args.has("universe-cache")) return uc;
+  std::string dir = args.get("universe-cache");
+  if (dir == "auto") dir = bpt::default_universe_cache_dir();
+  const mso::FormulaPtr lowered = mso::lower(formula, frees);
+  uc.engine.emplace(bpt::config_for(*lowered, frees));
+  if (dir.empty()) return uc;  // no usable cache dir: run uncached
+  uc.path =
+      bpt::universe_cache_path(dir, mso::to_string(*lowered), uc.engine->config());
+  uc.warm = bpt::load_universe_cache(*uc.engine, uc.path);
+  return uc;
 }
 
 /// Wires --faults into the network config. Phase tracking is forced on so
@@ -309,11 +357,14 @@ int cmd_decide(const Args& args) {
         return std::string(out.holds ? "holds" : "fails");
       });
     auto trace = make_trace_setup(args);
+    auto cache = make_universe_cache(args, formula, {});
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
-    const auto out = dist::run_decision(net, formula, *d);
+    const auto out = dist::run_decision(net, formula, *d, cache.get());
+    cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
@@ -352,13 +403,17 @@ int cmd_optimize(const Args& args, bool maximize) {
         return "optimum=" + std::to_string(*out.best_weight);
       });
     auto trace = make_trace_setup(args);
+    auto cache = make_universe_cache(args, formula, {{var, sort}});
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
-    const auto out = maximize
-                         ? dist::run_maximize(net, formula, var, sort, *d)
-                         : dist::run_minimize(net, formula, var, sort, *d);
+    const auto out =
+        maximize
+            ? dist::run_maximize(net, formula, var, sort, *d, cache.get())
+            : dist::run_minimize(net, formula, var, sort, *d, cache.get());
+    cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
@@ -422,11 +477,14 @@ int cmd_count(const Args& args) {
         return "count=" + std::to_string(out.count);
       });
     auto trace = make_trace_setup(args);
+    auto cache = make_universe_cache(args, formula, vars);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
+    cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
     congest::Network net(g, cfg);
-    const auto out = dist::run_count(net, formula, vars, *d);
+    const auto out = dist::run_count(net, formula, vars, *d, cache.get());
+    cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);

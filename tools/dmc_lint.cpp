@@ -26,6 +26,12 @@
 //                         protocols must either use plain send() or mark
 //                         the loss-tolerant call site with
 //                         "dmc-lint: allow(raw-send)".
+//   raw-thread            std::thread / std::jthread / std::async outside
+//                         src/par. Ad-hoc threads bypass the shared pool's
+//                         nesting guard and exception funnel and are
+//                         invisible to the --threads=1 exact-legacy
+//                         switch; use par::parallel_for (src/par/pool.hpp)
+//                         or move the code under src/par.
 //
 // Usage: dmc-lint [--self-test] <file-or-dir>...
 //   Directories are scanned recursively for .cpp/.cc/.hpp/.h files.
@@ -158,6 +164,7 @@ const std::regex kBannedCall(
 const std::regex kMutableStatic(
     R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
 const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
+const std::regex kRawThread(R"(\bstd\s*::\s*(?:jthread|thread|async)\b)");
 
 /// The raw-send rule only applies to protocol sources (paths under
 /// src/dist); the transport layer itself legitimately uses best-effort
@@ -167,6 +174,14 @@ bool in_protocol_tree(const std::string& path) {
   std::replace(p.begin(), p.end(), '\\', '/');
   return p.find("src/dist/") != std::string::npos ||
          p.find("src/dist") == 0;
+}
+
+/// The raw-thread rule exempts the pool implementation itself (paths under
+/// src/par), which is the one place allowed to own std::thread objects.
+bool in_par_tree(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/par/") != std::string::npos || p.find("src/par") == 0;
 }
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
@@ -226,6 +241,14 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
                   "transport — the message may be lost under fault "
                   "injection; use send(), or mark the loss-tolerant call "
                   "site with dmc-lint: allow(raw-send)");
+
+    if (!in_par_tree(f.path) && std::regex_search(line, m, kRawThread))
+      add_finding(out, f, i, "raw-thread",
+                  "raw '" + m[0].str() +
+                      "' outside src/par — ad-hoc threads bypass the shared "
+                      "pool's nesting guard, exception funnel, and the "
+                      "--threads=1 exact-legacy switch; use "
+                      "par::parallel_for (src/par/pool.hpp)");
 
     for (std::sregex_iterator it(line.begin(), line.end(), kPayloadSend), end;
          it != end; ++it) {
