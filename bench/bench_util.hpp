@@ -21,9 +21,11 @@
 #include <concepts>
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "metrics/metrics.hpp"
 #include "obs/buffer.hpp"
 #include "obs/summary.hpp"
 
@@ -36,12 +38,23 @@ struct JsonState {
   std::string experiment;         // from the last header()
   std::vector<std::string> cols;  // from the last columns()
   std::vector<std::string> cells;  // accumulated by cell() until endrow()
+  // DMC_BENCH_METRICS=1 installs the aggregate metrics registry for the
+  // whole bench process and splices its snapshot into every JSON row
+  // (fields are cumulative at row-emission time). Off by default: the
+  // headline timings stay measurements of the metrics-disabled hot path.
+  metrics::Registry* metrics = nullptr;
 
   static JsonState& get() {
     static JsonState state = [] {
       JsonState s;
       if (const char* path = std::getenv("DMC_BENCH_JSON"))
         if (*path != '\0') s.out = std::fopen(path, "a");
+      if (const char* flag = std::getenv("DMC_BENCH_METRICS"))
+        if (*flag != '\0' && std::string(flag) != "0") {
+          static dmc::metrics::Registry registry;
+          dmc::metrics::set_global(&registry);
+          s.metrics = &registry;
+        }
       return s;
     }();
     return state;
@@ -105,6 +118,11 @@ inline void endrow() {
       std::fprintf(js.out, ",\"%s\":%s",
                    detail::json_escape(js.cols[i]).c_str(),
                    js.cells[i].c_str());
+    if (js.metrics != nullptr) {
+      std::ostringstream fields;
+      js.metrics->write_json_fields(fields);
+      if (!fields.str().empty()) std::fprintf(js.out, ",%s", fields.str().c_str());
+    }
     std::fprintf(js.out, "}\n");
     std::fflush(js.out);
   }

@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "metrics/metrics.hpp"
+
 namespace dmc::bpt {
 
 namespace {
@@ -226,6 +228,7 @@ Engine::Engine(EngineConfig cfg)
       index_stripes_(new IndexStripe[kIndexStripes]),
       memo_stripes_(new MemoStripe[kMemoStripes]) {
   if (cfg_.rank < 0) throw std::invalid_argument("Engine: negative rank");
+  resolve_metrics();
 }
 
 Engine::Engine(const Engine& other)
@@ -244,6 +247,17 @@ Engine::Engine(const Engine& other)
     index_stripes_[s].buckets = other.index_stripes_[s].buckets;
   for (std::size_t s = 0; s < kMemoStripes; ++s)
     memo_stripes_[s].map = other.memo_stripes_[s].map;
+  resolve_metrics();
+}
+
+void Engine::resolve_metrics() {
+  metrics::Registry* const reg = metrics::global();
+  if (reg == nullptr) return;
+  met_hashcons_hits_ = &reg->counter("bpt.hashcons.hits");
+  met_hashcons_misses_ = &reg->counter("bpt.hashcons.misses");
+  met_types_ = &reg->gauge("bpt.types");
+  met_compose_calls_ = &reg->counter("bpt.compose.calls");
+  met_memo_hits_ = &reg->counter("bpt.compose.memo_hits");
 }
 
 void Engine::prune(AtomicInfo& a) const {
@@ -273,7 +287,10 @@ TypeId Engine::intern(TypeNode node) {
     auto it = stripe.buckets.find(h);
     if (it != stripe.buckets.end())
       for (TypeId t : it->second)
-        if (nodes_[t] == node) return t;
+        if (nodes_[t] == node) {
+          if (met_hashcons_hits_ != nullptr) met_hashcons_hits_->add(1);
+          return t;
+        }
   }
   // Not found: take the append lock (lock order: append before stripe),
   // re-check under both, then publish. Ids remain insertion order, so the
@@ -282,10 +299,17 @@ TypeId Engine::intern(TypeNode node) {
   std::lock_guard<std::mutex> lk(stripe.m);
   auto& bucket = stripe.buckets[h];
   for (TypeId t : bucket)
-    if (nodes_[t] == node) return t;
+    if (nodes_[t] == node) {
+      if (met_hashcons_hits_ != nullptr) met_hashcons_hits_->add(1);
+      return t;
+    }
   const TypeId id = static_cast<TypeId>(nodes_.size());
   nodes_.push_back(std::move(node));
   bucket.push_back(id);
+  if (met_hashcons_misses_ != nullptr) {
+    met_hashcons_misses_->add(1);
+    met_types_->max_of(static_cast<long long>(id) + 1);  // universe growth
+  }
   return id;
 }
 
@@ -469,10 +493,12 @@ TypeId Engine::compose_by_id(int op, TypeId left, TypeId right) {
     auto memo = ms.map.find(key);
     if (memo != ms.map.end()) {
       memo_hits_.fetch_add(1, std::memory_order_relaxed);
+      if (met_memo_hits_ != nullptr) met_memo_hits_->add(1);
       return memo->second;
     }
   }
   compose_calls_.fetch_add(1, std::memory_order_relaxed);
+  if (met_compose_calls_ != nullptr) met_compose_calls_->add(1);
 
   const GluingMatrix& f = ops_[op];
   const TypeNode& L = nodes_[left];

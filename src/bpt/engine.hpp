@@ -36,6 +36,11 @@
 #include "mso/ast.hpp"
 #include "par/chunked.hpp"
 
+namespace dmc::metrics {
+class Counter;  // src/metrics/metrics.hpp: aggregate counters/gauges
+class Gauge;
+}
+
 namespace dmc::bpt {
 
 using TypeId = std::int32_t;
@@ -237,6 +242,10 @@ class Engine {
   };
 
   TypeId intern(TypeNode node);
+  /// Resolves the aggregate-metrics handles (bpt.* instruments) against
+  /// metrics::global(); all stay null — and every metrics branch is one
+  /// pointer test — when no registry is installed.
+  void resolve_metrics();
   void prune(AtomicInfo& atoms) const;
   TypeId primitive(bool is_k2, std::uint32_t la, std::uint32_t lb,
                    std::uint32_t le, const SlotBits& slots, int rank);
@@ -260,6 +269,12 @@ class Engine {
   std::atomic<long> compose_calls_{0};
   std::atomic<long> memo_hits_{0};
   std::atomic<long> invalid_compositions_{0};
+  // Aggregate metrics handles (see resolve_metrics).
+  metrics::Counter* met_hashcons_hits_ = nullptr;
+  metrics::Counter* met_hashcons_misses_ = nullptr;
+  metrics::Gauge* met_types_ = nullptr;
+  metrics::Counter* met_compose_calls_ = nullptr;
+  metrics::Counter* met_memo_hits_ = nullptr;
 
   friend struct UniverseCacheAccess;
 };

@@ -1,15 +1,43 @@
 #include "bpt/tables.hpp"
 
 #include <bit>
+#include <chrono>
 #include <unordered_map>
 
 #include <stdexcept>
 
+#include "metrics/metrics.hpp"
 #include "par/pool.hpp"
 
 namespace dmc::bpt {
 
 namespace {
+
+/// Charges the wall time of one whole-graph fold (serial or parallel) to
+/// bpt.fold.wall_ns and counts it in bpt.folds. Inert (one null check)
+/// without a global metrics registry.
+class FoldTimer {
+ public:
+  FoldTimer() {
+    metrics::Registry* const reg = metrics::global();
+    if (reg == nullptr) return;
+    wall_ = &reg->counter("bpt.fold.wall_ns");
+    reg->counter("bpt.folds").add(1);
+    t0_ = std::chrono::steady_clock::now();
+  }
+  ~FoldTimer() {
+    if (wall_ != nullptr)
+      wall_->add(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - t0_)
+                     .count());
+  }
+  FoldTimer(const FoldTimer&) = delete;
+  FoldTimer& operator=(const FoldTimer&) = delete;
+
+ private:
+  metrics::Counter* wall_ = nullptr;
+  std::chrono::steady_clock::time_point t0_;
+};
 
 /// Enumerates the per-slot membership choices of a primitive: K1 vertex
 /// slots have 2, K2 vertex slots 4, edge slots 1 or 2. Calls fn(SlotBits).
@@ -60,8 +88,10 @@ std::uint32_t edge_label_bits(const Engine& engine, const Graph& g, EdgeId e) {
   return bits;
 }
 
-TypeId fold_type(Engine& engine, const Plan& plan, const Graph& g,
-                 std::span<const TypeId> inputs) {
+namespace {
+
+TypeId fold_type_serial(Engine& engine, const Plan& plan, const Graph& g,
+                        std::span<const TypeId> inputs) {
   if (!engine.config().free_sorts.empty())
     throw std::invalid_argument("fold_type: engine must have no free slots");
   std::vector<TypeId> value(plan.nodes.size(), kInvalidType);
@@ -91,9 +121,18 @@ TypeId fold_type(Engine& engine, const Plan& plan, const Graph& g,
   return value[plan.root];
 }
 
+}  // namespace
+
+TypeId fold_type(Engine& engine, const Plan& plan, const Graph& g,
+                 std::span<const TypeId> inputs) {
+  FoldTimer timer;
+  return fold_type_serial(engine, plan, g, inputs);
+}
+
 TypeId fold_type_parallel(Engine& engine, const Plan& plan, const Graph& g,
                           int threads, std::span<const TypeId> inputs) {
-  if (threads == 1) return fold_type(engine, plan, g, inputs);
+  FoldTimer timer;
+  if (threads == 1) return fold_type_serial(engine, plan, g, inputs);
   if (!engine.config().free_sorts.empty())
     throw std::invalid_argument("fold_type: engine must have no free slots");
   const std::size_t n = plan.nodes.size();

@@ -13,6 +13,8 @@
 #include <tuple>
 #include <vector>
 
+#include "metrics/metrics.hpp"
+
 namespace dmc::bpt {
 
 namespace {
@@ -329,9 +331,20 @@ bool Engine::load_universe(std::istream& in) {
 }
 
 bool load_universe_cache(Engine& engine, const std::string& path) {
+  auto note = [](const char* name) {
+    if (metrics::Registry* const reg = metrics::global())
+      reg->counter(name).add(1);
+  };
   std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  return engine.load_universe(in);
+  if (!in) {
+    note("bpt.universe_cache.misses");
+    return false;
+  }
+  // A readable file that fails validation (stale version/config/checksum)
+  // counts as a miss too: the caller recomputes either way.
+  const bool ok = engine.load_universe(in);
+  note(ok ? "bpt.universe_cache.hits" : "bpt.universe_cache.misses");
+  return ok;
 }
 
 bool save_universe_cache(const Engine& engine, const std::string& path) {

@@ -137,6 +137,8 @@ class FragmentReassembler {
       const Fragment* frag = std::any_cast<Fragment>(&msg->value);
       if (frag != nullptr) absorb(state, *frag);
     }
+    ctx.note_reassembly_depth(
+        static_cast<int>(state.partials.size() + state.ready.size()));
     // Surface the next in-sequence completed message, if any.
     for (std::size_t i = 0; i < state.ready.size(); ++i) {
       if (state.ready[i].seq != state.next_deliver) continue;

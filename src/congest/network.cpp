@@ -7,6 +7,7 @@
 #include <random>
 #include <stdexcept>
 
+#include "congest/net_metrics.hpp"
 #include "congest/reliable.hpp"
 #include "congest/wire.hpp"
 #include "graph/algorithms.hpp"
@@ -93,6 +94,7 @@ void NodeCtx::send(int port, Message msg) {
                         static_cast<long long>(msg.bits));
   par::atomic_fetch_max(net_.stats_.max_message_bits, msg.bits);
   par::atomic_fetch_max(net_.round_max_message_bits_, msg.bits);
+  if (net_.metrics_ != nullptr) net_.note_send_metrics(vertex_, port, msg.bits);
   out[port] = std::move(msg);
 }
 
@@ -107,6 +109,10 @@ void NodeCtx::send_unreliable(int port, Message msg) {
 
 const std::optional<Message>& NodeCtx::recv(int port) const {
   return net_.inbox_[vertex_].at(port);
+}
+
+void NodeCtx::note_reassembly_depth(int depth) {
+  if (net_.metrics_ != nullptr) net_.metrics_->reassembly_depth->max_of(depth);
 }
 
 void Network::audit_send(int vertex, int port, const Message& msg) {
@@ -169,8 +175,63 @@ Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
       }
     }
   }
+  if (cfg_.metrics == nullptr) cfg_.metrics = metrics::global();
+  if (cfg_.metrics != nullptr) {
+    metrics_ = std::make_unique<detail::NetMetrics>();
+    metrics_->resolve(*cfg_.metrics);
+    // Directed-link index: link_offset_[v] + port. The round accumulators
+    // exist only while metrics are on; the disabled path allocates nothing.
+    link_offset_.resize(g.num_vertices() + 1, 0);
+    for (int v = 0; v < g.num_vertices(); ++v)
+      link_offset_[v + 1] = link_offset_[v] + g.degree(v);
+    const int links = link_offset_.back();
+    link_round_bits_.assign(links, 0);
+    link_round_msgs_.assign(links, 0);
+    link_total_bits_.assign(links, 0);
+  }
   if (cfg_.faults.has_value())
     fault_rt_ = std::make_unique<detail::FaultRuntime>(*this, *cfg_.faults);
+}
+
+void Network::note_send_metrics(int vertex, int port, int bits) {
+  metrics_->messages->add(1);
+  metrics_->bits->add(bits);
+  // Per-link round loads; atomic because concurrently-stepped nodes send
+  // in parallel (same contract as the stats counters above).
+  const int link = link_offset_[vertex] + port;
+  par::atomic_fetch_add(link_round_bits_[link], static_cast<long long>(bits));
+  par::atomic_fetch_add(link_round_msgs_[link], 1L);
+}
+
+void Network::metrics_round_end() {
+  detail::NetMetrics& m = *metrics_;
+  m.rounds->add(1);
+  m.metric_rounds += 1;
+  long long round_bits = 0;
+  const int links = static_cast<int>(link_round_bits_.size());
+  for (int l = 0; l < links; ++l) {
+    if (link_round_msgs_[l] == 0) continue;  // idle link: no sample
+    const long long b = link_round_bits_[l];
+    m.link_round_bits->record(b);
+    m.link_round_msgs->record(link_round_msgs_[l]);
+    round_bits += b;
+    link_total_bits_[l] += b;
+    m.link_max_bits->max_of(link_total_bits_[l]);
+    link_round_bits_[l] = 0;
+    link_round_msgs_[l] = 0;
+  }
+  m.cum_bits += round_bits;
+  if (links > 0 && bandwidth_ > 0)
+    m.utilization_permille->set(
+        m.cum_bits * 1000 /
+        (static_cast<long long>(links) * bandwidth_ * m.metric_rounds));
+  if (cfg_.metrics_interval > 0 && cfg_.metrics_flush &&
+      m.metric_rounds % cfg_.metrics_interval == 0)
+    cfg_.metrics_flush(m.metric_rounds);
+}
+
+void Network::note_serial_section() {
+  if (metrics_ != nullptr) metrics_->serial_sections->add(1);
 }
 
 Network::~Network() = default;
@@ -364,6 +425,7 @@ RunOutcome Network::run_perfect(
     ++round_;
     ++rounds_this_run;
     stats_.rounds += 1;
+    if (metrics_ != nullptr) metrics_round_end();
     if (cfg_.audit) {
       audit_digest_ = audit::mix64(audit_digest_, audit_round_acc_);
       audit_round_acc_ = 0;

@@ -31,10 +31,15 @@
 #include "graph/graph.hpp"
 #include "obs/trace.hpp"
 
+namespace dmc::metrics {
+class Registry;  // src/metrics/metrics.hpp: aggregate counters/histograms
+}
+
 namespace dmc::congest {
 
 namespace detail {
 struct FaultRuntime;  // reliable.hpp: fault-injecting / reliable-transport runs
+struct NetMetrics;    // net_metrics.hpp: resolved metric handles of a network
 }
 
 struct Message {
@@ -94,6 +99,17 @@ struct NetworkConfig {
   /// elimination-tree phase schedule) are far shorter on the graphs in
   /// scope.
   int stall_quiet_rounds = 1024;
+  /// Aggregate metrics registry (src/metrics/metrics.hpp; not owned, must
+  /// outlive the network). nullptr — the default — falls back to
+  /// metrics::global(); when that is null too every metrics branch is
+  /// skipped and the per-round path performs no allocation for metrics
+  /// (the same contract as the null trace sink).
+  metrics::Registry* metrics = nullptr;
+  /// With metrics active and metrics_interval > 0, metrics_flush(rounds)
+  /// is invoked every metrics_interval simulated rounds — the periodic
+  /// snapshot dump of `dmc --metrics-interval R` for long runs.
+  int metrics_interval = 0;
+  std::function<void(long rounds)> metrics_flush;
   /// Worker threads for per-node stepping inside each simulated round
   /// (rounds are simultaneous in the model, so stepping is embarrassingly
   /// parallel; see docs/PERFORMANCE.md for the determinism argument).
@@ -228,6 +244,11 @@ class NodeCtx {
   /// Message received from `port` at the end of the previous round.
   const std::optional<Message>& recv(int port) const;
 
+  /// Reports the current reassembly backlog of one FragmentReassembler
+  /// port (partially received + completed-but-undelivered messages) into
+  /// the congest.reassembly.max_depth gauge. No-op without metrics.
+  void note_reassembly_depth(int depth);
+
  private:
   friend class Network;
   friend struct detail::FaultRuntime;
@@ -314,6 +335,7 @@ class Network {
    public:
     explicit SerialSection(Network& net) : net_(net) {
       ++net_.serial_section_depth_;
+      net_.note_serial_section();
     }
     ~SerialSection() { --net_.serial_section_depth_; }
     SerialSection(const SerialSection&) = delete;
@@ -342,6 +364,15 @@ class Network {
                      int threads);
 
   void close_annotation();
+  /// Metrics hooks, all no-ops when metrics_ is null. note_send_metrics
+  /// accumulates per-message counters and per-link round loads (atomic:
+  /// sends race under parallel stepping); metrics_round_end folds the
+  /// round's link loads into the congestion histograms, refreshes the
+  /// utilization / max-loaded-link gauges, and drives the periodic
+  /// flush. note_serial_section counts SerialSection entries.
+  void note_send_metrics(int vertex, int port, int bits);
+  void metrics_round_end();
+  void note_serial_section();
   /// Audit-mode conformance check of one outgoing message (wire.hpp);
   /// throws std::invalid_argument with sender/port/round context on any
   /// violation and folds the message into the round digest accumulator.
@@ -376,6 +407,14 @@ class Network {
   // so the perfect path pays one pointer test per phase call and nothing
   // per round.
   std::unique_ptr<detail::FaultRuntime> fault_rt_;
+  // Metrics state; metrics_ is null (and the vectors stay empty) unless a
+  // registry is configured, so the disabled path pays one pointer test
+  // per send / round and allocates nothing.
+  std::unique_ptr<detail::NetMetrics> metrics_;
+  std::vector<int> link_offset_;            // vertex -> first directed link
+  std::vector<long long> link_round_bits_;  // per directed link, this round
+  std::vector<long> link_round_msgs_;
+  std::vector<long long> link_total_bits_;  // per directed link, lifetime
 };
 
 /// RAII driver span: opens a named phase on construction, closes it (and

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "congest/net_metrics.hpp"
+
 namespace dmc::congest::detail {
 
 FaultRuntime::FaultRuntime(Network& net, const FaultPlan& plan)
@@ -212,6 +214,7 @@ RunOutcome FaultRuntime::run_reliable(
     physical_round_ += 1;
     physical += 1;
     net_.stats_.rounds += 1;
+    if (net_.metrics_ != nullptr) net_.metrics_round_end();
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = physical_round_ - 1;
@@ -315,6 +318,7 @@ RunOutcome FaultRuntime::run_reliable(
         if (!ch.active || ch.acked || crashed_[L.u]) continue;
         if (physical_round_ < ch.next_tx) continue;
         ch.tx_count += 1;
+        if (ch.tx_count == 1) ch.first_tx = physical_round_;
         const bool carry =
             ch.has_payload && (!ch.best_effort || ch.tx_count == 1);
         net_.stats_.frames += 1;
@@ -322,6 +326,14 @@ RunOutcome FaultRuntime::run_reliable(
             kTransportHeaderBits + (carry ? ch.payload_bits : 0);
         if (!ch.has_payload) net_.stats_.marker_frames += 1;
         if (ch.tx_count > 1) net_.stats_.retransmissions += 1;
+        if (net_.metrics_ != nullptr) {
+          NetMetrics& m = *net_.metrics_;
+          m.frames->add(1);
+          m.frame_bits->add(kTransportHeaderBits +
+                            (carry ? ch.payload_bits : 0));
+          if (!ch.has_payload) m.marker_frames->add(1);
+          if (ch.tx_count > 1) m.retransmissions->add(1);
+        }
         const Channel& rev = channels_[L.reverse];
         const long ack_seq =
             (rev.active && rev.delivered) ? rev.seq : ch.seq - 1;
@@ -341,10 +353,16 @@ RunOutcome FaultRuntime::run_reliable(
         if (copy.corrupt) return;  // checksum failure: discarded, retried
         // Piggybacked cumulative ack quiets the reverse sender.
         Channel& rev = channels_[L.reverse];
-        if (rev.active && !rev.acked && copy.ack_seq >= rev.seq)
+        if (rev.active && !rev.acked && copy.ack_seq >= rev.seq) {
           rev.acked = true;
-        if (!ch.active || copy.seq != ch.seq || ch.delivered)
-          return;  // duplicate / stale frame: suppressed by sequence number
+          if (net_.metrics_ != nullptr && rev.tx_count > 0)
+            net_.metrics_->ack_latency->record(physical_round_ - rev.first_tx);
+        }
+        if (!ch.active || copy.seq != ch.seq || ch.delivered) {
+          // Duplicate / stale frame: suppressed by sequence number.
+          if (net_.metrics_ != nullptr) net_.metrics_->dup_suppressed->add(1);
+          return;
+        }
         ch.delivered = true;
         if (copy.with_payload)
           net_.inbox_[L.v][L.vport] = std::move(ch.payload);
@@ -475,6 +493,7 @@ RunOutcome FaultRuntime::run_raw(
     physical += 1;
     net_.round_ += 1;  // raw mode: protocol clock == physical clock
     net_.stats_.rounds += 1;
+    if (net_.metrics_ != nullptr) net_.metrics_round_end();
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = physical_round_ - 1;

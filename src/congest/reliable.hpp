@@ -96,6 +96,7 @@ struct FaultRuntime {
     bool delivered = false;  // receiver completed this link's frame
     bool acked = false;      // sender saw the (piggybacked) ack
     long next_tx = 0;        // physical round of the next (re)transmission
+    long first_tx = 0;       // physical round of the first transmission
     int rto = kInitialRto;
     int tx_count = 0;
   };

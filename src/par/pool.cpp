@@ -1,6 +1,7 @@
 #include "par/pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
@@ -8,6 +9,8 @@
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "metrics/metrics.hpp"
 
 namespace dmc::par {
 
@@ -19,6 +22,12 @@ int hardware_threads() {
 namespace {
 
 thread_local bool tls_in_job = false;
+
+long long ns_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
 
 using Body = std::function<void(std::size_t)>;
 
@@ -37,6 +46,12 @@ class Pool {
   void run(int want_helpers, std::size_t n, const Body& body) {
     // One job at a time; concurrent top-level callers queue here.
     std::lock_guard<std::mutex> job_guard(job_mutex_);
+    // Metrics (disabled = one null check per *job*, never per task). The
+    // chunk counter pointer is published to workers under m_ with the rest
+    // of the job fields; busy time is accumulated by every participant and
+    // idle time derived from the job's wall-clock span after the join.
+    metrics::Registry* const reg = metrics::global();
+    std::chrono::steady_clock::time_point job_t0;
     std::unique_lock<std::mutex> lk(m_);
     ensure_workers(want_helpers);
     const int helpers =
@@ -48,6 +63,14 @@ class Pool {
     error_ = nullptr;
     chunk_ = std::max<std::size_t>(
         1, n / (static_cast<std::size_t>(helpers + 1) * 8));
+    chunks_ctr_ = nullptr;
+    if (reg != nullptr) {
+      reg->counter("par.jobs").add(1);
+      reg->counter("par.tasks").add(static_cast<long long>(n));
+      chunks_ctr_ = &reg->counter("par.chunks");
+      busy_ns_.store(0, std::memory_order_relaxed);
+      job_t0 = std::chrono::steady_clock::now();
+    }
     active_ = helpers;
     pending_ = helpers;
     ++generation_;
@@ -61,6 +84,12 @@ class Pool {
     lk.lock();
     done_cv_.wait(lk, [&] { return pending_ == 0; });
     body_ = nullptr;
+    if (reg != nullptr) {
+      const long long busy = busy_ns_.load(std::memory_order_relaxed);
+      const long long span = ns_since(job_t0) * (helpers + 1);
+      reg->counter("par.worker.busy_ns").add(busy);
+      reg->counter("par.worker.idle_ns").add(span > busy ? span - busy : 0);
+    }
     if (error_) std::rethrow_exception(std::exchange(error_, nullptr));
   }
 
@@ -104,10 +133,23 @@ class Pool {
   }
 
   void work() {
+    if (chunks_ctr_ == nullptr) {
+      work_loop(nullptr);
+      return;
+    }
+    long claims = 0;
+    const auto t0 = std::chrono::steady_clock::now();
+    work_loop(&claims);
+    chunks_ctr_->add(claims);
+    busy_ns_.fetch_add(ns_since(t0), std::memory_order_relaxed);
+  }
+
+  void work_loop(long* claims) {
     for (;;) {
       if (cancelled_.load(std::memory_order_relaxed)) return;
       const std::size_t begin = next_.fetch_add(chunk_, std::memory_order_relaxed);
       if (begin >= n_) return;
+      if (claims != nullptr) ++*claims;
       const std::size_t end = std::min(n_, begin + chunk_);
       for (std::size_t i = begin; i < end; ++i) {
         if (cancelled_.load(std::memory_order_relaxed)) return;
@@ -139,6 +181,8 @@ class Pool {
   const Body* body_ = nullptr;
   std::size_t n_ = 0;
   std::size_t chunk_ = 1;
+  metrics::Counter* chunks_ctr_ = nullptr;  // null while metrics disabled
+  std::atomic<long long> busy_ns_{0};       // per job, all participants
   std::atomic<std::size_t> next_{0};
   std::atomic<bool> cancelled_{false};
   std::mutex error_mutex_;
@@ -152,6 +196,18 @@ bool in_parallel_region() { return tls_in_job; }
 void parallel_for(int threads, std::size_t n, const Body& body) {
   if (threads <= 0) threads = hardware_threads();
   if (threads <= 1 || n <= 1 || tls_in_job) {
+    if (metrics::Registry* const reg = metrics::global()) {
+      // Nested/serial fallbacks can be hot (every nested call inside a
+      // running job lands here), so the handle is cached per thread and
+      // only re-resolved when the global registry changes.
+      thread_local metrics::Registry* cached_reg = nullptr;
+      thread_local metrics::Counter* serial_ctr = nullptr;
+      if (cached_reg != reg) {
+        cached_reg = reg;
+        serial_ctr = &reg->counter("par.serial_inline");
+      }
+      serial_ctr->add(1);
+    }
     for (std::size_t i = 0; i < n; ++i) body(i);
     return;
   }

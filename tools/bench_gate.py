@@ -1,0 +1,194 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate: diffs fresh BENCH_<exp>.json against baselines.
+
+The committed baselines live in bench/baselines/ (one BENCH_<exp>.json per
+experiment, produced by tools/collect_bench.py). This script re-compares a
+freshly collected set of the same files and fails when a *deterministic*
+measurement drifts — round counts, message/bit totals, table sizes — since
+those are simulator outputs that must not change silently. Wall-clock
+fields (real_time, cpu_time, iterations, *_ns and friends) are noisy across
+machines and are therefore ignored unless --timing-tolerance is given.
+
+Row matching: rows of one experiment are keyed by their identity fields
+(every string-valued cell, e.g. the benchmark name or family label) plus
+their ordinal among rows with the same key, so sweeps over numeric
+parameters still line up positionally within a series.
+
+Usage:
+    tools/bench_gate.py --current bench-out --baseline bench/baselines
+        [--tolerance 0.0] [--timing-tolerance 0.25] [--warn-only]
+
+Exit status: 0 when everything within tolerance (or --warn-only), 1 on
+regression, 2 on usage/IO errors.
+"""
+
+import argparse
+import glob
+import json
+import math
+import os
+import re
+import sys
+
+# Fields whose values are wall-clock / machine dependent. Compared only
+# when --timing-tolerance is set; never compared exactly.
+TIMING_FIELD = re.compile(
+    r"(^|[._])(real_time|cpu_time|iterations|time_unit|ns|us|ms|s|seconds"
+    r"|speedup)$"
+    r"|(_ns|_us|_ms|_s|_seconds)(\.(count|sum|max))?$"
+    r"|(busy|idle|wall|speedup)"
+)
+
+
+def is_timing_field(name):
+    return TIMING_FIELD.search(name) is not None
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"bench_gate: error: cannot read {path}: {e}")
+    if not isinstance(doc, dict) or "rows" not in doc:
+        sys.exit(f"bench_gate: error: {path} is not a collect_bench.py file")
+    return doc
+
+
+def row_key(row):
+    """Identity of a row = its string-valued cells, in field order."""
+    return tuple((k, v) for k, v in sorted(row.items())
+                 if isinstance(v, str) and k != "time_unit")
+
+
+def index_rows(rows):
+    """Maps (key, ordinal-within-key) -> row, preserving sweep order."""
+    out, seen = {}, {}
+    for row in rows:
+        key = row_key(row)
+        n = seen.get(key, 0)
+        seen[key] = n + 1
+        out[(key, n)] = row
+    return out
+
+
+def fmt_key(key, ordinal):
+    label = ", ".join(f"{k}={v}" for k, v in key) if key else "<numeric row>"
+    return f"[{label}] #{ordinal}"
+
+
+def close(a, b, rel):
+    if a == b:
+        return True
+    if not (isinstance(a, (int, float)) and isinstance(b, (int, float))):
+        return False
+    if math.isnan(a) or math.isnan(b):
+        return False
+    denom = max(abs(a), abs(b))
+    return denom > 0 and abs(a - b) / denom <= rel
+
+
+class Gate:
+    def __init__(self, warn_only):
+        self.warn_only = warn_only
+        self.failures = 0
+        self.warnings = 0
+
+    def fail(self, msg):
+        if self.warn_only:
+            self.warnings += 1
+            print(f"bench_gate: WARN: {msg}")
+        else:
+            self.failures += 1
+            print(f"bench_gate: FAIL: {msg}")
+
+    def warn(self, msg):
+        self.warnings += 1
+        print(f"bench_gate: warn: {msg}")
+
+
+def compare_experiment(gate, name, base, cur, tol, timing_tol):
+    base_rows = index_rows(base["rows"])
+    cur_rows = index_rows(cur["rows"])
+    for slot in sorted(base_rows.keys() - cur_rows.keys(), key=str):
+        gate.fail(f"{name}: row {fmt_key(*slot)} missing from current run")
+    for slot in sorted(cur_rows.keys() - base_rows.keys(), key=str):
+        gate.warn(f"{name}: new row {fmt_key(*slot)} not in baseline "
+                  "(update bench/baselines/ if intentional)")
+    for slot in sorted(base_rows.keys() & cur_rows.keys(), key=str):
+        b_row, c_row = base_rows[slot], cur_rows[slot]
+        for field in sorted(b_row.keys() | c_row.keys()):
+            b, c = b_row.get(field), c_row.get(field)
+            timing = is_timing_field(field)
+            if b is None or c is None:
+                # Metric fields appear/disappear with DMC_BENCH_METRICS;
+                # missing deterministic columns are real schema drift.
+                if not timing and not is_metric_field(field):
+                    side = "current" if c is None else "baseline"
+                    gate.fail(f"{name}: {fmt_key(*slot)}: field '{field}' "
+                              f"missing from {side}")
+                continue
+            if timing:
+                if timing_tol is not None and not close(b, c, timing_tol):
+                    gate.fail(f"{name}: {fmt_key(*slot)}: timing field "
+                              f"'{field}' drifted {b} -> {c} "
+                              f"(> {timing_tol:.0%})")
+                continue
+            if not close(b, c, tol):
+                gate.fail(f"{name}: {fmt_key(*slot)}: '{field}' changed "
+                          f"{b} -> {c}" +
+                          (f" (tolerance {tol:.0%})" if tol else ""))
+
+
+def is_metric_field(name):
+    """Registry snapshot fields are dotted metric names (see metrics.hpp)."""
+    return name.startswith(("congest.", "transport.", "par.", "bpt."))
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--current", required=True,
+                        help="directory with freshly collected BENCH_*.json")
+    parser.add_argument("--baseline", default="bench/baselines",
+                        help="directory with committed baselines")
+    parser.add_argument("--tolerance", type=float, default=0.0,
+                        help="relative tolerance for deterministic fields "
+                             "(default: exact)")
+    parser.add_argument("--timing-tolerance", type=float, default=None,
+                        help="relative tolerance for wall-clock fields "
+                             "(default: timing fields are not compared)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but exit 0 (PR mode)")
+    args = parser.parse_args()
+
+    base_files = {os.path.basename(p): p
+                  for p in glob.glob(os.path.join(args.baseline,
+                                                  "BENCH_*.json"))}
+    cur_files = {os.path.basename(p): p
+                 for p in glob.glob(os.path.join(args.current,
+                                                 "BENCH_*.json"))}
+    if not base_files:
+        sys.exit(f"bench_gate: error: no BENCH_*.json in {args.baseline}")
+    if not cur_files:
+        sys.exit(f"bench_gate: error: no BENCH_*.json in {args.current}")
+
+    gate = Gate(args.warn_only)
+    for name in sorted(base_files.keys() - cur_files.keys()):
+        gate.fail(f"{name}: present in baseline but not produced by this run")
+    for name in sorted(cur_files.keys() - base_files.keys()):
+        gate.warn(f"{name}: new experiment without a committed baseline")
+    for name in sorted(base_files.keys() & cur_files.keys()):
+        compare_experiment(gate, name, load(base_files[name]),
+                           load(cur_files[name]), args.tolerance,
+                           args.timing_tolerance)
+
+    checked = len(base_files.keys() & cur_files.keys())
+    verdict = ("ok" if gate.failures == 0 else
+               f"{gate.failures} regression(s)")
+    print(f"bench_gate: {checked} experiment file(s) checked, "
+          f"{gate.warnings} warning(s): {verdict}")
+    sys.exit(1 if gate.failures else 0)
+
+
+if __name__ == "__main__":
+    main()

@@ -46,11 +46,18 @@ def run_suite(bench_dir):
                 sys.exit(
                     f"error: {binary} exited with {result.returncode}"
                 )
-            lines.extend(
-                (tmp.name, i + 1, line)
+            produced = [
+                (f"{binary}:{tmp.name}", i + 1, line)
                 for i, line in enumerate(tmp.read().splitlines())
                 if line.strip()
-            )
+            ]
+            if not produced:
+                sys.exit(
+                    f"error: {binary} exited 0 but wrote no JSON rows to "
+                    "$DMC_BENCH_JSON (truncated run, or the binary does not "
+                    "use bench_util.hpp)"
+                )
+            lines.extend(produced)
     return lines
 
 
@@ -93,7 +100,14 @@ def main():
             row = json.loads(line)
         except json.JSONDecodeError as e:
             sys.exit(f"error: {origin}:{lineno}: bad JSON line: {e}")
+        if not isinstance(row, dict):
+            sys.exit(f"error: {origin}:{lineno}: JSONL row is not an object: "
+                     f"{line.strip()[:80]}")
         experiment = row.pop("experiment", "")
+        if not row:
+            sys.exit(f"error: {origin}:{lineno}: JSONL row has no data "
+                     f"fields (only an experiment tag); refusing to publish "
+                     "an empty measurement")
         tag = experiment_tag(experiment)
         entry = by_exp.setdefault(tag, {"experiment": tag,
                                         "title": experiment, "rows": []})

@@ -34,6 +34,17 @@
 // --universe-cache DIR (needs --dist) persists the type universe under
 // DIR ("auto" = $DMC_CACHE_DIR / $XDG_CACHE_HOME/dmc / ~/.cache/dmc) so
 // repeated runs of the same formula skip universe construction.
+// --metrics FILE (needs --dist) installs the aggregate metrics registry
+// (src/metrics) for the run — congestion histograms, transport counters,
+// pool and engine statistics — and writes a Prometheus-text snapshot to
+// FILE ("-" = stdout) when the run ends, tagged with the RunOutcome (so
+// degraded runs still flush). The summary also prints a "metrics check"
+// line asserting the counter totals equal NetworkStats (which the trace
+// check in turn ties to the obs trace sums). --metrics-interval R
+// additionally rewrites FILE every R simulated rounds, the
+// textfile-collector pattern for watching long runs. Composes with
+// --faults, --audit (snapshot only: the conformance battery runs several
+// networks, so per-network reconciliation is skipped), and --threads.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -51,6 +62,7 @@
 #include "dist/counting.hpp"
 #include "dist/decision.hpp"
 #include "dist/optimization.hpp"
+#include "metrics/metrics.hpp"
 #include "mso/lower.hpp"
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
@@ -75,7 +87,8 @@ namespace {
                "           [--dist D] [--trace FILE[:jsonl|chrome]] [--audit]\n"
                "           [--faults drop=P,dup=P,corrupt=P,reorder=P,"
                "crash=ID@rR,seed=N[,transport=raw]]\n"
-               "           [--threads N] [--universe-cache DIR|auto]\n");
+               "           [--threads N] [--universe-cache DIR|auto]\n"
+               "           [--metrics FILE|-] [--metrics-interval R]\n");
   std::exit(2);
 }
 
@@ -177,12 +190,15 @@ std::optional<int> dist_budget(const Args& args) {
     if (args.has("faults")) usage("--faults requires --dist");
     if (args.has("threads")) usage("--threads requires --dist");
     if (args.has("universe-cache")) usage("--universe-cache requires --dist");
+    if (args.has("metrics")) usage("--metrics requires --dist");
     return std::nullopt;
   }
   if (args.has("audit") && args.has("trace"))
     usage("--audit replaces the trace sink; drop --trace");
   if (args.has("audit") && args.has("faults"))
     usage("--audit runs the fault-free conformance battery; drop --faults");
+  if (args.has("metrics-interval") && !args.has("metrics"))
+    usage("--metrics-interval requires --metrics");
   return parse_int(args.get("dist"), "--dist");
 }
 
@@ -221,6 +237,97 @@ UniverseCache make_universe_cache(
       bpt::universe_cache_path(dir, mso::to_string(*lowered), uc.engine->config());
   uc.warm = bpt::load_universe_cache(*uc.engine, uc.path);
   return uc;
+}
+
+/// --metrics wiring: owns the registry for the whole run and installs it
+/// as the process-global one, so every layer — the network (via the
+/// NetworkConfig fallback), the par pool, the BPT engine, the universe
+/// cache — records into it. Must be created before the engine/network
+/// (they resolve their handles at construction); the destructor
+/// uninstalls the global pointer before the registry dies.
+struct MetricsSetup {
+  metrics::Registry registry;
+  std::string path;  // --metrics FILE; "-" = stdout
+  int interval = 0;  // --metrics-interval R; 0 = final snapshot only
+
+  MetricsSetup() { metrics::set_global(&registry); }
+  ~MetricsSetup() { metrics::set_global(nullptr); }
+  MetricsSetup(const MetricsSetup&) = delete;
+  MetricsSetup& operator=(const MetricsSetup&) = delete;
+
+  /// Writes the Prometheus-text snapshot, tagged with the run status
+  /// ("running" for periodic dumps, the RunOutcome status — or "audit" —
+  /// at the end). Rewrites the whole file each time: the periodic dump is
+  /// the textfile-collector pattern, last snapshot wins.
+  void write_snapshot(const std::string& status) {
+    std::ostringstream body;
+    body << "# dmc metrics snapshot: run_status=" << status << "\n";
+    registry.write_prometheus(body);
+    if (path == "-") {
+      std::fputs(body.str().c_str(), stdout);
+      return;
+    }
+    std::ofstream out(path, std::ios::trunc);
+    if (!out) {
+      std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                   path.c_str());
+      return;
+    }
+    out << body.str();
+  }
+};
+
+std::unique_ptr<MetricsSetup> make_metrics_setup(const Args& args) {
+  if (!args.has("metrics")) return nullptr;
+  auto ms = std::make_unique<MetricsSetup>();
+  ms->path = args.get("metrics");
+  if (ms->path.empty()) usage("--metrics needs a file name");
+  if (args.has("metrics-interval")) {
+    ms->interval = parse_int(args.get("metrics-interval"), "--metrics-interval");
+    if (ms->interval <= 0) usage("--metrics-interval must be positive");
+  }
+  return ms;
+}
+
+/// Wires --metrics-interval into the network config (the network drives
+/// the periodic rewrite off its simulated-round clock).
+void apply_metrics_options(MetricsSetup* ms, congest::NetworkConfig& cfg) {
+  if (ms == nullptr || ms->interval <= 0) return;
+  cfg.metrics_interval = ms->interval;
+  cfg.metrics_flush = [ms](long) { ms->write_snapshot("running"); };
+}
+
+/// Reconciliation assertion (the metrics twin of the trace check): the
+/// registry's counter totals must exactly equal the NetworkStats counters
+/// the simulator maintained independently — and the trace check already
+/// ties NetworkStats to the obs round-event sums, closing the triangle.
+void print_metrics_check(metrics::Registry& reg,
+                         const congest::NetworkStats& s) {
+  const bool ok =
+      reg.counter("congest.rounds").value() == s.rounds &&
+      reg.counter("congest.messages").value() == s.messages &&
+      reg.counter("congest.bits").value() == s.total_bits &&
+      reg.counter("transport.frames").value() == s.frames &&
+      reg.counter("transport.frame_bits").value() == s.frame_bits &&
+      reg.counter("transport.marker_frames").value() == s.marker_frames &&
+      reg.counter("transport.retransmissions").value() == s.retransmissions;
+  std::printf("metrics check: %s (registry: rounds=%lld messages=%lld "
+              "bits=%lld frames=%lld)\n",
+              ok ? "ok, counters == NetworkStats" : "MISMATCH",
+              reg.counter("congest.rounds").value(),
+              reg.counter("congest.messages").value(),
+              reg.counter("congest.bits").value(),
+              reg.counter("transport.frames").value());
+}
+
+/// End-of-run metrics flush for the non-audit dist paths: final snapshot
+/// tagged with the RunOutcome status plus the reconciliation line.
+/// Degraded runs flush too — that is the point of tagging.
+void finish_metrics(MetricsSetup* ms, const congest::NetworkStats& stats,
+                    const congest::RunOutcome& run) {
+  if (ms == nullptr) return;
+  ms->write_snapshot(congest::to_string(run.status));
+  print_metrics_check(ms->registry, stats);
 }
 
 /// Wires --faults into the network config. Phase tracking is forced on so
@@ -350,29 +457,36 @@ int cmd_decide(const Args& args) {
   const Graph g = load_graph(args);
   const auto formula = mso::parse(args.get("formula"));
   if (const auto d = dist_budget(args)) {
-    if (args.has("audit"))
-      return run_audit_battery(g, [&](congest::Network& net) {
+    auto ms = make_metrics_setup(args);  // before any engine/network exists
+    if (args.has("audit")) {
+      const int rc = run_audit_battery(g, [&](congest::Network& net) {
         const auto out = dist::run_decision(net, formula, *d);
         if (out.treedepth_exceeded) return std::string("treedepth exceeded");
         return std::string(out.holds ? "holds" : "fails");
       });
+      if (ms) ms->write_snapshot(rc == 0 ? "audit-ok" : "audit-failed");
+      return rc;
+    }
     auto trace = make_trace_setup(args);
     auto cache = make_universe_cache(args, formula, {});
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
     cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
+    apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
     const auto out = dist::run_decision(net, formula, *d, cache.get());
     cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
+      finish_metrics(ms.get(), net.stats(), out.run);
       return report_degraded(out.run);
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d (reported by Algorithm 2)\n", *d);
       print_phase_summary(trace->buffer, net.stats());
+      finish_metrics(ms.get(), net.stats(), out.run);
       return 3;
     }
     std::printf("%s\n", out.holds ? "holds" : "fails");
@@ -380,6 +494,7 @@ int cmd_decide(const Args& args) {
                 out.num_classes, out.max_class_bits);
     print_phase_summary(trace->buffer, net.stats());
     if (args.has("faults")) print_fault_summary(net.stats(), out.run);
+    finish_metrics(ms.get(), net.stats(), out.run);
     return out.holds ? 0 : 1;
   }
   const bool holds = seq::decide(g, formula);
@@ -393,8 +508,9 @@ int cmd_optimize(const Args& args, bool maximize) {
   const std::string var = args.get("var");
   const mso::Sort sort = parse_sort(args.get("sort"));
   if (const auto d = dist_budget(args)) {
-    if (args.has("audit"))
-      return run_audit_battery(g, [&](congest::Network& net) {
+    auto ms = make_metrics_setup(args);  // before any engine/network exists
+    if (args.has("audit")) {
+      const int rc = run_audit_battery(g, [&](congest::Network& net) {
         const auto out = maximize
                              ? dist::run_maximize(net, formula, var, sort, *d)
                              : dist::run_minimize(net, formula, var, sort, *d);
@@ -402,12 +518,16 @@ int cmd_optimize(const Args& args, bool maximize) {
         if (!out.best_weight) return std::string("infeasible");
         return "optimum=" + std::to_string(*out.best_weight);
       });
+      if (ms) ms->write_snapshot(rc == 0 ? "audit-ok" : "audit-failed");
+      return rc;
+    }
     auto trace = make_trace_setup(args);
     auto cache = make_universe_cache(args, formula, {{var, sort}});
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
     cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
+    apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
     const auto out =
         maximize
@@ -417,15 +537,18 @@ int cmd_optimize(const Args& args, bool maximize) {
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
+      finish_metrics(ms.get(), net.stats(), out.run);
       return report_degraded(out.run);
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
       print_phase_summary(trace->buffer, net.stats());
+      finish_metrics(ms.get(), net.stats(), out.run);
       return 3;
     }
     print_phase_summary(trace->buffer, net.stats());
     if (args.has("faults")) print_fault_summary(net.stats(), out.run);
+    finish_metrics(ms.get(), net.stats(), out.run);
     if (!out.best_weight) {
       std::printf("infeasible\n");
       return 1;
@@ -470,29 +593,36 @@ int cmd_count(const Args& args) {
     vars.emplace_back(item.substr(0, colon), parse_sort(item.substr(colon + 1)));
   }
   if (const auto d = dist_budget(args)) {
-    if (args.has("audit"))
-      return run_audit_battery(g, [&](congest::Network& net) {
+    auto ms = make_metrics_setup(args);  // before any engine/network exists
+    if (args.has("audit")) {
+      const int rc = run_audit_battery(g, [&](congest::Network& net) {
         const auto out = dist::run_count(net, formula, vars, *d);
         if (out.treedepth_exceeded) return std::string("treedepth exceeded");
         return "count=" + std::to_string(out.count);
       });
+      if (ms) ms->write_snapshot(rc == 0 ? "audit-ok" : "audit-failed");
+      return rc;
+    }
     auto trace = make_trace_setup(args);
     auto cache = make_universe_cache(args, formula, vars);
     congest::NetworkConfig cfg;
     cfg.sink = trace->sink();
     cfg.threads = thread_count(args);
     apply_fault_options(args, cfg);
+    apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
     const auto out = dist::run_count(net, formula, vars, *d, cache.get());
     cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
+      finish_metrics(ms.get(), net.stats(), out.run);
       return report_degraded(out.run);
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
       print_phase_summary(trace->buffer, net.stats());
+      finish_metrics(ms.get(), net.stats(), out.run);
       return 3;
     }
     std::printf("count=%llu rounds=%ld\n",
@@ -500,6 +630,7 @@ int cmd_count(const Args& args) {
                 out.total_rounds());
     print_phase_summary(trace->buffer, net.stats());
     if (args.has("faults")) print_fault_summary(net.stats(), out.run);
+    finish_metrics(ms.get(), net.stats(), out.run);
     return 0;
   }
   std::printf("count=%llu\n",

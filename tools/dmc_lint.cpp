@@ -32,6 +32,16 @@
 //                         invisible to the --threads=1 exact-legacy
 //                         switch; use par::parallel_for (src/par/pool.hpp)
 //                         or move the code under src/par.
+//   raw-metric            std::atomic* in simulator/protocol code (paths
+//                         under src/congest or src/dist). Ad-hoc atomic
+//                         counters are invisible to the metrics registry,
+//                         so their totals can never be reconciled against
+//                         NetworkStats or the obs trace; count through
+//                         dmc::metrics (src/metrics/metrics.hpp) or the
+//                         par:: atomic helpers. src/metrics and src/par
+//                         themselves are exempt (they implement the
+//                         sanctioned primitives); deliberate low-level
+//                         atomics are marked "dmc-lint: allow(raw-metric)".
 //
 // Usage: dmc-lint [--self-test] <file-or-dir>...
 //   Directories are scanned recursively for .cpp/.cc/.hpp/.h files.
@@ -165,6 +175,7 @@ const std::regex kMutableStatic(
     R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
 const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
 const std::regex kRawThread(R"(\bstd\s*::\s*(?:jthread|thread|async)\b)");
+const std::regex kRawAtomic(R"(\bstd\s*::\s*atomic\w*)");
 
 /// The raw-send rule only applies to protocol sources (paths under
 /// src/dist); the transport layer itself legitimately uses best-effort
@@ -182,6 +193,23 @@ bool in_par_tree(const std::string& path) {
   std::string p = path;
   std::replace(p.begin(), p.end(), '\\', '/');
   return p.find("src/par/") != std::string::npos || p.find("src/par") == 0;
+}
+
+/// The raw-metric rule covers the simulator and protocol trees; the metric
+/// primitives themselves (src/metrics) and the pool's atomic helpers
+/// (src/par) are the sanctioned owners of raw atomics.
+bool in_congest_tree(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/congest/") != std::string::npos ||
+         p.find("src/congest") == 0;
+}
+
+bool in_metrics_tree(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/metrics/") != std::string::npos ||
+         p.find("src/metrics") == 0;
 }
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
@@ -241,6 +269,19 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
                   "transport — the message may be lost under fault "
                   "injection; use send(), or mark the loss-tolerant call "
                   "site with dmc-lint: allow(raw-send)");
+
+    if ((in_protocol_tree(f.path) || in_congest_tree(f.path)) &&
+        !in_par_tree(f.path) && !in_metrics_tree(f.path) &&
+        std::regex_search(line, m, kRawAtomic))
+      add_finding(out, f, i, "raw-metric",
+                  "ad-hoc '" + m[0].str() +
+                      "' in simulator/protocol code — atomic counters "
+                      "outside dmc::metrics can never be reconciled against "
+                      "NetworkStats or the obs trace; use "
+                      "metrics::Counter/Gauge/Histogram "
+                      "(src/metrics/metrics.hpp) or the par:: atomic "
+                      "helpers, or mark a deliberate low-level atomic with "
+                      "dmc-lint: allow(raw-metric)");
 
     if (!in_par_tree(f.path) && std::regex_search(line, m, kRawThread))
       add_finding(out, f, i, "raw-thread",
