@@ -1,0 +1,186 @@
+// E14 — serving throughput: the dmcd batching scheduler vs sequential
+// cold one-shot runs (docs/SERVING.md).
+//
+// The serving-side payoff of Theorem 4.2: the type universe depends only
+// on (formula, slot layout), so a warm-key batch of N queries through the
+// scheduler pays universe construction ONCE (single-flight in the shared
+// UniverseTier) while N sequential cold runs — the exact CLI path — pay
+// it N times. Two tables:
+//
+//   * warm-key batch:  16 decide queries sharing one engine key across
+//     rotating path families, scheduler vs 16 one-shots;
+//   * mixed batch:     all four pipelines (3 engine keys — maximize and
+//     count share a lowered formula), same contrast.
+//
+// Deterministic columns the bench gate enforces: every served digest must
+// equal its one-shot oracle digest, the batch must perform exactly one
+// universe construction per key (tier builds counter), and all but the
+// first query of a key must run warm. `ms` / `speedup` are wall-clock and
+// gate-ignored; the headline claim is that the batch beats the sequential
+// run wherever universe construction dominates.
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "bpt/universe_tier.hpp"
+#include "serve/exec.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+
+using namespace dmc;
+
+namespace {
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+serve::Query make_query(std::string id, std::string verb, std::string formula,
+                        std::string family, std::string var = "",
+                        std::string sort = "", std::string vars = "") {
+  serve::Query q;
+  q.id = std::move(id);
+  q.verb = std::move(verb);
+  q.formula = std::move(formula);
+  q.family = std::move(family);
+  q.dist = 4;
+  q.var = std::move(var);
+  q.sort = std::move(sort);
+  q.vars = std::move(vars);
+  return q;
+}
+
+/// 16 queries on one engine key: same rank-3 formula, rotating families
+/// (the graph varies, the universe does not).
+std::vector<serve::Query> warm_key_queries() {
+  const std::string tri =
+      "!exists vertex x, y, z. adj(x,y) & adj(y,z) & adj(x,z)";
+  std::vector<serve::Query> qs;
+  for (int i = 0; i < 16; ++i)
+    qs.push_back(make_query("w" + std::to_string(i), "decide", tri,
+                            "path:" + std::to_string(6 + i % 8)));
+  return qs;
+}
+
+/// All four pipelines, 4 queries each: 3 engine keys (maximize and count
+/// lower the same formula over the same slot layout).
+std::vector<serve::Query> mixed_queries() {
+  std::vector<serve::Query> qs;
+  for (int i = 0; i < 4; ++i) {
+    const std::string n = std::to_string(5 + i);
+    qs.push_back(make_query("d" + std::to_string(i), "decide",
+                            "exists vertex x, y. adj(x, y)", "path:" + n));
+    qs.push_back(make_query("x" + std::to_string(i), "maximize", "!adj(S,S)",
+                            "path:" + n, "S", "vset"));
+    qs.push_back(make_query("m" + std::to_string(i), "minimize",
+                            "forall vertex x. x in S | adj(x, S)",
+                            "cycle:" + n, "S", "vset"));
+    qs.push_back(make_query("c" + std::to_string(i), "count", "!adj(S,S)",
+                            "path:" + n, "", "", "S:vset"));
+  }
+  return qs;
+}
+
+struct ServedRun {
+  double ms = 0;
+  long warm = 0;             // responses that ran on a pre-warmed engine
+  long digest_matches = 0;   // digests equal to the one-shot oracle
+  long universe_builds = 0;  // tier constructions (single-flight per key)
+};
+
+/// Oracle pass: each query as a cold one-shot, the exact CLI path.
+std::vector<serve::QueryResult> run_sequential(
+    const std::vector<serve::Query>& qs, double& ms) {
+  std::vector<serve::QueryResult> out;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (const serve::Query& q : qs) out.push_back(serve::run_one_shot(q));
+  ms = ms_since(t0);
+  return out;
+}
+
+/// Served pass: submit everything, start the workers, wait for the last
+/// response — the daemon's admission/batching path minus the socket.
+ServedRun run_served(const std::vector<serve::Query>& qs,
+                     const std::vector<serve::QueryResult>& oracle,
+                     int workers) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "dmc_bench_serving";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  bpt::UniverseTier tier({dir.string()});
+  ServedRun run;
+  {
+    serve::Scheduler sched({workers, static_cast<int>(qs.size())}, tier);
+    std::mutex mu;
+    std::condition_variable cv;
+    std::vector<serve::JsonObject> responses;
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const serve::Query& q : qs) {
+      std::string err;
+      auto p = serve::prepare(q, err);
+      sched.submit(std::move(*p), [&](const serve::JsonObject& r) {
+        std::lock_guard<std::mutex> lock(mu);
+        responses.push_back(r);
+        cv.notify_one();
+      });
+    }
+    sched.start();
+    {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return responses.size() == qs.size(); });
+    }
+    run.ms = ms_since(t0);
+    for (const serve::JsonObject& r : responses) {
+      const serve::Json& id = r.at("id");
+      for (std::size_t i = 0; i < qs.size(); ++i)
+        if (qs[i].id == id.as_string() &&
+            r.at("digest").as_string() == oracle[i].digest)
+          ++run.digest_matches;
+      if (r.at("warm").as_bool()) ++run.warm;
+    }
+  }
+  run.universe_builds = tier.stats().builds;
+  fs::remove_all(dir);
+  return run;
+}
+
+void report(const char* caption, const std::vector<serve::Query>& qs,
+            int workers) {
+  std::printf("\n-- %s --\n", caption);
+  bench::columns({"variant", "queries", "ms", "speedup", "digests_ok",
+                  "universe_builds", "warm"});
+  double cold_ms = 0;
+  const auto oracle = run_sequential(qs, cold_ms);
+  // Each one-shot builds its own throwaway engine: n builds, none warm.
+  bench::row("cold-sequential", (long long)qs.size(), cold_ms, 1.0,
+             (long long)qs.size(), (long long)qs.size(), (long long)0);
+  const ServedRun served = run_served(qs, oracle, workers);
+  bench::row("dmcd-batch", (long long)qs.size(), served.ms,
+             cold_ms / served.ms, served.digest_matches,
+             served.universe_builds, served.warm);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::header(
+      "E14: serving throughput (dmcd batching vs sequential cold runs)",
+      "A warm-key batch through the scheduler performs exactly one "
+      "universe construction and beats the same queries run as "
+      "sequential cold one-shots; every served digest equals its "
+      "one-shot oracle digest.");
+  report("warm-key batch (1 engine key, 16 queries)", warm_key_queries(), 2);
+  report("mixed four-pipeline batch (3 engine keys, 16 queries)",
+         mixed_queries(), 2);
+  bench::run_benchmarks(argc, argv);
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Single-flight shared universe tier (see universe_tier.hpp).
+#include "bpt/universe_tier.hpp"
+
+#include "bpt/universe_cache.hpp"
+#include "metrics/metrics.hpp"
+
+namespace dmc::bpt {
+
+UniverseTier::UniverseTier(Options opts) : opts_(std::move(opts)) {
+  if (metrics::Registry* const reg = metrics::global()) {
+    met_hits_ = &reg->counter("bpt.universe_tier.hits");
+    met_misses_ = &reg->counter("bpt.universe_tier.misses");
+    met_waits_ = &reg->counter("bpt.universe_tier.waits");
+    met_builds_ = &reg->counter("bpt.universe_tier.builds");
+    met_disk_hits_ = &reg->counter("bpt.universe_tier.disk_hits");
+    met_saves_ = &reg->counter("bpt.universe_tier.saves");
+    met_keys_ = &reg->gauge("bpt.universe_tier.keys");
+  }
+}
+
+UniverseTier::Lease UniverseTier::acquire(const std::string& formula_text,
+                                          const EngineConfig& cfg) {
+  // The tier key doubles as the DMCU path when disk-backed; in-memory
+  // tiers use the same name under a fixed pseudo-directory so one formula
+  // maps to one slot either way.
+  const std::string key = universe_cache_path(
+      opts_.disk_dir.empty() ? "<mem>" : opts_.disk_dir, formula_text, cfg);
+
+  std::unique_lock lock(mu_);
+  auto it = slots_.find(key);
+  if (it == slots_.end()) {
+    it = slots_.emplace(key, std::make_shared<Slot>()).first;
+    if (met_keys_) met_keys_->set(static_cast<long long>(slots_.size()));
+  }
+  const std::shared_ptr<Slot> slot = it->second;
+
+  bool waited = false;
+  while (slot->building || slot->saving) {
+    waited = true;
+    cv_.wait(lock);
+  }
+  if (waited) {
+    ++stats_.waits;
+    if (met_waits_) met_waits_->add(1);
+  }
+
+  Lease lease;
+  lease.key = key;
+  if (slot->engine) {
+    ++stats_.hits;
+    if (met_hits_) met_hits_->add(1);
+    lease.engine = slot->engine;
+    lease.warm = true;
+    ++slot->active;
+    return lease;
+  }
+
+  // Single flight: this thread builds; the flag parks later arrivals on
+  // cv_ until the engine is published (or the build failed).
+  slot->building = true;
+  lock.unlock();
+  std::shared_ptr<Engine> engine;
+  bool disk_hit = false;
+  try {
+    engine = std::make_shared<Engine>(cfg);
+    if (!opts_.disk_dir.empty())
+      disk_hit = load_universe_cache(*engine, key);
+  } catch (...) {
+    lock.lock();
+    slot->building = false;
+    cv_.notify_all();
+    throw;
+  }
+  lock.lock();
+  slot->engine = engine;
+  slot->building = false;
+  slot->saved_types = disk_hit ? engine->num_types() : 0;
+  slot->path = opts_.disk_dir.empty() ? std::string() : key;
+  ++stats_.misses;
+  if (met_misses_) met_misses_->add(1);
+  if (disk_hit) {
+    ++stats_.disk_hits;
+    if (met_disk_hits_) met_disk_hits_->add(1);
+  } else {
+    ++stats_.builds;
+    if (met_builds_) met_builds_->add(1);
+  }
+  ++slot->active;
+  cv_.notify_all();
+  lease.engine = engine;
+  lease.disk_hit = disk_hit;
+  return lease;
+}
+
+void UniverseTier::release(const Lease& lease) {
+  if (!lease.engine) return;
+  std::unique_lock lock(mu_);
+  const auto it = slots_.find(lease.key);
+  if (it == slots_.end()) return;
+  const std::shared_ptr<Slot> slot = it->second;
+  if (slot->active > 0) --slot->active;
+  if (slot->active != 0 || slot->path.empty() ||
+      slot->engine->num_types() == slot->saved_types)
+    return;
+
+  // Write-back with exclusive access: `saving` parks new acquirers of
+  // this key (save_universe iterates the tables it snapshots), the tier
+  // lock is dropped so other keys proceed.
+  slot->saving = true;
+  const std::shared_ptr<Engine> engine = slot->engine;
+  const std::size_t types = engine->num_types();
+  lock.unlock();
+  const bool saved = save_universe_cache(*engine, slot->path);
+  lock.lock();
+  slot->saving = false;
+  if (saved) {
+    slot->saved_types = types;
+    ++stats_.saves;
+    if (met_saves_) met_saves_->add(1);
+  }
+  cv_.notify_all();
+}
+
+UniverseTier::Stats UniverseTier::stats() const {
+  std::lock_guard lock(mu_);
+  Stats s = stats_;
+  s.keys = slots_.size();
+  return s;
+}
+
+}  // namespace dmc::bpt

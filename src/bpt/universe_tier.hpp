@@ -1,0 +1,106 @@
+// Shared in-process tier over the persistent universe cache.
+//
+// The DMCU files (universe_cache.hpp) make *repeated processes* warm; this
+// tier makes *concurrent queries inside one process* warm. It maps the
+// cache key — (printed lowered formula, engine config) — to one live
+// Engine shared by every acquirer, with single-flight construction: when N
+// threads ask for a missing key simultaneously, exactly one constructs the
+// engine (warm-loading the DMCU backing file when one exists and is
+// valid), the other N-1 block until it is published, and nobody ever
+// observes a half-loaded engine. This is the concurrency hardening the
+// serving scheduler relies on: Engine::load_universe requires exclusive
+// access, so unsynchronized "each thread loads its own copy" either races
+// or double-constructs.
+//
+// Lifecycle contract: acquire() returns a Lease whose engine may be used
+// (k1/k2/compose are thread-safe) until the matching release(). release()
+// of the last active lease write-back-persists the engine to its DMCU
+// file when the interner grew since the last save — new acquirers of the
+// key briefly block while the snapshot is taken, because save_universe
+// also requires exclusive access. Holding the raw engine pointer past
+// release() forfeits that exclusion and is undefined.
+//
+// Metrics (registry optional, resolved at construction — the Engine
+// pattern): bpt.universe_tier.{hits,misses,waits,builds,disk_hits,saves}
+// counters and the bpt.universe_tier.keys gauge.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "bpt/engine.hpp"
+
+namespace dmc::bpt {
+
+class UniverseTier {
+ public:
+  struct Options {
+    /// Directory of DMCU backing files; "" = purely in-memory tier.
+    std::string disk_dir;
+  };
+
+  explicit UniverseTier(Options opts = {});
+  UniverseTier(const UniverseTier&) = delete;
+  UniverseTier& operator=(const UniverseTier&) = delete;
+
+  /// A checked-out engine. `warm` says the engine already lived in the
+  /// tier; `disk_hit` says this call's construction loaded a DMCU file.
+  struct Lease {
+    std::shared_ptr<Engine> engine;
+    std::string key;  // tier key (also the DMCU file path when backed)
+    bool warm = false;
+    bool disk_hit = false;
+  };
+
+  /// Returns the shared engine for the key derived from `formula_text`
+  /// (the printed lowered formula, as for universe_cache_path) and `cfg`.
+  /// Single-flight: concurrent acquirers of one missing key perform one
+  /// construction between them.
+  Lease acquire(const std::string& formula_text, const EngineConfig& cfg);
+
+  /// Returns the lease. The last releaser persists the engine to disk if
+  /// the tier is disk-backed and the type table grew since the last save.
+  void release(const Lease& lease);
+
+  /// Aggregate view for tests and the `metrics` verb.
+  struct Stats {
+    long hits = 0;       // key was ready on arrival
+    long misses = 0;     // this acquire constructed the engine
+    long waits = 0;      // acquires that blocked on another builder/saver
+    long builds = 0;     // constructions that found no valid DMCU file
+    long disk_hits = 0;  // constructions warm-loaded from DMCU
+    long saves = 0;      // write-backs performed by release()
+    std::size_t keys = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Slot {
+    std::shared_ptr<Engine> engine;  // null until published
+    bool building = false;
+    bool saving = false;
+    int active = 0;                  // outstanding leases
+    std::size_t saved_types = 0;     // num_types at the last disk save
+    std::string path;                // DMCU backing file ("" = none)
+  };
+
+  Options opts_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::shared_ptr<Slot>> slots_;
+  Stats stats_;
+  // Resolved once against metrics::global(); all null when disabled.
+  metrics::Counter* met_hits_ = nullptr;
+  metrics::Counter* met_misses_ = nullptr;
+  metrics::Counter* met_waits_ = nullptr;
+  metrics::Counter* met_builds_ = nullptr;
+  metrics::Counter* met_disk_hits_ = nullptr;
+  metrics::Counter* met_saves_ = nullptr;
+  metrics::Gauge* met_keys_ = nullptr;
+};
+
+}  // namespace dmc::bpt

@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <sstream>
 #include <stdexcept>
 
 namespace dmc::gen {
@@ -195,6 +196,60 @@ Graph disjoint_union(const Graph& a, const Graph& b) {
   for (VertexId v = 0; v < b.num_vertices(); ++v)
     g.set_vertex_weight(v + shift, b.vertex_weight(v));
   return g;
+}
+
+namespace {
+
+/// Strict integer parse for family parameters: the whole token must be a
+/// number ("path:abc" and "grid:4" are spec errors, not zeros).
+int spec_int(const std::string& token, const std::string& what) {
+  std::size_t used = 0;
+  int value = 0;
+  try {
+    value = std::stoi(token, &used);
+  } catch (const std::exception&) {
+    used = 0;
+  }
+  if (token.empty() || used != token.size())
+    throw std::invalid_argument(what + " expects an integer, got '" + token +
+                                "'");
+  return value;
+}
+
+}  // namespace
+
+Graph family(const std::string& spec) {
+  std::istringstream ss(spec);
+  std::string name;
+  std::getline(ss, name, ':');
+  auto num = [&](const std::string& what) {
+    std::string part;
+    if (!std::getline(ss, part, ':'))
+      throw std::invalid_argument("family parameter missing in '" + spec +
+                                  "'");
+    return spec_int(part, what);
+  };
+  if (name == "path") return path(num("path size"));
+  if (name == "cycle") return cycle(num("cycle size"));
+  if (name == "star") return star(num("star size"));
+  if (name == "clique") return clique(num("clique size"));
+  if (name == "grid") {
+    std::string part;
+    if (!std::getline(ss, part, ':'))
+      throw std::invalid_argument("grid needs RxC");
+    const auto x = part.find('x');
+    if (x == std::string::npos) throw std::invalid_argument("grid needs RxC");
+    return grid(spec_int(part.substr(0, x), "grid rows"),
+                spec_int(part.substr(x + 1), "grid cols"));
+  }
+  if (name == "btd") {
+    const int n = num("btd size");
+    const int d = num("btd depth");
+    Rng rng(42);
+    return random_bounded_treedepth(n, d, 0.4, rng);
+  }
+  throw std::invalid_argument("unknown family '" + name +
+                              "' (path/cycle/star/clique/grid/btd)");
 }
 
 void randomize_weights(Graph& g, Weight lo, Weight hi, Rng& rng) {

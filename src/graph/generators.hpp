@@ -52,6 +52,13 @@ Graph random_connected(int n, int extra, Rng& rng);
 /// Disjoint union (vertex ids of `b` are shifted by a.num_vertices()).
 Graph disjoint_union(const Graph& a, const Graph& b);
 
+/// Builds a named family instance from a colon-separated spec:
+/// "path:12", "cycle:9", "star:8", "clique:5", "grid:4x5", "btd:20:3"
+/// (btd is seeded deterministically, matching the dmc CLI). Throws
+/// std::invalid_argument on an unknown family or malformed parameters —
+/// the shared spec grammar of `dmc --family` and the dmcd query protocol.
+Graph family(const std::string& spec);
+
 /// Assigns random weights in [lo, hi] to all vertices and edges.
 void randomize_weights(Graph& g, Weight lo, Weight hi, Rng& rng);
 

@@ -1,0 +1,42 @@
+// dmc::par — sanctioned long-lived thread handle.
+//
+// parallel_for covers every *bounded* parallel computation in the
+// repository, but a daemon also needs a handful of long-running service
+// threads (an accept loop, scheduler workers). Those must still come from
+// src/par: the dmc-lint `raw-thread` rule bans std::thread everywhere
+// else, so ad-hoc threads cannot silently bypass the pool's conventions.
+// Thread is the minimal RAII join-on-destruction handle for that purpose —
+// deliberately not a second pool: service threads are few, named at the
+// call site, and live for the lifetime of their owner.
+#pragma once
+
+#include <functional>
+#include <thread>
+#include <utility>
+
+namespace dmc::par {
+
+class Thread {
+ public:
+  Thread() = default;
+  explicit Thread(std::function<void()> fn) : t_(std::move(fn)) {}
+  Thread(Thread&&) = default;
+  Thread& operator=(Thread&& other) {
+    join();
+    t_ = std::move(other.t_);
+    return *this;
+  }
+  Thread(const Thread&) = delete;
+  Thread& operator=(const Thread&) = delete;
+  ~Thread() { join(); }
+
+  bool joinable() const { return t_.joinable(); }
+  void join() {
+    if (t_.joinable()) t_.join();
+  }
+
+ private:
+  std::thread t_;
+};
+
+}  // namespace dmc::par

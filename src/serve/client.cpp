@@ -1,0 +1,80 @@
+// dmcd client (see client.hpp).
+#include "serve/client.hpp"
+
+#include <vector>
+
+namespace dmc::serve {
+
+Client::Client(const std::string& socket_path)
+    : conn_(io::connect_unix(socket_path)) {}
+
+bool Client::send(const Json& request) { return send_line(request.dump()); }
+
+bool Client::send_line(const std::string& line) {
+  return conn_.write_line(line);
+}
+
+std::optional<Json> Client::recv(int timeout_ms) {
+  std::string line;
+  const long long deadline = io::now_ms() + timeout_ms;
+  for (;;) {
+    const int remain = static_cast<int>(deadline - io::now_ms());
+    if (remain <= 0) return std::nullopt;
+    const io::Connection::ReadStatus st = conn_.read_line(line, remain);
+    if (st == io::Connection::ReadStatus::kTimeout) return std::nullopt;
+    if (st != io::Connection::ReadStatus::kLine) return std::nullopt;
+    if (auto parsed = json_parse(line)) return parsed;
+    // Unparsable response line: protocol violation, treat as closed.
+    return std::nullopt;
+  }
+}
+
+std::optional<Json> Client::call(const Json& request, int timeout_ms) {
+  if (!send(request)) return std::nullopt;
+  return recv(timeout_ms);
+}
+
+std::optional<Json> Client::query(const Query& q, int timeout_ms) {
+  if (!send_line(to_line(q))) return std::nullopt;
+  return recv(timeout_ms);
+}
+
+std::optional<Json> Client::control(const std::string& verb,
+                                    int timeout_ms) {
+  JsonObject o;
+  o["id"] = std::string("ctl");
+  o["verb"] = verb;
+  return call(Json(std::move(o)), timeout_ms);
+}
+
+std::optional<Json> Client::ping(int timeout_ms) {
+  return control("ping", timeout_ms);
+}
+std::optional<Json> Client::metrics(int timeout_ms) {
+  return control("metrics", timeout_ms);
+}
+std::optional<Json> Client::shutdown(int timeout_ms) {
+  return control("shutdown", timeout_ms);
+}
+
+std::map<std::string, Json> Client::pipeline(const std::vector<Query>& batch,
+                                             int timeout_ms) {
+  std::map<std::string, Json> out;
+  std::vector<Query> tagged = batch;
+  for (std::size_t i = 0; i < tagged.size(); ++i)
+    if (tagged[i].id.empty()) tagged[i].id = "q" + std::to_string(i);
+  for (const Query& q : tagged)
+    if (!send_line(to_line(q))) return out;
+  const long long deadline = io::now_ms() + timeout_ms;
+  while (out.size() < tagged.size()) {
+    const int remain = static_cast<int>(deadline - io::now_ms());
+    if (remain <= 0) break;
+    const std::optional<Json> resp = recv(remain);
+    if (!resp) break;
+    const std::string id = (*resp)["id"].as_string();
+    out[id.empty() ? "?" + std::to_string(out.size()) : id] = *resp;
+  }
+  return out;
+}
+
+}  // namespace dmc::serve

@@ -1,0 +1,55 @@
+// dmcd client: one connection to a running daemon.
+//
+// The call()/query() helpers are strict request-response; send()/recv()
+// expose pipelining — write a whole batch of query lines, then collect
+// the responses — which is how tests and BENCH_E14 drive same-key
+// batches deep enough for the scheduler to group them. Responses to
+// pipelined queries are matched by the echoed `id`, not by order: the
+// scheduler answers batch-mates together, so cross-key ordering is not
+// FIFO.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/io.hpp"
+#include "serve/json.hpp"
+#include "serve/protocol.hpp"
+
+namespace dmc::serve {
+
+class Client {
+ public:
+  /// Connects to a daemon's unix socket; throws std::runtime_error if no
+  /// daemon is listening.
+  explicit Client(const std::string& socket_path);
+
+  /// Pipelining primitives. recv() returns nullopt on timeout or a closed
+  /// daemon; responses are parsed JSON objects.
+  bool send(const Json& request);
+  bool send_line(const std::string& line);
+  std::optional<Json> recv(int timeout_ms);
+
+  /// Strict request-response round trip.
+  std::optional<Json> call(const Json& request, int timeout_ms = 30000);
+  std::optional<Json> query(const Query& q, int timeout_ms = 30000);
+
+  /// Control verbs (id "ctl").
+  std::optional<Json> ping(int timeout_ms = 5000);
+  std::optional<Json> metrics(int timeout_ms = 5000);
+  std::optional<Json> shutdown(int timeout_ms = 5000);
+
+  /// Sends `n` queries (ids forced to "<id_prefix><index>") pipelined,
+  /// then collects all `n` responses keyed by id. Missing entries mean
+  /// the daemon closed or timed out mid-batch.
+  std::map<std::string, Json> pipeline(const std::vector<Query>& batch,
+                                       int timeout_ms = 60000);
+
+ private:
+  std::optional<Json> control(const std::string& verb, int timeout_ms);
+  io::Connection conn_;
+};
+
+}  // namespace dmc::serve

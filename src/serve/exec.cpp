@@ -1,0 +1,246 @@
+// Query execution against the CONGEST pipelines (see exec.hpp).
+#include "serve/exec.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+#include "congest/network.hpp"
+#include "dist/counting.hpp"
+#include "dist/decision.hpp"
+#include "dist/optimization.hpp"
+#include "graph/generators.hpp"
+#include "graph/io.hpp"
+#include "mso/lower.hpp"
+#include "mso/parser.hpp"
+
+namespace dmc::serve {
+
+namespace {
+
+std::optional<mso::Sort> parse_sort(const std::string& s) {
+  if (s == "vset") return mso::Sort::VertexSet;
+  if (s == "eset") return mso::Sort::EdgeSet;
+  return std::nullopt;
+}
+
+/// "S:vset,T:eset" -> slot list; nullopt on grammar errors.
+std::optional<std::vector<std::pair<std::string, mso::Sort>>> parse_vars(
+    const std::string& spec) {
+  std::vector<std::pair<std::string, mso::Sort>> out;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(start, end - start);
+    const auto colon = item.find(':');
+    if (colon == std::string::npos || colon == 0) return std::nullopt;
+    const auto sort = parse_sort(item.substr(colon + 1));
+    if (!sort) return std::nullopt;
+    out.emplace_back(item.substr(0, colon), *sort);
+    start = end + 1;
+    if (end == spec.size()) break;
+  }
+  if (out.empty()) return std::nullopt;
+  return out;
+}
+
+/// Selected-set witness text, matching the dmc CLI's ordering (vertex ids
+/// ascending, then edge ids ascending). Reported but never digested: with
+/// several optimal solutions, reconstruction tie-breaks on engine class
+/// ids, so the choice legitimately varies with engine warmth.
+std::string selected_text(const Graph& g, const std::vector<bool>& vertices,
+                          const std::vector<bool>& edges) {
+  std::string out = "selected:";
+  for (VertexId v = 0; v < g.num_vertices(); ++v)
+    if (v < static_cast<VertexId>(vertices.size()) && vertices[v])
+      out += " v" + std::to_string(v);
+  for (EdgeId e = 0; e < g.num_edges(); ++e)
+    if (e < static_cast<EdgeId>(edges.size()) && edges[e])
+      out += " e" + std::to_string(e) + "(" + std::to_string(g.edge(e).u) +
+             "-" + std::to_string(g.edge(e).v) + ")";
+  return out;
+}
+
+QueryResult finish(QueryResult r) {
+  r.digest = result_digest(r.result);
+  return r;
+}
+
+/// Degraded endings reuse the CLI's structured codes (docs/ROBUSTNESS.md):
+/// round budget -> 6, crash-stop -> 7. The canonical text names the code
+/// but never a partial verdict — degraded outputs are untrusted.
+QueryResult degraded(const congest::RunOutcome& run) {
+  QueryResult r;
+  if (run.status == congest::RunStatus::kCrashed) {
+    r.status = "crashed";
+    r.code = 7;
+    r.result = "degraded: crashed";
+  } else {
+    r.status = "degraded";
+    r.code = kDeadlineExit;
+    r.result = "degraded: round budget exhausted";
+  }
+  r.rounds = run.rounds;
+  return finish(std::move(r));
+}
+
+QueryResult treedepth_exceeded(int d, long rounds) {
+  QueryResult r;
+  r.status = "treedepth";
+  r.code = 3;
+  r.result = "treedepth>" + std::to_string(d);
+  r.rounds = rounds;
+  return finish(std::move(r));
+}
+
+}  // namespace
+
+std::string result_digest(const std::string& canonical) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : canonical)
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001b3ull;
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(h));
+  return buf;
+}
+
+std::optional<Prepared> prepare(const Query& q, std::string& error) {
+  Prepared p;
+  p.q = q;
+  try {
+    p.formula = mso::parse(q.formula);
+  } catch (const std::exception& e) {
+    error = std::string("formula: ") + e.what();
+    return std::nullopt;
+  }
+  if (q.verb == "maximize" || q.verb == "minimize") {
+    const auto sort = parse_sort(q.sort);
+    if (!sort) {
+      error = "sort must be vset|eset";
+      return std::nullopt;
+    }
+    p.frees = {{q.var, *sort}};
+  } else if (q.verb == "count") {
+    const auto vars = parse_vars(q.vars);
+    if (!vars) {
+      error = "vars must be NAME:vset|eset[,...]";
+      return std::nullopt;
+    }
+    p.frees = *vars;
+  }
+  try {
+    const mso::FormulaPtr lowered = mso::lower(p.formula, p.frees);
+    p.formula_text = mso::to_string(*lowered);
+    p.cfg = bpt::config_for(*lowered, p.frees);
+  } catch (const std::exception& e) {
+    error = std::string("lowering: ") + e.what();
+    return std::nullopt;
+  }
+  try {
+    p.graph = q.family.empty() ? io::from_dimacs(q.graph_dimacs)
+                               : gen::family(q.family);
+  } catch (const std::exception& e) {
+    error = std::string("graph: ") + e.what();
+    return std::nullopt;
+  }
+  if (p.graph.num_vertices() <= 0) {
+    error = "graph: empty";
+    return std::nullopt;
+  }
+  return p;
+}
+
+QueryResult execute(const Prepared& p, bpt::Engine* engine) {
+  try {
+    congest::NetworkConfig cfg;
+    // One worker per query: parallelism in the daemon comes from the
+    // scheduler running independent queries concurrently, and serial
+    // stepping keeps every digest bit-equal to the legacy CLI path.
+    cfg.threads = 1;
+    if (p.q.max_rounds > 0)
+      cfg.max_rounds = static_cast<int>(p.q.max_rounds);
+    congest::Network net(p.graph, cfg);
+
+    if (p.q.verb == "decide") {
+      const auto out = dist::run_decision(net, p.formula, p.q.dist, engine);
+      if (!out.run.ok()) return degraded(out.run);
+      if (out.treedepth_exceeded)
+        return treedepth_exceeded(p.q.dist, out.total_rounds());
+      QueryResult r;
+      r.status = out.holds ? "ok" : "fails";
+      r.code = out.holds ? 0 : 1;
+      r.result = out.holds ? "holds" : "fails";
+      r.rounds = out.total_rounds();
+      r.num_classes = out.num_classes;
+      return finish(std::move(r));
+    }
+    if (p.q.verb == "maximize" || p.q.verb == "minimize") {
+      const bool maximize = p.q.verb == "maximize";
+      const auto& [var, sort] = p.frees.front();
+      const auto out =
+          maximize
+              ? dist::run_maximize(net, p.formula, var, sort, p.q.dist,
+                                   engine)
+              : dist::run_minimize(net, p.formula, var, sort, p.q.dist,
+                                   engine);
+      if (!out.run.ok()) return degraded(out.run);
+      if (out.treedepth_exceeded)
+        return treedepth_exceeded(p.q.dist, out.total_rounds());
+      QueryResult r;
+      r.rounds = out.total_rounds();
+      r.num_classes = out.num_classes;
+      if (!out.best_weight) {
+        r.status = "infeasible";
+        r.code = 1;
+        r.result = "infeasible";
+        return finish(std::move(r));
+      }
+      r.status = "ok";
+      r.code = 0;
+      r.result = "optimum=" + std::to_string(*out.best_weight);
+      r.witness = selected_text(p.graph, out.vertices, out.edges);
+      return finish(std::move(r));
+    }
+    if (p.q.verb == "count") {
+      const auto out =
+          dist::run_count(net, p.formula, p.frees, p.q.dist, engine);
+      if (!out.run.ok()) return degraded(out.run);
+      if (out.treedepth_exceeded)
+        return treedepth_exceeded(p.q.dist, out.total_rounds());
+      QueryResult r;
+      r.status = "ok";
+      r.code = 0;
+      r.result = "count=" + std::to_string(out.count);
+      r.rounds = out.total_rounds();
+      r.num_classes = out.num_classes;
+      return finish(std::move(r));
+    }
+    QueryResult r;
+    r.status = "error";
+    r.code = 4;
+    r.result = "error: unknown verb " + p.q.verb;
+    return finish(std::move(r));
+  } catch (const std::exception& e) {
+    QueryResult r;
+    r.status = "error";
+    r.code = 4;
+    r.result = std::string("error: ") + e.what();
+    return finish(std::move(r));
+  }
+}
+
+QueryResult run_one_shot(const Query& q) {
+  std::string error;
+  const auto p = prepare(q, error);
+  if (!p) {
+    QueryResult r;
+    r.status = "malformed";
+    r.code = kMalformedExit;
+    r.result = "malformed: " + error;
+    return finish(std::move(r));
+  }
+  return execute(*p, nullptr);
+}
+
+}  // namespace dmc::serve

@@ -1,0 +1,251 @@
+// Recursive-descent JSON parser/printer (see json.hpp for scope).
+#include "serve/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace dmc::serve {
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json null_value;
+  if (!is_object()) return null_value;
+  const auto it = obj_->find(key);
+  return it == obj_->end() ? null_value : it->second;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Json::dump() const {
+  switch (type_) {
+    case Type::kNull: return "null";
+    case Type::kBool: return bool_ ? "true" : "false";
+    case Type::kNumber: {
+      if (std::isfinite(num_) && num_ == std::floor(num_) &&
+          std::fabs(num_) < 9.0e18) {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(num_));
+        return buf;
+      }
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", num_);
+      return buf;
+    }
+    case Type::kString: return '"' + json_escape(str_) + '"';
+    case Type::kArray: {
+      std::string out = "[";
+      for (const Json& v : *arr_) {
+        if (out.size() > 1) out += ',';
+        out += v.dump();
+      }
+      return out + ']';
+    }
+    case Type::kObject: {
+      std::string out = "{";
+      for (const auto& [k, v] : *obj_) {
+        if (out.size() > 1) out += ',';
+        out += '"' + json_escape(k) + "\":" + v.dump();
+      }
+      return out + '}';
+    }
+  }
+  return "null";
+}
+
+namespace {
+
+struct Parser {
+  const std::string& text;
+  std::size_t pos = 0;
+  bool failed = false;
+
+  void skip_ws() {
+    while (pos < text.size() && std::isspace(
+               static_cast<unsigned char>(text[pos])))
+      ++pos;
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (pos < text.size() && text[pos] == c) {
+      ++pos;
+      return true;
+    }
+    return false;
+  }
+  Json fail() {
+    failed = true;
+    return Json();
+  }
+
+  Json parse_value(int depth) {
+    if (depth > 64) return fail();  // protocol lines are shallow
+    skip_ws();
+    if (pos >= text.size()) return fail();
+    const char c = text[pos];
+    if (c == '{') return parse_object(depth);
+    if (c == '[') return parse_array(depth);
+    if (c == '"') return parse_string();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    return parse_number();
+  }
+
+  Json parse_object(int depth) {
+    ++pos;  // '{'
+    JsonObject obj;
+    skip_ws();
+    if (eat('}')) return Json(std::move(obj));
+    while (true) {
+      skip_ws();
+      if (pos >= text.size() || text[pos] != '"') return fail();
+      const Json key = parse_string();
+      if (failed || !eat(':')) return fail();
+      obj[key.as_string()] = parse_value(depth + 1);
+      if (failed) return Json();
+      if (eat(',')) continue;
+      if (eat('}')) return Json(std::move(obj));
+      return fail();
+    }
+  }
+
+  Json parse_array(int depth) {
+    ++pos;  // '['
+    JsonArray arr;
+    skip_ws();
+    if (eat(']')) return Json(std::move(arr));
+    while (true) {
+      arr.push_back(parse_value(depth + 1));
+      if (failed) return Json();
+      if (eat(',')) continue;
+      if (eat(']')) return Json(std::move(arr));
+      return fail();
+    }
+  }
+
+  Json parse_string() {
+    ++pos;  // '"'
+    std::string out;
+    while (pos < text.size()) {
+      const char c = text[pos++];
+      if (c == '"') return Json(std::move(out));
+      if (c == '\\') {
+        if (pos >= text.size()) return fail();
+        const char e = text[pos++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos + 4 > text.size()) return fail();
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text[pos++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') code |= h - '0';
+              else if (h >= 'a' && h <= 'f') code |= h - 'a' + 10;
+              else if (h >= 'A' && h <= 'F') code |= h - 'A' + 10;
+              else return fail();
+            }
+            // Basic-plane only; encode as UTF-8 (surrogate pairs are out
+            // of scope for the protocol's identifiers and formulas).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xc0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            } else {
+              out += static_cast<char>(0xe0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3f));
+              out += static_cast<char>(0x80 | (code & 0x3f));
+            }
+            break;
+          }
+          default: return fail();
+        }
+      } else {
+        out += c;
+      }
+    }
+    return fail();  // unterminated
+  }
+
+  Json parse_bool() {
+    if (text.compare(pos, 4, "true") == 0) {
+      pos += 4;
+      return Json(true);
+    }
+    if (text.compare(pos, 5, "false") == 0) {
+      pos += 5;
+      return Json(false);
+    }
+    return fail();
+  }
+
+  Json parse_null() {
+    if (text.compare(pos, 4, "null") == 0) {
+      pos += 4;
+      return Json();
+    }
+    return fail();
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos;
+    if (pos < text.size() && (text[pos] == '-' || text[pos] == '+')) ++pos;
+    bool digits = false;
+    while (pos < text.size() &&
+           (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+            text[pos] == '.' || text[pos] == 'e' || text[pos] == 'E' ||
+            text[pos] == '-' || text[pos] == '+')) {
+      digits = digits || std::isdigit(static_cast<unsigned char>(text[pos]));
+      ++pos;
+    }
+    if (!digits) return fail();
+    double value = 0;
+    const auto [end, ec] = std::from_chars(text.data() + start,
+                                           text.data() + pos, value);
+    if (ec != std::errc() || end != text.data() + pos) return fail();
+    return Json(value);
+  }
+};
+
+}  // namespace
+
+std::optional<Json> json_parse(const std::string& text) {
+  Parser p{text};
+  Json value = p.parse_value(0);
+  if (p.failed) return std::nullopt;
+  p.skip_ws();
+  if (p.pos != text.size()) return std::nullopt;  // trailing garbage
+  return value;
+}
+
+}  // namespace dmc::serve

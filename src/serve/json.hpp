@@ -1,0 +1,99 @@
+// Minimal JSON value model for the dmcd line protocol.
+//
+// The daemon speaks newline-delimited JSON (docs/SERVING.md); this is the
+// smallest parser/printer that covers it — objects, arrays, strings,
+// numbers, booleans, null; UTF-8 passed through verbatim; \uXXXX escapes
+// accepted and re-emitted as-is. Deliberately std-only (the container
+// images carry no JSON library) and deliberately *not* a general-purpose
+// DOM: objects are std::map so iteration — and therefore every serialized
+// response — is deterministically ordered, the same property the rest of
+// the repository demands of protocol code.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace dmc::serve {
+
+class Json;
+using JsonObject = std::map<std::string, Json>;
+using JsonArray = std::vector<Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() = default;
+  Json(std::nullptr_t) {}
+  Json(bool b) : type_(Type::kBool), bool_(b) {}
+  Json(double d) : type_(Type::kNumber), num_(d) {}
+  Json(int i) : type_(Type::kNumber), num_(i) {}
+  Json(long l) : type_(Type::kNumber), num_(static_cast<double>(l)) {}
+  Json(long long l) : type_(Type::kNumber), num_(static_cast<double>(l)) {}
+  Json(const char* s) : type_(Type::kString), str_(s) {}
+  Json(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+  Json(JsonArray a)
+      : type_(Type::kArray), arr_(std::make_shared<JsonArray>(std::move(a))) {}
+  Json(JsonObject o)
+      : type_(Type::kObject),
+        obj_(std::make_shared<JsonObject>(std::move(o))) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  bool as_bool(bool fallback = false) const {
+    return is_bool() ? bool_ : fallback;
+  }
+  double as_number(double fallback = 0) const {
+    return is_number() ? num_ : fallback;
+  }
+  long long as_int(long long fallback = 0) const {
+    return is_number() ? static_cast<long long>(num_) : fallback;
+  }
+  const std::string& as_string() const {
+    static const std::string empty;
+    return is_string() ? str_ : empty;
+  }
+  const JsonArray& as_array() const {
+    static const JsonArray empty;
+    return is_array() ? *arr_ : empty;
+  }
+  const JsonObject& as_object() const {
+    static const JsonObject empty;
+    return is_object() ? *obj_ : empty;
+  }
+
+  /// Object member access; returns a null Json for absent keys or
+  /// non-objects, so lookups chain without branching.
+  const Json& operator[](const std::string& key) const;
+
+  /// Compact single-line serialization (protocol lines must not contain
+  /// raw newlines; they are escaped).
+  std::string dump() const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0;
+  std::string str_;
+  std::shared_ptr<JsonArray> arr_;
+  std::shared_ptr<JsonObject> obj_;
+};
+
+/// Parses one JSON document; std::nullopt on any syntax error or trailing
+/// garbage (a malformed protocol line is rejected as a whole).
+std::optional<Json> json_parse(const std::string& text);
+
+/// Escapes a string for embedding into a JSON document.
+std::string json_escape(const std::string& s);
+
+}  // namespace dmc::serve

@@ -1,0 +1,188 @@
+// Session scheduler (see scheduler.hpp).
+#include "serve/scheduler.hpp"
+
+#include <utility>
+
+#include "bpt/universe_cache.hpp"
+#include "metrics/metrics.hpp"
+#include "serve/io.hpp"
+
+namespace dmc::serve {
+
+namespace {
+
+/// Grouping key: same inputs as the DMCU cache key, so "one batch" is
+/// exactly "one shareable universe".
+std::string group_key(const Prepared& p) {
+  return p.formula_text + "#" +
+         std::to_string(bpt::config_hash(p.cfg));
+}
+
+}  // namespace
+
+JsonObject make_response(const Query& q, const QueryResult& r,
+                         bool engine_warm, std::size_t batch_size,
+                         long long queue_ms) {
+  JsonObject o = response_base(q.id, r.status, r.code);
+  o["verb"] = q.verb;
+  o["result"] = r.result;
+  o["digest"] = r.digest;
+  if (!r.witness.empty()) o["witness"] = r.witness;
+  o["rounds"] = r.rounds;
+  o["classes"] = static_cast<long long>(r.num_classes);
+  o["warm"] = engine_warm;
+  o["batch"] = static_cast<long long>(batch_size);
+  o["queue_ms"] = queue_ms;
+  return o;
+}
+
+Scheduler::Scheduler(SchedulerOptions opts, bpt::UniverseTier& tier)
+    : opts_(opts), tier_(tier) {
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.max_queue < 1) opts_.max_queue = 1;
+  if (metrics::Registry* reg = metrics::global()) {
+    met_accepted_ = &reg->counter("serve.admission.accepted");
+    met_rejected_ = &reg->counter("serve.admission.rejected");
+    met_deadline_ = &reg->counter("serve.deadline.expired");
+    met_responses_ = &reg->counter("serve.responses");
+    met_batches_ = &reg->counter("serve.batches");
+    met_depth_ = &reg->gauge("serve.queue.depth");
+    met_peak_ = &reg->gauge("serve.queue.peak");
+    met_batch_size_ = &reg->histogram("serve.batch.size");
+    for (const char* verb : {"decide", "maximize", "minimize", "count"})
+      met_latency_[verb] =
+          &reg->histogram(std::string("serve.latency_ms.") + verb);
+  }
+}
+
+Scheduler::~Scheduler() {
+  stop();
+  workers_.clear();  // par::Thread joins on destruction
+}
+
+void Scheduler::start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (started_) return;
+  started_ = true;
+  for (int i = 0; i < opts_.workers; ++i)
+    workers_.emplace_back([this] { worker_loop(); });
+}
+
+void Scheduler::stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Scheduler::queued() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queued_;
+}
+
+void Scheduler::set_depth_locked() {
+  if (met_depth_) met_depth_->set(static_cast<long long>(queued_));
+  if (met_peak_) met_peak_->max_of(static_cast<long long>(queued_));
+}
+
+bool Scheduler::submit(Prepared p, Respond respond) {
+  const long long now = io::now_ms();
+  Task t;
+  t.admit_ms = now;
+  t.deadline_abs_ms = p.q.deadline_ms > 0 ? now + p.q.deadline_ms : 0;
+  t.respond = std::move(respond);
+  const std::string key = group_key(p);
+  t.prepared = std::move(p);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_ ||
+        queued_ >= static_cast<std::size_t>(opts_.max_queue)) {
+      if (met_rejected_) met_rejected_->add();
+      return false;
+    }
+    auto [it, inserted] = groups_.try_emplace(key);
+    if (inserted) order_.push_back(key);
+    it->second.push_back(std::move(t));
+    ++queued_;
+    set_depth_locked();
+    if (met_accepted_) met_accepted_->add();
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void Scheduler::worker_loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !order_.empty(); });
+    if (order_.empty()) {
+      if (stopping_) return;  // drained
+      continue;
+    }
+    const std::string key = order_.front();
+    order_.pop_front();
+    auto it = groups_.find(key);
+    std::vector<Task> batch = std::move(it->second);
+    groups_.erase(it);
+    queued_ -= batch.size();
+    set_depth_locked();
+    lock.unlock();
+    run_batch(key, std::move(batch));
+    lock.lock();
+  }
+}
+
+void Scheduler::run_batch(const std::string& key, std::vector<Task> batch) {
+  (void)key;
+  if (met_batches_) met_batches_->add();
+  if (met_batch_size_)
+    met_batch_size_->record(static_cast<long long>(batch.size()));
+  // Expired-in-queue tasks are answered first, before any engine work:
+  // a batch that expired wholesale must not trigger a universe
+  // construction it will never use.
+  std::vector<Task> live;
+  live.reserve(batch.size());
+  for (Task& t : batch) {
+    const long long now = io::now_ms();
+    if (t.deadline_abs_ms > 0 && now > t.deadline_abs_ms) {
+      // Answered without running, with the round-budget degraded code —
+      // see header comment.
+      QueryResult r;
+      r.status = "deadline";
+      r.code = kDeadlineExit;
+      r.result = "degraded: deadline expired in queue";
+      r.digest = result_digest(r.result);
+      if (met_deadline_) met_deadline_->add();
+      if (met_responses_) met_responses_->add();
+      if (t.respond)
+        t.respond(make_response(t.prepared.q, r, false, batch.size(),
+                                now - t.admit_ms));
+    } else {
+      live.push_back(std::move(t));
+    }
+  }
+  if (live.empty()) return;
+
+  const Prepared& head = live.front().prepared;
+  const bpt::UniverseTier::Lease lease =
+      tier_.acquire(head.formula_text, head.cfg);
+  for (std::size_t i = 0; i < live.size(); ++i) {
+    Task& t = live[i];
+    const long long start = io::now_ms();
+    const QueryResult r = execute(t.prepared, lease.engine.get());
+    const long long done = io::now_ms();
+    // warm from this query's view: the engine pre-existed the batch, or
+    // an earlier batch member already built/loaded it.
+    const JsonObject resp = make_response(
+        t.prepared.q, r, lease.warm || i > 0, batch.size(),
+        start - t.admit_ms);
+    const auto lat = met_latency_.find(t.prepared.q.verb);
+    if (lat != met_latency_.end()) lat->second->record(done - t.admit_ms);
+    if (met_responses_) met_responses_->add();
+    if (t.respond) t.respond(resp);
+  }
+  tier_.release(lease);
+}
+
+}  // namespace dmc::serve

@@ -1,0 +1,110 @@
+// Session scheduler: bounded admission + same-universe batching.
+//
+// Queries are admitted into a bounded queue; admission failure is an
+// explicit `overloaded` response (backpressure), never unbounded growth.
+// Queued queries are grouped by their engine key — (printed lowered
+// formula, engine config), the universe-cache key — and a worker drains a
+// whole group at a time against ONE engine leased from the shared
+// UniverseTier. That is the serving-side payoff of Theorem 4.2: the type
+// universe depends only on (φ, slot layout), so a batch of same-key
+// queries pays universe construction once (single-flight in the tier) and
+// runs the remaining queries warm, while different-key groups proceed in
+// parallel on other workers.
+//
+// Deadlines: each query may carry deadline_ms, counted from admission. A
+// query whose deadline passed before a worker reached it is answered
+// `deadline` with the CLI's round-budget code (6, docs/ROBUSTNESS.md) —
+// the serving analogue of a degraded outcome — without being run. Started
+// queries are never preempted; per-query `max_rounds` bounds in-run cost
+// and degrades with the same code.
+//
+// Metrics (docs/SERVING.md): serve.queue.depth/.peak, serve.admission.
+// accepted/rejected, serve.batch.size, serve.deadline.expired,
+// serve.responses, serve.latency_ms.<verb> histograms.
+#pragma once
+
+#include <deque>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bpt/universe_tier.hpp"
+#include "metrics/metrics.hpp"
+#include "par/thread.hpp"
+#include "serve/exec.hpp"
+#include "serve/json.hpp"
+
+namespace dmc::serve {
+
+struct SchedulerOptions {
+  int workers = 2;
+  int max_queue = 64;  // admission bound (queries, across all groups)
+};
+
+class Scheduler {
+ public:
+  /// Delivers one response object for a submitted query. Invoked from a
+  /// worker thread; must be thread-safe (Connection::write_line is).
+  using Respond = std::function<void(const JsonObject&)>;
+
+  Scheduler(SchedulerOptions opts, bpt::UniverseTier& tier);
+  ~Scheduler();
+  Scheduler(const Scheduler&) = delete;
+  Scheduler& operator=(const Scheduler&) = delete;
+
+  void start();
+  /// Stops accepting and wakes the workers; already-admitted queries are
+  /// drained (answered) before the workers exit. Idempotent.
+  void stop();
+
+  /// Admission. False = queue full: the caller answers `overloaded`.
+  /// After stop(), admission always fails.
+  bool submit(Prepared p, Respond respond);
+
+  /// Queries currently admitted but not yet started (tests/metrics).
+  std::size_t queued() const;
+
+ private:
+  struct Task {
+    Prepared prepared;
+    Respond respond;
+    long long admit_ms = 0;
+    long long deadline_abs_ms = 0;  // 0 = none
+  };
+
+  void worker_loop();
+  void run_batch(const std::string& key, std::vector<Task> batch);
+  void set_depth_locked();
+
+  SchedulerOptions opts_;
+  bpt::UniverseTier& tier_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::vector<Task>> groups_;
+  std::deque<std::string> order_;  // FIFO over group keys
+  std::size_t queued_ = 0;
+  bool stopping_ = false;
+  bool started_ = false;
+  std::vector<par::Thread> workers_;
+  // Metric handles (null when no registry installed).
+  metrics::Counter* met_accepted_ = nullptr;
+  metrics::Counter* met_rejected_ = nullptr;
+  metrics::Counter* met_deadline_ = nullptr;
+  metrics::Counter* met_responses_ = nullptr;
+  metrics::Counter* met_batches_ = nullptr;
+  metrics::Gauge* met_depth_ = nullptr;
+  metrics::Gauge* met_peak_ = nullptr;
+  metrics::Histogram* met_batch_size_ = nullptr;
+  std::map<std::string, metrics::Histogram*> met_latency_;
+};
+
+/// Full response assembly for an executed query (also used by the
+/// deadline path with a synthetic result).
+JsonObject make_response(const Query& q, const QueryResult& r,
+                         bool engine_warm, std::size_t batch_size,
+                         long long queue_ms);
+
+}  // namespace dmc::serve

@@ -1,0 +1,173 @@
+// dmcd server core (see server.hpp).
+#include "serve/server.hpp"
+
+#include <list>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "metrics/metrics.hpp"
+#include "par/thread.hpp"
+#include "serve/exec.hpp"
+
+namespace dmc::serve {
+
+namespace {
+
+constexpr int kAcceptPollMs = 100;
+constexpr int kReadPollMs = 200;
+
+}  // namespace
+
+struct Server::ConnThread {
+  par::Thread thread;
+  std::shared_ptr<std::atomic<bool>> done;
+};
+
+Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
+  bpt::UniverseTier::Options tier_opts;
+  tier_opts.disk_dir = opts_.universe_dir;
+  tier_ = std::make_unique<bpt::UniverseTier>(tier_opts);
+  sched_ = std::make_unique<Scheduler>(opts_.sched, *tier_);
+  if (metrics::Registry* reg = metrics::global()) {
+    met_connections_ = &reg->counter("serve.connections");
+    met_requests_ = &reg->counter("serve.requests");
+    met_malformed_ = &reg->counter("serve.requests.malformed");
+    met_overloaded_ = &reg->counter("serve.requests.overloaded");
+  }
+}
+
+Server::~Server() { stop(); }
+
+void Server::stop() { stopping_.store(true); }
+
+JsonObject Server::metrics_response(const std::string& id) const {
+  JsonObject o = response_base(id, "ok", 0);
+  JsonObject m;
+  if (const metrics::Registry* reg = metrics::global()) {
+    // write_json_fields emits flat `"name":value` pairs over a sorted map;
+    // round-tripping through the parser yields a deterministic object.
+    std::ostringstream os;
+    os << '{';
+    reg->write_json_fields(os);
+    os << '}';
+    if (const auto parsed = json_parse(os.str());
+        parsed && parsed->is_object())
+      m = parsed->as_object();
+  }
+  o["metrics"] = std::move(m);
+  const bpt::UniverseTier::Stats ts = tier_->stats();
+  JsonObject tier;
+  tier["hits"] = static_cast<long long>(ts.hits);
+  tier["misses"] = static_cast<long long>(ts.misses);
+  tier["waits"] = static_cast<long long>(ts.waits);
+  tier["builds"] = static_cast<long long>(ts.builds);
+  tier["disk_hits"] = static_cast<long long>(ts.disk_hits);
+  tier["saves"] = static_cast<long long>(ts.saves);
+  tier["keys"] = static_cast<long long>(ts.keys);
+  o["universe_tier"] = std::move(tier);
+  o["queued"] = static_cast<long long>(sched_->queued());
+  return o;
+}
+
+void Server::handle_line(const std::shared_ptr<io::Connection>& conn,
+                         const std::string& line) {
+  if (met_requests_) met_requests_->add();
+  Request req = parse_request(line);
+  switch (req.kind) {
+    case Request::Kind::kPing: {
+      conn->write_line(Json(response_base(req.id, "pong", 0)).dump());
+      return;
+    }
+    case Request::Kind::kMetrics: {
+      conn->write_line(Json(metrics_response(req.id)).dump());
+      return;
+    }
+    case Request::Kind::kShutdown: {
+      conn->write_line(
+          Json(response_base(req.id, "shutting_down", 0)).dump());
+      stop();
+      return;
+    }
+    case Request::Kind::kMalformed: {
+      if (met_malformed_) met_malformed_->add();
+      JsonObject o = response_base(req.id, "malformed", kMalformedExit);
+      o["error"] = req.error;
+      conn->write_line(Json(std::move(o)).dump());
+      return;
+    }
+    case Request::Kind::kQuery:
+      break;
+  }
+
+  std::string error;
+  std::optional<Prepared> prepared = prepare(req.query, error);
+  if (!prepared) {
+    // Semantically malformed (bad formula / spec / graph): same shape as
+    // a syntactically malformed line, so clients have one failure path.
+    if (met_malformed_) met_malformed_->add();
+    JsonObject o = response_base(req.id, "malformed", kMalformedExit);
+    o["error"] = error;
+    conn->write_line(Json(std::move(o)).dump());
+    return;
+  }
+  const bool admitted = sched_->submit(
+      std::move(*prepared), [conn](const JsonObject& resp) {
+        conn->write_line(Json(resp).dump());
+      });
+  if (!admitted) {
+    if (met_overloaded_) met_overloaded_->add();
+    JsonObject o = response_base(req.id, "overloaded", kOverloadedExit);
+    o["error"] = "admission queue full";
+    conn->write_line(Json(std::move(o)).dump());
+  }
+}
+
+void Server::serve_connection(std::shared_ptr<io::Connection> conn) {
+  std::string line;
+  while (!stopping_.load()) {
+    const io::Connection::ReadStatus st = conn->read_line(line, kReadPollMs);
+    if (st == io::Connection::ReadStatus::kTimeout) continue;
+    if (st != io::Connection::ReadStatus::kLine) return;
+    handle_line(conn, line);
+  }
+}
+
+int Server::run() {
+  std::unique_ptr<io::ListenSocket> listener;
+  try {
+    listener = std::make_unique<io::ListenSocket>(opts_.socket_path);
+  } catch (const std::exception&) {
+    return 4;
+  }
+  sched_->start();
+  std::list<ConnThread> conns;
+  while (!stopping_.load()) {
+    // Reap finished connection threads so a long-lived daemon does not
+    // accumulate joined-but-retained handles.
+    for (auto it = conns.begin(); it != conns.end();)
+      it = it->done->load() ? conns.erase(it) : std::next(it);
+    std::optional<io::Socket> sock = listener->accept(kAcceptPollMs);
+    if (!sock || !sock->valid()) continue;
+    if (met_connections_) met_connections_->add();
+    auto conn = std::make_shared<io::Connection>(std::move(*sock));
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    ConnThread ct;
+    ct.done = done;
+    ct.thread = par::Thread([this, conn, done] {
+      serve_connection(conn);
+      done->store(true);
+    });
+    conns.push_back(std::move(ct));
+  }
+  // Admission closes first; connection readers notice stopping_ and are
+  // joined before the scheduler goes away (handle_line uses it). Queued
+  // queries are then drained and answered (Scheduler::stop contract) —
+  // the respond callbacks keep their Connections alive via shared_ptr.
+  sched_->stop();
+  conns.clear();
+  sched_.reset();
+  return 0;
+}
+
+}  // namespace dmc::serve

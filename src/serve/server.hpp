@@ -1,0 +1,68 @@
+// dmcd server core: accept loop, connection handling, verb dispatch.
+//
+// One thread accepts on the unix-domain listen socket; each connection
+// gets a service thread (par::Thread) reading protocol lines. Control
+// verbs (ping / metrics / shutdown) are answered inline — they must stay
+// responsive while the scheduler is saturated, which is exactly when an
+// operator needs them. Query verbs go through prepare() and the
+// Scheduler's bounded admission; a full queue answers `overloaded`
+// (code 8) immediately instead of stalling the connection, so clients see
+// backpressure rather than latency.
+//
+// Shutdown: the `shutdown` verb (or stop()) closes admission, drains
+// already-admitted queries, answers them, and returns from run(). The
+// socket file is unlinked by ListenSocket's destructor.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+
+#include "bpt/universe_tier.hpp"
+#include "serve/io.hpp"
+#include "serve/scheduler.hpp"
+
+namespace dmc::serve {
+
+struct ServerOptions {
+  std::string socket_path;
+  SchedulerOptions sched;
+  /// DMCU backing directory for the shared universe tier ("" = in-memory).
+  std::string universe_dir;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions opts);
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, serves until shutdown is requested. Returns 0 on a
+  /// clean drain, 4 if the socket could not be bound.
+  int run();
+
+  /// Requests shutdown from another thread (signal handlers set a flag
+  /// and call this from the main loop instead).
+  void stop();
+
+  const bpt::UniverseTier& tier() const { return *tier_; }
+
+ private:
+  struct ConnThread;
+  void serve_connection(std::shared_ptr<io::Connection> conn);
+  void handle_line(const std::shared_ptr<io::Connection>& conn,
+                   const std::string& line);
+  JsonObject metrics_response(const std::string& id) const;
+
+  ServerOptions opts_;
+  std::unique_ptr<bpt::UniverseTier> tier_;
+  std::unique_ptr<Scheduler> sched_;
+  std::atomic<bool> stopping_{false};
+  metrics::Counter* met_connections_ = nullptr;
+  metrics::Counter* met_requests_ = nullptr;
+  metrics::Counter* met_malformed_ = nullptr;
+  metrics::Counter* met_overloaded_ = nullptr;
+};
+
+}  // namespace dmc::serve

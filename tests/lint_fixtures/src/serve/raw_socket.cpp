@@ -1,0 +1,37 @@
+// dmc-lint --self-test fixture for the raw-io rule.
+//
+// Never compiled — the path sits under "src/serve" but outside the
+// sanctioned io layer (src/serve/io*), so every global-namespace
+// descriptor call must be flagged. Scanned by the lint_fixtures ctest
+// entry.
+
+int open_backdoor_socket(const char* path) {
+  const int fd = ::socket(1, 1, 0);  // lint-expect: raw-io
+  ::bind(fd, nullptr, 0);  // lint-expect: raw-io
+  ::listen(fd, 8);  // lint-expect: raw-io
+  return fd;
+}
+
+void chat(int fd) {
+  char buf[64];
+  ::read(fd, buf, sizeof(buf));  // lint-expect: raw-io
+  ::write(fd, buf, 1);  // lint-expect: raw-io
+  ::recv(fd, buf, sizeof(buf), 0);  // lint-expect: raw-io
+  ::send(fd, buf, 1, 0);  // lint-expect: raw-io
+  ::poll(nullptr, 0, 10);  // lint-expect: raw-io
+  ::close(fd);  // lint-expect: raw-io
+}
+
+void fine(Connection& conn) {
+  // The sanctioned spellings stay quiet: the serve::io line verbs...
+  std::string line;
+  conn.read_line(line, 100);
+  conn.write_line(line);
+  // ...namespaced helpers that merely *contain* a banned name...
+  io::read_dimacs_header(line);
+  obj.send_line(line);
+  // ...and std:: stream flags (a `::` not in the global namespace).
+  stream.open(line, std::ios::in);
+  // A deliberate low-level call is suppressible at the call site.
+  ::close(3);  // dmc-lint: allow(raw-io)
+}

@@ -29,7 +29,13 @@ namespace lib = mso::lib;
 struct TempDir {
   fs::path path;
   TempDir() {
-    path = fs::temp_directory_path() / "dmc_universe_cache_test";
+    // Per-test-case directory: ctest -j runs gtest cases of one binary as
+    // separate concurrent processes, so a shared path would be wiped out
+    // from under a sibling case.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           (std::string("dmc_universe_cache_test_") +
+            (info != nullptr ? info->name() : "unknown"));
     fs::remove_all(path);
     fs::create_directories(path);
   }

@@ -1,0 +1,190 @@
+// Shared in-process universe tier (bpt/universe_tier.hpp): single-flight
+// construction under contention — N concurrent acquirers of one missing
+// key must trigger exactly one engine construction and end up sharing one
+// engine — plus DMCU write-back/warm-load round-trips. Labelled `par` so
+// CI runs the contention cases under TSan: the single-flight slot logic
+// is precisely the code a data race would corrupt silently.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "bpt/engine.hpp"
+#include "bpt/plan.hpp"
+#include "bpt/tables.hpp"
+#include "bpt/universe_tier.hpp"
+#include "graph/generators.hpp"
+#include "mso/formulas.hpp"
+#include "mso/lower.hpp"
+#include "seq/courcelle.hpp"
+
+namespace dmc {
+namespace {
+
+namespace fs = std::filesystem;
+namespace lib = mso::lib;
+
+struct TempDir {
+  fs::path path;
+  TempDir() {
+    // Per-test-case directory: ctest -j runs cases as separate processes,
+    // so a shared path would be wiped out from under a concurrent case.
+    const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+    path = fs::temp_directory_path() /
+           (std::string("dmc_universe_tier_test_") + info->name());
+    fs::remove_all(path);
+    fs::create_directories(path);
+  }
+  ~TempDir() { fs::remove_all(path); }
+};
+
+class UniverseTierTest : public ::testing::Test {
+ protected:
+  UniverseTierTest()
+      : g(gen::path(9)),
+        lowered(mso::lower(lib::triangle_free())),
+        text(mso::to_string(*lowered)),
+        cfg(bpt::config_for(*lowered)),
+        td(seq::decomposition_for(g)),
+        plan(bpt::build_global_plan(g, td)) {}
+
+  TempDir tmp;
+  Graph g;
+  mso::FormulaPtr lowered;
+  std::string text;
+  bpt::EngineConfig cfg;
+  TreeDecomposition td;
+  bpt::Plan plan;
+};
+
+TEST_F(UniverseTierTest, SingleFlightUnderContention) {
+  constexpr int kThreads = 8;
+  bpt::UniverseTier tier;  // in-memory
+  std::atomic<int> ready{0};
+  std::vector<bpt::UniverseTier::Lease> leases(kThreads);
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&, i] {
+      // Barrier: maximize the window where every thread sees the key
+      // missing, so a broken tier double-constructs.
+      ready.fetch_add(1);
+      while (ready.load() < kThreads) std::this_thread::yield();
+      leases[i] = tier.acquire(text, cfg);
+      // Fold through the shared engine while others do the same: the
+      // lease contract says k1/k2/compose are safe concurrently.
+      (void)bpt::fold_type(*leases[i].engine, plan, g);
+    });
+  for (auto& t : threads) t.join();
+
+  std::set<bpt::Engine*> engines;
+  int warm = 0;
+  for (const auto& l : leases) {
+    ASSERT_NE(l.engine, nullptr);
+    engines.insert(l.engine.get());
+    warm += l.warm ? 1 : 0;
+  }
+  EXPECT_EQ(engines.size(), 1u) << "acquirers did not share one engine";
+  EXPECT_EQ(warm, kThreads - 1) << "exactly one acquire may construct";
+
+  const bpt::UniverseTier::Stats s = tier.stats();
+  EXPECT_EQ(s.misses, 1);
+  EXPECT_EQ(s.builds, 1) << "single-flight violated: multiple constructions";
+  EXPECT_EQ(s.hits, kThreads - 1);
+  EXPECT_EQ(s.keys, 1u);
+  EXPECT_EQ(s.saves, 0);  // no disk backing
+
+  // All folds interned into one engine: a second fold is a pure replay.
+  bpt::Engine& shared = *leases[0].engine;
+  const std::size_t types = shared.num_types();
+  (void)bpt::fold_type(shared, plan, g);
+  EXPECT_EQ(shared.num_types(), types);
+
+  for (const auto& l : leases) tier.release(l);
+}
+
+TEST_F(UniverseTierTest, ConcurrentDistinctKeysBuildIndependently) {
+  bpt::UniverseTier tier;
+  const auto other = mso::lower(lib::connected());
+  const std::string other_text = mso::to_string(*other);
+  const bpt::EngineConfig other_cfg = bpt::config_for(*other);
+
+  bpt::UniverseTier::Lease a, b;
+  std::thread ta([&] { a = tier.acquire(text, cfg); });
+  std::thread tb([&] { b = tier.acquire(other_text, other_cfg); });
+  ta.join();
+  tb.join();
+  EXPECT_NE(a.engine.get(), b.engine.get());
+  const auto s = tier.stats();
+  EXPECT_EQ(s.keys, 2u);
+  EXPECT_EQ(s.misses, 2);
+  tier.release(a);
+  tier.release(b);
+}
+
+TEST_F(UniverseTierTest, WriteBackThenWarmLoadAcrossTiers) {
+  const std::string dir = tmp.path.string();
+  {
+    bpt::UniverseTier tier({dir});
+    auto lease = tier.acquire(text, cfg);
+    EXPECT_FALSE(lease.warm);
+    EXPECT_FALSE(lease.disk_hit);  // nothing persisted yet
+    (void)bpt::fold_type(*lease.engine, plan, g);
+    tier.release(lease);  // last lease + growth => write-back
+    EXPECT_EQ(tier.stats().saves, 1);
+  }
+  // A new tier (fresh process, conceptually) warm-loads the DMCU file.
+  bpt::UniverseTier tier({dir});
+  auto lease = tier.acquire(text, cfg);
+  EXPECT_FALSE(lease.warm);      // new in-process tier
+  EXPECT_TRUE(lease.disk_hit);   // but the construction loaded from disk
+  const std::size_t types = lease.engine->num_types();
+  EXPECT_GT(types, 0u);
+  // Replay is pure memo hits: the persisted universe is complete.
+  (void)bpt::fold_type(*lease.engine, plan, g);
+  EXPECT_EQ(lease.engine->num_types(), types);
+  tier.release(lease);
+  // No growth since the disk load: release must not rewrite the file.
+  EXPECT_EQ(tier.stats().saves, 0);
+}
+
+TEST_F(UniverseTierTest, ReleaseWithoutGrowthDoesNotResave) {
+  bpt::UniverseTier tier({tmp.path.string()});
+  auto a = tier.acquire(text, cfg);
+  (void)bpt::fold_type(*a.engine, plan, g);
+  tier.release(a);
+  ASSERT_EQ(tier.stats().saves, 1);
+
+  auto b = tier.acquire(text, cfg);
+  EXPECT_TRUE(b.warm);
+  tier.release(b);  // no new types interned
+  EXPECT_EQ(tier.stats().saves, 1);
+}
+
+TEST_F(UniverseTierTest, ContendedAcquireReleaseChurn) {
+  // Churn: leases come and go while other threads acquire — exercises the
+  // building/saving wait states under TSan.
+  bpt::UniverseTier tier({tmp.path.string()});
+  constexpr int kThreads = 6;
+  constexpr int kIters = 8;
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kThreads; ++i)
+    threads.emplace_back([&] {
+      for (int it = 0; it < kIters; ++it) {
+        auto lease = tier.acquire(text, cfg);
+        (void)bpt::fold_type(*lease.engine, plan, g);
+        tier.release(lease);
+      }
+    });
+  for (auto& t : threads) t.join();
+  const auto s = tier.stats();
+  EXPECT_EQ(s.hits + s.misses, kThreads * kIters);
+  EXPECT_EQ(s.builds + s.disk_hits, s.misses);
+  EXPECT_EQ(s.keys, 1u);
+}
+
+}  // namespace
+}  // namespace dmc

@@ -142,7 +142,8 @@ def compare_experiment(gate, name, base, cur, tol, timing_tol):
 
 def is_metric_field(name):
     """Registry snapshot fields are dotted metric names (see metrics.hpp)."""
-    return name.startswith(("congest.", "transport.", "par.", "bpt."))
+    return name.startswith(("congest.", "transport.", "par.", "bpt.",
+                            "serve."))
 
 
 def main():

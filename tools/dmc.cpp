@@ -109,34 +109,14 @@ int parse_int(const std::string& token, const char* what) {
   return value;
 }
 
+/// The family grammar lives in gen::family (shared with the dmcd serving
+/// protocol); the CLI only maps its spec errors onto usage().
 Graph family_graph(const std::string& spec) {
-  std::istringstream ss(spec);
-  std::string name;
-  std::getline(ss, name, ':');
-  auto num = [&](const char* what) {
-    std::string part;
-    if (!std::getline(ss, part, ':')) usage("family parameter missing");
-    return parse_int(part, what);
-  };
-  if (name == "path") return gen::path(num("path size"));
-  if (name == "cycle") return gen::cycle(num("cycle size"));
-  if (name == "star") return gen::star(num("star size"));
-  if (name == "clique") return gen::clique(num("clique size"));
-  if (name == "grid") {
-    std::string part;
-    if (!std::getline(ss, part, ':')) usage("grid needs RxC");
-    const auto x = part.find('x');
-    if (x == std::string::npos) usage("grid needs RxC");
-    return gen::grid(parse_int(part.substr(0, x), "grid rows"),
-                     parse_int(part.substr(x + 1), "grid cols"));
+  try {
+    return gen::family(spec);
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
   }
-  if (name == "btd") {
-    const int n = num("btd size");
-    const int d = num("btd depth");
-    gen::Rng rng(42);
-    return gen::random_bounded_treedepth(n, d, 0.4, rng);
-  }
-  usage("unknown family (path/cycle/star/clique/grid/btd)");
 }
 
 mso::Sort parse_sort(const std::string& s) {
@@ -258,7 +238,9 @@ struct MetricsSetup {
   /// Writes the Prometheus-text snapshot, tagged with the run status
   /// ("running" for periodic dumps, the RunOutcome status — or "audit" —
   /// at the end). Rewrites the whole file each time: the periodic dump is
-  /// the textfile-collector pattern, last snapshot wins.
+  /// the textfile-collector pattern, last snapshot wins. Publication is
+  /// temp+rename (the DMCU cache idiom): a concurrent scraper either sees
+  /// the previous complete snapshot or the new one, never a torn file.
   void write_snapshot(const std::string& status) {
     std::ostringstream body;
     body << "# dmc metrics snapshot: run_status=" << status << "\n";
@@ -267,13 +249,27 @@ struct MetricsSetup {
       std::fputs(body.str().c_str(), stdout);
       return;
     }
-    std::ofstream out(path, std::ios::trunc);
-    if (!out) {
-      std::fprintf(stderr, "warning: cannot write metrics file %s\n",
-                   path.c_str());
-      return;
+    const std::string tmp = path + ".tmp";
+    {
+      std::ofstream out(tmp, std::ios::trunc);
+      if (!out) {
+        std::fprintf(stderr, "warning: cannot write metrics file %s\n",
+                     tmp.c_str());
+        return;
+      }
+      out << body.str();
+      if (!out) {
+        std::remove(tmp.c_str());
+        std::fprintf(stderr, "warning: short write to metrics file %s\n",
+                     tmp.c_str());
+        return;
+      }
     }
-    out << body.str();
+    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+      std::remove(tmp.c_str());
+      std::fprintf(stderr, "warning: cannot publish metrics file %s\n",
+                   path.c_str());
+    }
   }
 };
 

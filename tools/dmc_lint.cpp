@@ -32,6 +32,16 @@
 //                         invisible to the --threads=1 exact-legacy
 //                         switch; use par::parallel_for (src/par/pool.hpp)
 //                         or move the code under src/par.
+//   raw-io                global-namespace blocking I/O calls — ::socket,
+//                         ::bind, ::accept, ::connect, ::recv, ::send,
+//                         ::read, ::write, ::poll, ::select, ::close —
+//                         outside src/serve/io*. Blocking descriptor I/O
+//                         scattered through scheduler or protocol code is
+//                         invisible to deadlines and shutdown and cannot
+//                         be faked in tests; all descriptor traffic goes
+//                         through the serve::io layer (src/serve/io.hpp),
+//                         which owns the sanctioned timeout-aware
+//                         primitives.
 //   raw-metric            std::atomic* in simulator/protocol code (paths
 //                         under src/congest or src/dist). Ad-hoc atomic
 //                         counters are invisible to the metrics registry,
@@ -176,6 +186,11 @@ const std::regex kMutableStatic(
 const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
 const std::regex kRawThread(R"(\bstd\s*::\s*(?:jthread|thread|async)\b)");
 const std::regex kRawAtomic(R"(\bstd\s*::\s*atomic\w*)");
+// Global-namespace-qualified POSIX descriptor calls only: `io::read_line`
+// or `std::ios::in` must not match, so the `::` may not be preceded by an
+// identifier character or another colon.
+const std::regex kRawIo(
+    R"((?:^|[^\w:])::\s*(socket|bind|listen|accept4?|connect|recv|recvfrom|send|sendto|read|write|poll|select|close)\s*\()");
 
 /// The raw-send rule only applies to protocol sources (paths under
 /// src/dist); the transport layer itself legitimately uses best-effort
@@ -210,6 +225,20 @@ bool in_metrics_tree(const std::string& path) {
   std::replace(p.begin(), p.end(), '\\', '/');
   return p.find("src/metrics/") != std::string::npos ||
          p.find("src/metrics") == 0;
+}
+
+/// The raw-io rule exempts the serving I/O layer itself (src/serve/io.hpp
+/// and src/serve/io.cpp), the one sanctioned owner of raw descriptors.
+bool in_serve_io(const std::string& path) {
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  const auto pos = p.find("src/serve/io");
+  if (pos == std::string::npos) return false;
+  // Match io.hpp / io.cpp / io_*.hpp, not e.g. src/serve/iovec_util.hpp
+  // being smuggled past the rule by prefix: the next char must be '.' or
+  // '_' or end the stem.
+  const std::size_t next = pos + std::string("src/serve/io").size();
+  return next >= p.size() || p[next] == '.' || p[next] == '_';
 }
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
@@ -282,6 +311,15 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
                       "(src/metrics/metrics.hpp) or the par:: atomic "
                       "helpers, or mark a deliberate low-level atomic with "
                       "dmc-lint: allow(raw-metric)");
+
+    if (!in_serve_io(f.path) && std::regex_search(line, m, kRawIo))
+      add_finding(out, f, i, "raw-io",
+                  "raw '::" + m[1].str() +
+                      "()' outside src/serve/io* — blocking descriptor I/O "
+                      "in scheduler/protocol code is invisible to deadlines "
+                      "and shutdown; go through serve::io "
+                      "(src/serve/io.hpp), or move the code into the "
+                      "sanctioned io layer");
 
     if (!in_par_tree(f.path) && std::regex_search(line, m, kRawThread))
       add_finding(out, f, i, "raw-thread",

@@ -1,0 +1,170 @@
+// dmcd — the batching model-checking daemon.
+//
+// Serves the four dmc pipelines (decide / maximize / minimize / count)
+// over a unix-domain socket speaking line-delimited JSON (spec in
+// docs/SERVING.md). Queries sharing a (formula, width) engine key are
+// batched onto one warm bpt::Engine leased from the shared universe
+// tier, so a burst of same-shape queries pays universe construction
+// once; the DMCU cache directory makes that warmth survive restarts.
+//
+//   dmcd --socket /tmp/dmcd.sock [--workers N] [--max-queue N]
+//        [--universe-dir DIR] [--metrics FILE [--metrics-period-ms N]]
+//
+// Exit: 0 after a clean drain (shutdown verb or SIGINT/SIGTERM), 2 on
+// usage errors, 4 if the socket cannot be bound.
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <string>
+
+#include "metrics/metrics.hpp"
+#include "par/thread.hpp"
+#include "serve/server.hpp"
+
+namespace {
+
+dmc::serve::Server* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) g_server->stop();
+}
+
+[[noreturn]] void usage(const std::string& why = "") {
+  if (!why.empty()) std::cerr << "dmcd: " << why << "\n";
+  std::cerr << "usage: dmcd --socket PATH [--workers N] [--max-queue N]\n"
+               "            [--universe-dir DIR] [--metrics FILE]\n"
+               "            [--metrics-period-ms N]\n";
+  std::exit(2);
+}
+
+/// Publishes a metrics snapshot via temp+rename (the DMCU idiom): a
+/// concurrent scraper sees the previous complete file or the new one,
+/// never a torn write.
+void write_snapshot(const std::string& path,
+                    const dmc::metrics::Registry& registry) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      std::cerr << "dmcd: cannot write metrics snapshot " << tmp << "\n";
+      return;
+    }
+    registry.write_prometheus(out);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    std::cerr << "dmcd: cannot publish metrics snapshot " << path << "\n";
+  }
+}
+
+struct Args {
+  std::string socket;
+  std::string universe_dir;
+  std::string metrics_file;
+  long long metrics_period_ms = 1000;
+  dmc::serve::SchedulerOptions sched;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  auto value = [&](int& i, const char* flag) -> std::string {
+    if (i + 1 >= argc) usage(std::string(flag) + " needs a value");
+    return argv[++i];
+  };
+  auto int_value = [&](int& i, const char* flag) -> long long {
+    const std::string v = value(i, flag);
+    try {
+      return std::stoll(v);
+    } catch (...) {
+      usage(std::string(flag) + ": not an integer: " + v);
+    }
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      a.socket = value(i, "--socket");
+    } else if (arg == "--workers") {
+      a.sched.workers = static_cast<int>(int_value(i, "--workers"));
+      if (a.sched.workers < 1) usage("--workers must be >= 1");
+    } else if (arg == "--max-queue") {
+      a.sched.max_queue = static_cast<int>(int_value(i, "--max-queue"));
+      if (a.sched.max_queue < 1) usage("--max-queue must be >= 1");
+    } else if (arg == "--universe-dir") {
+      a.universe_dir = value(i, "--universe-dir");
+    } else if (arg == "--metrics") {
+      a.metrics_file = value(i, "--metrics");
+    } else if (arg == "--metrics-period-ms") {
+      a.metrics_period_ms = int_value(i, "--metrics-period-ms");
+      if (a.metrics_period_ms < 10) usage("--metrics-period-ms too small");
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else {
+      usage("unknown argument: " + arg);
+    }
+  }
+  if (a.socket.empty()) usage("--socket is required");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+
+  // The daemon always runs with metrics on: they feed the `metrics`
+  // protocol verb and the optional snapshot file.
+  dmc::metrics::Registry registry;
+  dmc::metrics::set_global(&registry);
+
+  dmc::serve::ServerOptions opts;
+  opts.socket_path = args.socket;
+  opts.sched = args.sched;
+  opts.universe_dir = args.universe_dir;
+  dmc::serve::Server server(opts);
+  g_server = &server;
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+
+  // Periodic snapshot publisher (S1). The condition_variable doubles as
+  // the stop signal so shutdown never waits out a full period.
+  std::mutex snap_mu;
+  std::condition_variable snap_cv;
+  bool snap_stop = false;
+  dmc::par::Thread snapshotter;
+  if (!args.metrics_file.empty()) {
+    snapshotter = dmc::par::Thread([&] {
+      std::unique_lock<std::mutex> lock(snap_mu);
+      while (!snap_stop) {
+        lock.unlock();
+        write_snapshot(args.metrics_file, registry);
+        lock.lock();
+        snap_cv.wait_for(
+            lock, std::chrono::milliseconds(args.metrics_period_ms),
+            [&] { return snap_stop; });
+      }
+    });
+  }
+
+  std::cout << "dmcd listening on " << args.socket << std::endl;
+  const int rc = server.run();
+
+  {
+    std::lock_guard<std::mutex> lock(snap_mu);
+    snap_stop = true;
+  }
+  snap_cv.notify_all();
+  if (snapshotter.joinable()) snapshotter.join();
+  // Final snapshot so post-mortem scrapes see the drained totals.
+  if (!args.metrics_file.empty()) write_snapshot(args.metrics_file, registry);
+
+  g_server = nullptr;
+  dmc::metrics::set_global(nullptr);
+  std::cout << "dmcd stopped (rc=" << rc << ")" << std::endl;
+  return rc;
+}

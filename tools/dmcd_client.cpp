@@ -1,0 +1,127 @@
+// dmcd-client — command-line client for a running dmcd.
+//
+// Used by tests, benches, and the CI serving smoke job; scripts talk to
+// the daemon through this binary instead of open-coding socket I/O.
+//
+//   dmcd-client --socket PATH ping|metrics|shutdown
+//   dmcd-client --socket PATH query '<json request line>'
+//   dmcd-client --socket PATH batch    # JSON request lines on stdin
+//
+// Every received response is printed as one JSON line on stdout. The
+// exit code is the protocol's CLI mapping: for `query`, the response's
+// own `code`; for `batch`, the maximum code across responses — so a
+// batch exits 0 iff every query held. Transport failures (no daemon,
+// daemon died mid-batch) exit 4.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "serve/client.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const std::string& why = "") {
+  if (!why.empty()) std::cerr << "dmcd-client: " << why << "\n";
+  std::cerr << "usage: dmcd-client --socket PATH [--timeout-ms N] "
+               "ping|metrics|shutdown|query LINE|batch\n";
+  std::exit(2);
+}
+
+int response_code(const dmc::serve::Json& resp) {
+  const dmc::serve::Json& code = resp["code"];
+  if (code.is_number()) return static_cast<int>(code.as_int());
+  return dmc::serve::status_exit_code(resp["status"].as_string());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket;
+  std::string verb;
+  std::string query_line;
+  int timeout_ms = 60000;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--socket") {
+      if (i + 1 >= argc) usage("--socket needs a value");
+      socket = argv[++i];
+    } else if (arg == "--timeout-ms") {
+      if (i + 1 >= argc) usage("--timeout-ms needs a value");
+      try {
+        timeout_ms = std::stoi(argv[++i]);
+      } catch (...) {
+        usage("--timeout-ms: not an integer");
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage();
+    } else if (verb.empty()) {
+      verb = arg;
+    } else if (verb == "query" && query_line.empty()) {
+      query_line = arg;
+    } else {
+      usage("unexpected argument: " + arg);
+    }
+  }
+  if (socket.empty()) usage("--socket is required");
+  if (verb.empty()) usage("missing verb");
+  if (verb == "query" && query_line.empty()) usage("query needs a line");
+
+  try {
+    dmc::serve::Client client(socket);
+
+    if (verb == "ping" || verb == "metrics" || verb == "shutdown") {
+      const auto resp = verb == "ping"       ? client.ping(timeout_ms)
+                        : verb == "metrics" ? client.metrics(timeout_ms)
+                                            : client.shutdown(timeout_ms);
+      if (!resp) {
+        std::cerr << "dmcd-client: no response\n";
+        return 4;
+      }
+      std::cout << resp->dump() << "\n";
+      return 0;
+    }
+
+    if (verb == "query") {
+      if (!client.send_line(query_line)) {
+        std::cerr << "dmcd-client: send failed\n";
+        return 4;
+      }
+      const auto resp = client.recv(timeout_ms);
+      if (!resp) {
+        std::cerr << "dmcd-client: no response\n";
+        return 4;
+      }
+      std::cout << resp->dump() << "\n";
+      return response_code(*resp);
+    }
+
+    if (verb == "batch") {
+      std::vector<std::string> lines;
+      std::string line;
+      while (std::getline(std::cin, line))
+        if (!line.empty()) lines.push_back(line);
+      for (const std::string& l : lines)
+        if (!client.send_line(l)) {
+          std::cerr << "dmcd-client: send failed\n";
+          return 4;
+        }
+      int max_code = 0;
+      for (std::size_t i = 0; i < lines.size(); ++i) {
+        const auto resp = client.recv(timeout_ms);
+        if (!resp) {
+          std::cerr << "dmcd-client: missing " << (lines.size() - i)
+                    << " responses\n";
+          return 4;
+        }
+        std::cout << resp->dump() << "\n";
+        if (response_code(*resp) > max_code) max_code = response_code(*resp);
+      }
+      return max_code;
+    }
+
+    usage("unknown verb: " + verb);
+  } catch (const std::exception& e) {
+    std::cerr << "dmcd-client: " << e.what() << "\n";
+    return 4;
+  }
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env bash
+# Serving smoke test (the CI `serve` job; also runnable locally):
+#
+#   tools/serve_smoke.sh [build-dir]
+#
+# Starts dmcd with a metrics snapshot file and a universe-cache dir,
+# drives one mixed pipelined batch over the socket — a slow warm-up
+# group, an over-deadline request, a warm-key run of 8 same-formula
+# decides, and a malformed line — then asserts:
+#
+#   * the batch exit code is the max per-response code (deadline 6 beats
+#     malformed 2 beats ok 0) — the CLI exit-code mapping end to end;
+#   * the over-deadline request was answered `deadline` without running;
+#   * the malformed line got `malformed` and did not kill the connection;
+#   * the warm-key run performed exactly ONE universe construction per
+#     engine key (single-flight tier, scraped from the metrics snapshot);
+#   * `shutdown` drains cleanly: daemon exits 0 and unlinks its socket.
+set -euo pipefail
+
+BUILD=${1:-build}
+DMCD="$PWD/$BUILD/tools/dmcd"
+CLIENT="$PWD/$BUILD/tools/dmcd-client"
+[ -x "$DMCD" ] && [ -x "$CLIENT" ] || {
+  echo "serve_smoke: build dmcd and dmcd-client first ($BUILD/tools)" >&2
+  exit 2
+}
+
+DIR=$(mktemp -d)
+DPID=""
+cleanup() {
+  [ -n "$DPID" ] && kill "$DPID" 2>/dev/null || true
+  rm -rf "$DIR"
+}
+trap cleanup EXIT
+
+SOCK="$DIR/dmcd.sock"
+SNAP="$DIR/metrics.prom"
+"$DMCD" --socket "$SOCK" --workers 1 --max-queue 32 \
+  --metrics "$SNAP" --metrics-period-ms 100 \
+  --universe-dir "$DIR/ucache" >"$DIR/dmcd.log" 2>&1 &
+DPID=$!
+
+for _ in $(seq 1 100); do
+  "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1 && break
+  sleep 0.1
+done
+"$CLIENT" --socket "$SOCK" ping | grep -q '"status":"pong"' || {
+  echo "serve_smoke: daemon never became ready" >&2
+  cat "$DIR/dmcd.log" >&2
+  exit 1
+}
+
+# One pipelined connection, line order = admission order. With one worker
+# the slow rank-3 group runs first, so the 1 ms deadline of "late" lapses
+# in the queue; "late" shares the warm-key group's engine key and is
+# answered `deadline` at dispatch without running.
+TRI='!exists vertex x, y, z. adj(x,y) & adj(y,z) & adj(x,z)'
+{
+  printf '{"id":"slow","verb":"decide","formula":"%s","family":"path:10","dist":4}\n' "$TRI"
+  printf '{"id":"late","verb":"decide","formula":"exists vertex x, y. adj(x, y)","family":"path:12","dist":4,"deadline_ms":1}\n'
+  for i in $(seq 0 7); do
+    printf '{"id":"w%s","verb":"decide","formula":"exists vertex x, y. adj(x, y)","family":"path:%s","dist":4}\n' "$i" $((6 + i % 4))
+  done
+  printf 'this is not json\n'
+} >"$DIR/batch.jsonl"
+
+set +e
+"$CLIENT" --socket "$SOCK" batch <"$DIR/batch.jsonl" >"$DIR/out.jsonl"
+RC=$?
+set -e
+cat "$DIR/out.jsonl"
+
+python3 - "$DIR/out.jsonl" "$RC" <<'EOF'
+import json, sys
+rows = {}
+for line in open(sys.argv[1]):
+    r = json.loads(line)
+    rows[r.get("id", "")] = r
+rc = int(sys.argv[2])
+assert len(rows) == 11, f"expected 11 responses, got {len(rows)}"
+assert rows["slow"]["status"] == "ok" and rows["slow"]["code"] == 0, rows["slow"]
+late = rows["late"]
+assert late["status"] == "deadline" and late["code"] == 6, late
+assert late["rounds"] == 0, f"over-deadline request ran anyway: {late}"
+for i in range(8):
+    w = rows[f"w{i}"]
+    assert w["status"] == "ok" and w["code"] == 0, w
+bad = rows[""]
+assert bad["status"] == "malformed" and bad["code"] == 2, bad
+# Batch exit code = max per-response code: deadline (6) dominates.
+assert rc == 6, f"batch exit {rc}, want 6 (max of codes)"
+print("serve_smoke: batch responses and exit-code mapping OK")
+EOF
+
+# Metrics over the protocol: the warm-key group (2 engine keys in the
+# whole batch: the rank-3 slow formula and the shared decide formula)
+# performed exactly one universe construction per key.
+"$CLIENT" --socket "$SOCK" metrics >"$DIR/metrics.json"
+python3 - "$DIR/metrics.json" <<'EOF'
+import json, sys
+m = json.load(open(sys.argv[1]))
+tier = m["universe_tier"]
+assert tier["builds"] == 2, f"single-flight violated: {tier}"
+assert tier["keys"] == 2, tier
+fields = m["metrics"]
+assert fields["serve.responses"] == 10, fields["serve.responses"]
+assert fields["serve.deadline.expired"] == 1
+assert fields["serve.requests.malformed"] == 1
+print("serve_smoke: metrics verb OK (builds=2 for 2 keys, 10 responses)")
+EOF
+
+"$CLIENT" --socket "$SOCK" shutdown | grep -q '"status":"shutting_down"'
+DRC=0
+wait "$DPID" || DRC=$?
+DPID=""
+[ "$DRC" -eq 0 ] || { echo "serve_smoke: daemon exit $DRC, want 0" >&2; exit 1; }
+[ ! -e "$SOCK" ] || { echo "serve_smoke: socket not unlinked" >&2; exit 1; }
+
+# The snapshot file survives the daemon (temp+rename, final flush on
+# shutdown) and is valid Prometheus text.
+grep -q '^dmc_serve_responses 10$' "$SNAP"
+grep -q '^dmc_bpt_universe_tier_builds 2$' "$SNAP"
+echo "serve_smoke: clean shutdown, snapshot flushed — all checks passed"
