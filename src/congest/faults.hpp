@@ -51,6 +51,15 @@ struct FaultPlan {
   /// faulty links instead of layering the reliable shim under them (for
   /// degradation experiments; verdicts are then untrusted).
   bool raw_transport = false;
+  /// Hidden (never parsed from a CLI spec): `dmc-mc --self-check` plants a
+  /// known ordering bug in the reliable transport's delivery handler — the
+  /// piggybacked ack is processed and the frame accepted before the
+  /// dup-suppression check rejects *stale* sequence numbers, so a delayed
+  /// duplicate from an earlier virtual round can satisfy the current
+  /// barrier without depositing the current payload. The model checker
+  /// must find the interleaving that triggers it (see src/mc/ and
+  /// docs/STATIC_ANALYSIS.md, "Model checking").
+  bool mc_planted_ack_before_dup_check = false;
 
   bool has_link_faults() const {
     return drop > 0 || duplicate > 0 || corrupt > 0 || reorder > 0;

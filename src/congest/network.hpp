@@ -37,6 +37,8 @@ class Registry;  // src/metrics/metrics.hpp: aggregate counters/histograms
 
 namespace dmc::congest {
 
+class SchedulerHook;  // sched_hook.hpp: dmc-mc schedule-exploration seam
+
 namespace detail {
 struct FaultRuntime;  // reliable.hpp: fault-injecting / reliable-transport runs
 struct NetMetrics;    // net_metrics.hpp: resolved metric handles of a network
@@ -110,6 +112,14 @@ struct NetworkConfig {
   /// snapshot dump of `dmc --metrics-interval R` for long runs.
   int metrics_interval = 0;
   std::function<void(long rounds)> metrics_flush;
+  /// Schedule-exploration seam (sched_hook.hpp; not owned, must outlive
+  /// the network). Only honored on the reliable-transport fault path:
+  /// when non-null, frame deliveries, defers, adversarial retransmit-timer
+  /// firings, and crash events become choice points resolved by the hook
+  /// instead of the fixed loop order. Null — the default — is byte for
+  /// byte the legacy behavior on every path. The dmc-mc explorer
+  /// (src/mc/) is the only intended installer.
+  SchedulerHook* scheduler = nullptr;
   /// Worker threads for per-node stepping inside each simulated round
   /// (rounds are simultaneous in the model, so stepping is embarrassingly
   /// parallel; see docs/PERFORMANCE.md for the determinism argument).

@@ -1,9 +1,38 @@
 #include "congest/reliable.hpp"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
 #include "congest/net_metrics.hpp"
+
+namespace dmc::congest {
+
+std::string SchedChoice::label() const {
+  std::string s;
+  switch (kind) {
+    case Kind::kDeliver:
+      s = "deliver";
+      break;
+    case Kind::kDefer:
+      s = "defer";
+      break;
+    case Kind::kRetransmit:
+      s = "retransmit";
+      break;
+    case Kind::kCrash:
+      return "crash node=" + std::to_string(src);
+  }
+  s += " link=" + std::to_string(link) + " " + std::to_string(src) + "->" +
+       std::to_string(dst);
+  if (kind != Kind::kRetransmit) s += " order=" + std::to_string(order);
+  s += " seq=" + std::to_string(seq);
+  if (with_payload) s += " payload";
+  if (stale) s += " stale";
+  return s;
+}
+
+}  // namespace dmc::congest
 
 namespace dmc::congest::detail {
 
@@ -73,31 +102,31 @@ std::string FaultRuntime::phase_path() const {
   return path;
 }
 
+void FaultRuntime::crash_node(VertexId id) {
+  if (id < 0 || id >= static_cast<VertexId>(net_.vertex_of_id_.size()))
+    return;  // id not present in this network
+  const int v = net_.vertex_of_id_[id];
+  if (crashed_[v]) return;
+  crashed_[v] = 1;
+  crashed_ids_.push_back(id);
+  net_.stats_.crashes += 1;
+  emit_fault(obs::FaultEvent::Kind::Crash, physical_round_, id, -1, 0);
+  // Crash-stop cuts the node's links: queued sends vanish and frames on
+  // the wire to/from it are lost; live links stop waiting on it.
+  for (auto& slot : net_.outbox_[v]) slot.reset();
+  for (int port = 0; port < static_cast<int>(link_of_[v].size()); ++port) {
+    const int out = link_of_[v][port];
+    channels_[out].active = false;
+    channels_[links_[out].reverse].active = false;
+    flight_[out].clear();
+    flight_[links_[out].reverse].clear();
+  }
+}
+
 void FaultRuntime::apply_scheduled_crashes() {
   while (next_crash_ < schedule_.size() &&
-         schedule_[next_crash_].round <= physical_round_) {
-    const CrashFault& crash = schedule_[next_crash_++];
-    if (crash.node < 0 ||
-        crash.node >= static_cast<VertexId>(net_.vertex_of_id_.size()))
-      continue;  // id not present in this network
-    const int v = net_.vertex_of_id_[crash.node];
-    if (crashed_[v]) continue;
-    crashed_[v] = 1;
-    crashed_ids_.push_back(crash.node);
-    net_.stats_.crashes += 1;
-    emit_fault(obs::FaultEvent::Kind::Crash, physical_round_, crash.node, -1,
-               0);
-    // Crash-stop cuts the node's links: queued sends vanish and frames on
-    // the wire to/from it are lost; live links stop waiting on it.
-    for (auto& slot : net_.outbox_[v]) slot.reset();
-    for (int port = 0; port < static_cast<int>(link_of_[v].size()); ++port) {
-      const int out = link_of_[v][port];
-      channels_[out].active = false;
-      channels_[links_[out].reverse].active = false;
-      flight_[out].clear();
-      flight_[links_[out].reverse].clear();
-    }
-  }
+         schedule_[next_crash_].round <= physical_round_)
+    crash_node(schedule_[next_crash_++].node);
 }
 
 void FaultRuntime::launch(int link, long seq, long ack_seq, bool with_payload,
@@ -168,6 +197,134 @@ int FaultRuntime::deliver_due(
     ++delivered;
   }
   return delivered;
+}
+
+void FaultRuntime::deliver_with_hook(
+    long now, const std::function<void(int link, InFlight& copy)>& handler) {
+  SchedulerHook* const hook = net_.cfg_.scheduler;
+  // Per-phase bookkeeping: a link that delivered *or* was deferred is done
+  // for this round (same one-frame-per-link cap as deliver_due), and a
+  // forced retransmit is offered at most once per link per round so the
+  // choice set stays finite without an explorer-side bound.
+  std::vector<char> settled(links_.size(), 0);
+  std::vector<char> fired(links_.size(), 0);
+  for (;;) {
+    std::vector<SchedChoice> enabled;
+    // Pending crash-stop faults: the adversary positions each crash before
+    // or after any subset of the round's deliveries. Mandatory — the hook
+    // may not decline a set containing one.
+    for (std::size_t c = next_crash_; c < schedule_.size(); ++c) {
+      if (schedule_[c].round > now) break;
+      const CrashFault& crash = schedule_[c];
+      if (crash.node < 0 ||
+          crash.node >= static_cast<VertexId>(net_.vertex_of_id_.size()))
+        continue;
+      if (crashed_[net_.vertex_of_id_[crash.node]]) continue;
+      SchedChoice ch;
+      ch.kind = SchedChoice::Kind::kCrash;
+      ch.src = crash.node;
+      enabled.push_back(ch);
+    }
+    // Due frames: per link, the earliest-sent copy may be delivered
+    // (mandatory eventually) or the whole link held back a round (optional).
+    for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+      if (settled[k]) continue;
+      const auto& fl = flight_[k];
+      int best = -1;
+      for (int i = 0; i < static_cast<int>(fl.size()); ++i) {
+        if (fl[i].due > now) continue;
+        if (best < 0 || fl[i].order < fl[best].order) best = i;
+      }
+      if (best < 0) continue;
+      SchedChoice d;
+      d.kind = SchedChoice::Kind::kDeliver;
+      d.link = k;
+      d.order = fl[best].order;
+      d.seq = fl[best].seq;
+      d.src = net_.ids_[links_[k].u];
+      d.dst = net_.ids_[links_[k].v];
+      d.with_payload = fl[best].with_payload;
+      d.stale = channels_[k].active && fl[best].seq < channels_[k].seq;
+      enabled.push_back(d);
+      SchedChoice h = d;
+      h.kind = SchedChoice::Kind::kDefer;
+      enabled.push_back(h);
+    }
+    // Adversarial early retransmit-timer firings (optional): any armed,
+    // un-acked channel whose timer would *not* fire naturally this round.
+    for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+      const Channel& ch = channels_[k];
+      if (fired[k] || !ch.active || ch.acked || crashed_[links_[k].u])
+        continue;
+      if (ch.tx_count < 1 || now >= ch.next_tx) continue;
+      SchedChoice r;
+      r.kind = SchedChoice::Kind::kRetransmit;
+      r.link = k;
+      r.seq = ch.seq;
+      r.src = net_.ids_[links_[k].u];
+      r.dst = net_.ids_[links_[k].v];
+      r.with_payload = ch.has_payload && !ch.best_effort;
+      enabled.push_back(r);
+    }
+    if (enabled.empty()) return;
+    const int pick = hook->choose(now, enabled);
+    if (pick < 0) return;  // declined an all-optional remainder
+    const SchedChoice& c = enabled[static_cast<std::size_t>(pick)];
+    switch (c.kind) {
+      case SchedChoice::Kind::kCrash:
+        crash_node(c.src);
+        break;
+      case SchedChoice::Kind::kDeliver: {
+        auto& fl = flight_[c.link];
+        int best = -1;
+        for (int i = 0; i < static_cast<int>(fl.size()); ++i) {
+          if (fl[i].due > now) continue;
+          if (best < 0 || fl[i].order < fl[best].order) best = i;
+        }
+        if (best < 0) break;  // hook raced a stale choice; nothing due
+        for (auto& copy : fl)
+          if (copy.due <= now) copy.due = now + 1;
+        InFlight winner = std::move(fl[best]);
+        fl.erase(fl.begin() + best);
+        handler(c.link, winner);
+        settled[c.link] = 1;
+        break;
+      }
+      case SchedChoice::Kind::kDefer:
+        for (auto& copy : flight_[c.link])
+          if (copy.due <= now) copy.due = now + 1;
+        settled[c.link] = 1;
+        break;
+      case SchedChoice::Kind::kRetransmit: {
+        Channel& ch = channels_[c.link];
+        ch.tx_count += 1;
+        const bool carry =
+            ch.has_payload && (!ch.best_effort || ch.tx_count == 1);
+        net_.stats_.frames += 1;
+        net_.stats_.frame_bits +=
+            kTransportHeaderBits + (carry ? ch.payload_bits : 0);
+        if (!ch.has_payload) net_.stats_.marker_frames += 1;
+        net_.stats_.retransmissions += 1;
+        if (net_.metrics_ != nullptr) {
+          NetMetrics& m = *net_.metrics_;
+          m.frames->add(1);
+          m.frame_bits->add(kTransportHeaderBits +
+                            (carry ? ch.payload_bits : 0));
+          if (!ch.has_payload) m.marker_frames->add(1);
+          m.retransmissions->add(1);
+        }
+        const Channel& rev = channels_[links_[c.link].reverse];
+        const long ack_seq =
+            (rev.active && rev.delivered) ? rev.seq : ch.seq - 1;
+        launch(c.link, ch.seq, ack_seq, carry,
+               static_cast<std::uint64_t>(ch.tx_count));
+        ch.next_tx = now + ch.rto;
+        ch.rto = std::min(ch.rto * 2, kMaxRto);
+        fired[c.link] = 1;
+        break;
+      }
+    }
+  }
 }
 
 RunOutcome FaultRuntime::finish(RunStatus status, long physical,
@@ -289,6 +446,7 @@ RunOutcome FaultRuntime::run_reliable(
       ch.best_effort = best_effort_[L.u][L.uport] != 0;
       ch.delivered = false;
       ch.acked = false;
+      ch.payload_deposited = false;
       ch.next_tx = physical_round_;
       ch.rto = kInitialRto;
       ch.tx_count = 0;
@@ -344,9 +502,9 @@ RunOutcome FaultRuntime::run_reliable(
       }
 
       tick(done_count);
-      apply_scheduled_crashes();
 
-      deliver_due(physical_round_, [&](int k, InFlight& copy) {
+      const bool planted = injector_.plan().mc_planted_ack_before_dup_check;
+      auto deliver_handler = [&](int k, InFlight& copy) {
         Channel& ch = channels_[k];
         const Link& L = links_[k];
         if (crashed_[L.v]) return;
@@ -358,15 +516,37 @@ RunOutcome FaultRuntime::run_reliable(
           if (net_.metrics_ != nullptr && rev.tx_count > 0)
             net_.metrics_->ack_latency->record(physical_round_ - rev.first_tx);
         }
-        if (!ch.active || copy.seq != ch.seq || ch.delivered) {
-          // Duplicate / stale frame: suppressed by sequence number.
+        // Duplicate / stale suppression by sequence number. The planted
+        // --self-check bug (FaultPlan::mc_planted_ack_before_dup_check)
+        // weakens the staleness half of the guard — the ack above was
+        // already processed, and a delayed copy from an *earlier* virtual
+        // round now slips through and completes the channel without
+        // depositing the current payload. Only an adversarial ordering
+        // (early retransmit of a marker frame, then delivery of the stale
+        // copy ahead of the genuine one next round) exposes it.
+        const bool suppress =
+            planted ? (!ch.active || copy.seq > ch.seq || ch.delivered)
+                    : (!ch.active || copy.seq != ch.seq || ch.delivered);
+        if (suppress) {
           if (net_.metrics_ != nullptr) net_.metrics_->dup_suppressed->add(1);
           return;
         }
         ch.delivered = true;
-        if (copy.with_payload)
+        if (copy.with_payload) {
           net_.inbox_[L.v][L.vport] = std::move(ch.payload);
-      });
+          ch.payload_deposited = true;
+        }
+      };
+
+      if (net_.cfg_.scheduler == nullptr) {
+        apply_scheduled_crashes();
+        deliver_due(physical_round_, deliver_handler);
+      } else {
+        deliver_with_hook(physical_round_, deliver_handler);
+        // Retire schedule entries the hook executed as kCrash choices (and
+        // apply any it was never offered, e.g. absent ids): idempotent.
+        apply_scheduled_crashes();
+      }
 
       bool all_delivered = true;
       for (const Channel& ch : channels_)
@@ -374,7 +554,24 @@ RunOutcome FaultRuntime::run_reliable(
           all_delivered = false;
           break;
         }
-      if (all_delivered) break;
+      if (all_delivered) {
+        // Barrier-integrity invariant (hook mode only): a completed
+        // barrier must have deposited every live non-best-effort payload.
+        if (net_.cfg_.scheduler != nullptr) {
+          for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
+            const Channel& ch = channels_[k];
+            if (ch.active && ch.has_payload && !ch.best_effort &&
+                !ch.payload_deposited)
+              net_.cfg_.scheduler->note_violation(
+                  "transport barrier completed without depositing payload: "
+                  "link " +
+                  std::to_string(net_.ids_[links_[k].u]) + "->" +
+                  std::to_string(net_.ids_[links_[k].v]) + " vround " +
+                  std::to_string(ch.seq));
+          }
+        }
+        break;
+      }
       if (physical > net_.cfg_.max_rounds)
         return finish(RunStatus::kRoundLimit, physical, vrounds, true);
     }

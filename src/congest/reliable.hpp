@@ -48,6 +48,7 @@
 
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
+#include "congest/sched_hook.hpp"
 
 namespace dmc::congest {
 
@@ -95,6 +96,12 @@ struct FaultRuntime {
     int payload_bits = 0;
     bool delivered = false;  // receiver completed this link's frame
     bool acked = false;      // sender saw the (piggybacked) ack
+    /// The frame's payload actually landed in the receiver's inbox.
+    /// Tracked for the hook-mode barrier-integrity invariant: a completed
+    /// barrier whose non-best-effort payload channel never deposited is a
+    /// transport bug (the planted --self-check bug manufactures exactly
+    /// that). Maintained on every path; only checked under a hook.
+    bool payload_deposited = false;
     long next_tx = 0;        // physical round of the next (re)transmission
     long first_tx = 0;       // physical round of the first transmission
     int rto = kInitialRto;
@@ -118,6 +125,9 @@ struct FaultRuntime {
   /// Crash-stops every plan entry scheduled at or before the current
   /// physical round (idempotent); deactivates channels touching the node.
   void apply_scheduled_crashes();
+  /// Crash-stops one node id now (shared by the scheduled sweep above and
+  /// the hook's kCrash choice). No-op for absent or already-crashed ids.
+  void crash_node(VertexId id);
   void emit_fault(obs::FaultEvent::Kind kind, long round, VertexId src,
                   VertexId dst, int detail_value);
   std::string phase_path() const;
@@ -132,6 +142,14 @@ struct FaultRuntime {
   /// bounded. Returns how many frames landed.
   int deliver_due(long now,
                   const std::function<void(int link, InFlight& copy)>& handler);
+  /// Hook-mode replacement for the apply_scheduled_crashes + deliver_due
+  /// pair (sched_hook.hpp): pending crashes, due-frame deliveries, per-link
+  /// defers, and early retransmit-timer firings become choice points
+  /// resolved by net_.cfg_.scheduler, one at a time, until the round's
+  /// choice set is exhausted. Per-link delivery stays capped at one frame
+  /// per round (the same bounded-reordering model as deliver_due).
+  void deliver_with_hook(
+      long now, const std::function<void(int link, InFlight& copy)>& handler);
 
   Network& net_;
   FaultInjector injector_;

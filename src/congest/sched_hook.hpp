@@ -1,0 +1,88 @@
+// Scheduler seam for systematic schedule exploration (dmc-mc, src/mc/).
+//
+// The reliable-transport runtime (reliable.cpp) normally resolves its
+// per-round nondeterminism with a fixed loop order: crashes apply at the
+// top of the round, every due frame is delivered in link-index order, and
+// retransmit timers fire exactly on their RTO schedule. Under a real
+// asynchronous network none of those orders is guaranteed — the paper's
+// protocols are proven correct under *any* message ordering — so a
+// SchedulerHook installed via NetworkConfig::scheduler turns each of them
+// into an explicit choice point:
+//
+//   kDeliver     deliver the earliest in-flight frame on a directed link
+//                (further due copies on the link wait a round, preserving
+//                the bounded-reordering delivery model of faults.hpp);
+//   kDefer       hold all of a link's due frames back one physical round
+//                (the adversary delays the link);
+//   kRetransmit  fire a channel's retransmit timer early, putting an
+//                extra copy of the current frame on the wire (the
+//                adversarial timer that manufactures duplicates);
+//   kCrash       apply a crash-stop fault scheduled at the current round
+//                at a chosen position among the round's deliveries.
+//
+// The hook picks one enabled choice at a time until the round's choice
+// set is exhausted; the DPOR explorer in src/mc/ drives this seam to
+// enumerate bounded schedule spaces. With no hook installed (the default,
+// and every non-mc code path) the runtime takes the legacy fixed order,
+// byte for byte.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmc::congest {
+
+/// One schedulable transition offered to the hook.
+struct SchedChoice {
+  enum class Kind { kDeliver, kDefer, kRetransmit, kCrash };
+  Kind kind = Kind::kDeliver;
+  int link = -1;   // directed link index (deliver / defer / retransmit)
+  long order = -1; // global send order of the frame (deliver / defer)
+  long seq = -1;   // frame's (or channel's) virtual-round sequence number
+  VertexId src = -1;  // sender id; crash: the crashing node's id
+  VertexId dst = -1;  // receiver id; crash: -1
+  bool with_payload = false;
+  bool stale = false;  // frame's seq is behind the channel's current frame
+
+  /// Stable semantic identity within one round's choice set — what replay
+  /// traces and DPOR sleep sets key on (indices into the enabled vector
+  /// are not stable across executions; these fields are).
+  std::uint64_t key() const {
+    std::uint64_t h = 1469598103934665603ull;
+    auto fold = [&h](std::uint64_t x) {
+      h ^= x;
+      h *= 1099511628211ull;
+    };
+    fold(static_cast<std::uint64_t>(kind));
+    fold(static_cast<std::uint64_t>(link + 1));
+    fold(static_cast<std::uint64_t>(order + 1));
+    fold(static_cast<std::uint64_t>(src + 1));
+    return h;
+  }
+
+  std::string label() const;
+};
+
+/// Installed via NetworkConfig::scheduler; only consulted on the
+/// reliable-transport fault path. Implementations live in src/mc/.
+class SchedulerHook {
+ public:
+  virtual ~SchedulerHook() = default;
+
+  /// Picks the next transition from a non-empty enabled set; returns an
+  /// index into `enabled`, or -1 to decline (legal only when every entry
+  /// is optional — kDefer/kRetransmit; declining a kDeliver/kCrash would
+  /// stall the transport barrier).
+  virtual int choose(long physical_round,
+                     const std::vector<SchedChoice>& enabled) = 0;
+
+  /// Invariant breach detected by the runtime while under hook control
+  /// (e.g. a transport barrier that completed with an undeposited
+  /// payload). Default: ignore.
+  virtual void note_violation(const std::string& what) { (void)what; }
+};
+
+}  // namespace dmc::congest

@@ -1,0 +1,91 @@
+// CONGEST-layer model-checking scenarios (dmc-mc).
+//
+// A CongestScenario is a tiny 2–4-node protocol run on the
+// reliable-transport fault path with a SchedulerHook installed
+// (congest/sched_hook.hpp): every frame delivery, link defer, early
+// retransmit-timer firing, and crash event becomes a choice point the
+// explorer (explorer.hpp) drives. Each execution constructs a fresh
+// Network — stateless replay — and ends with the scenario's oracle check
+// plus a canonical digest (protocol outputs, virtual rounds, logical
+// message/bit totals) that must be identical on every interleaving
+// whenever the scenario declares its outcome schedule-independent.
+//
+// DPOR structure: the *process* of a link action (deliver / defer /
+// retransmit) is its directed link. Delivery on a link also touches the
+// reverse channel's piggybacked-ack state, so the two directions of one
+// edge are dependent (distinct processes — no program order relates
+// them) while distinct edges commute. A crash's process is the crashed
+// node; it is dependent with every action on an incident edge. Adversary
+// budgets (defers and extra transmissions per execution) keep the
+// optional-action branching finite.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "congest/network.hpp"
+#include "congest/sched_hook.hpp"
+#include "graph/graph.hpp"
+#include "mc/explorer.hpp"
+
+namespace dmc::mc {
+
+struct CongestScenario {
+  std::string name;
+  std::string description;
+  Graph graph;  // node ids are graph vertices (id_seed 0)
+  std::vector<congest::CrashFault> crashes;
+  /// Wire-format audit on every interleaving (declared-vs-encoded bits).
+  bool audit = true;
+  /// dmc-mc --self-check: engage the planted ordering bug
+  /// (congest::FaultPlan::mc_planted_ack_before_dup_check).
+  bool planted_bug = false;
+  /// Off when the outcome legitimately depends on the schedule (crash
+  /// positioning); the oracle `check` is then the only cross-schedule
+  /// invariant.
+  bool check_digest = true;
+  int max_rounds = 48;
+  int stall_quiet_rounds = 4;
+  std::function<std::vector<std::unique_ptr<congest::NodeProgram>>()>
+      make_programs;
+  /// Oracle: inspects the outcome and final program states, appends
+  /// violations, and produces the scenario part of the digest.
+  std::function<void(const congest::RunOutcome&,
+                     const std::vector<std::unique_ptr<congest::NodeProgram>>&,
+                     std::vector<std::string>&, std::uint64_t&)>
+      check;
+};
+
+class CongestSystem : public System {
+ public:
+  struct Options {
+    /// Per-execution adversary budgets: how many link-hold choices and
+    /// early retransmit firings a schedule may contain. Offers beyond the
+    /// budget are filtered before the choice point is recorded, so the
+    /// schedule space stays finite.
+    int defer_bound = 1;
+    int extra_tx_bound = 1;
+  };
+
+  CongestSystem(CongestScenario scenario, Options options);
+
+  Execution run(const PickFn& pick) override;
+  bool dependent(const Action& a, const Action& b) const override;
+  std::string name() const override { return scenario_.name; }
+
+ private:
+  Action to_action(const congest::SchedChoice& choice) const;
+
+  CongestScenario scenario_;
+  Options options_;
+};
+
+/// The built-in congest scenarios (see scenarios.cpp for the registry):
+CongestScenario scenario_transport_pair(bool planted_bug);
+CongestScenario scenario_transport_chain3();
+CongestScenario scenario_transport_crash3();
+
+}  // namespace dmc::mc

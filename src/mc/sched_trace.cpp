@@ -1,0 +1,128 @@
+#include "mc/sched_trace.hpp"
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace dmc::mc {
+
+namespace {
+
+std::string hex64(std::uint64_t v) {
+  static const char* digits = "0123456789abcdef";
+  std::string s(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    s[i] = digits[v & 0xf];
+    v >>= 4;
+  }
+  return s;
+}
+
+std::uint64_t parse_hex64(const std::string& s, int line_no) {
+  if (s.empty() || s.size() > 16)
+    throw std::runtime_error("dmcsched line " + std::to_string(line_no) +
+                             ": bad key '" + s + "'");
+  std::uint64_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9')
+      d = c - '0';
+    else if (c >= 'a' && c <= 'f')
+      d = c - 'a' + 10;
+    else
+      throw std::runtime_error("dmcsched line " + std::to_string(line_no) +
+                               ": bad key '" + s + "'");
+    v = (v << 4) | static_cast<std::uint64_t>(d);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string format_trace(const SchedTrace& trace) {
+  std::ostringstream out;
+  out << "dmcsched 1\n";
+  out << "scenario " << trace.scenario << "\n";
+  for (const auto& [k, v] : trace.options) out << "opt " << k << " " << v
+                                               << "\n";
+  for (const TraceEntry& e : trace.entries) {
+    if (e.decline)
+      out << "decline\n";
+    else
+      out << "choice key=" << hex64(e.key) << " " << e.label << "\n";
+  }
+  out << "end\n";
+  return out.str();
+}
+
+SchedTrace parse_trace(const std::string& text) {
+  SchedTrace trace;
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  bool saw_header = false, saw_end = false;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream ls(line);
+    std::string tok;
+    ls >> tok;
+    if (!saw_header) {
+      int version = 0;
+      if (tok != "dmcsched" || !(ls >> version) || version != 1)
+        throw std::runtime_error("dmcsched line " + std::to_string(line_no) +
+                                 ": expected 'dmcsched 1' header");
+      saw_header = true;
+    } else if (tok == "scenario") {
+      ls >> trace.scenario;
+    } else if (tok == "opt") {
+      std::string k, v;
+      ls >> k >> v;
+      trace.options.emplace_back(k, v);
+    } else if (tok == "decline") {
+      trace.entries.push_back(TraceEntry{true, 0, ""});
+    } else if (tok == "choice") {
+      std::string keytok;
+      ls >> keytok;
+      if (keytok.rfind("key=", 0) != 0)
+        throw std::runtime_error("dmcsched line " + std::to_string(line_no) +
+                                 ": choice without key=");
+      TraceEntry e;
+      e.key = parse_hex64(keytok.substr(4), line_no);
+      std::string rest;
+      std::getline(ls, rest);
+      if (!rest.empty() && rest[0] == ' ') rest.erase(0, 1);
+      e.label = rest;
+      trace.entries.push_back(std::move(e));
+    } else if (tok == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw std::runtime_error("dmcsched line " + std::to_string(line_no) +
+                               ": unknown directive '" + tok + "'");
+    }
+  }
+  if (!saw_header)
+    throw std::runtime_error("dmcsched: empty input (no header)");
+  if (!saw_end) throw std::runtime_error("dmcsched: missing 'end'");
+  return trace;
+}
+
+void write_trace(const std::string& path, const SchedTrace& trace) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) throw std::runtime_error("dmcsched: cannot write " + path);
+  out << format_trace(trace);
+  if (!out.flush())
+    throw std::runtime_error("dmcsched: write failed for " + path);
+}
+
+SchedTrace read_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("dmcsched: cannot read " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse_trace(buf.str());
+}
+
+}  // namespace dmc::mc

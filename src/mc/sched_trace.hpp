@@ -1,0 +1,52 @@
+// .dmcsched replay traces: a counterexample schedule as a text artifact.
+//
+// Every dmc-mc counterexample is written as a deterministic, line-based
+// trace that turns "the explorer found an interleaving" into a
+// one-command repro (`dmc-mc --scenario S --replay trace.dmcsched`).
+// Choices are identified *semantically* — by the Action::key the taken
+// transition hashes to (kind, link, send order, sender; see
+// congest::SchedChoice::key) — never by index, so a trace survives
+// enabled-set orderings changing, and replay detects real divergence
+// (a recorded transition no longer enabled) instead of silently taking
+// a different schedule.
+//
+// Format (version 1; '#' lines are comments):
+//
+//   dmcsched 1
+//   scenario transport-pair-planted
+//   opt defer-bound 1
+//   choice key=0f3a... deliver link=0 0->1 order=2 seq=0 stale
+//   decline
+//   end
+//
+// `opt` lines echo the bounds the trace was produced under (informational;
+// replay re-applies whatever the CLI passes). `decline` records a choice
+// point whose (all-optional) enabled set was declined.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "mc/explorer.hpp"
+
+namespace dmc::mc {
+
+struct SchedTrace {
+  std::string scenario;
+  std::vector<std::pair<std::string, std::string>> options;
+  std::vector<TraceEntry> entries;
+};
+
+/// Renders a trace to the version-1 text format.
+std::string format_trace(const SchedTrace& trace);
+
+/// Parses the version-1 text format; throws std::runtime_error with a
+/// line number on malformed input.
+SchedTrace parse_trace(const std::string& text);
+
+/// File convenience wrappers; write_trace throws on I/O failure.
+void write_trace(const std::string& path, const SchedTrace& trace);
+SchedTrace read_trace(const std::string& path);
+
+}  // namespace dmc::mc

@@ -1,0 +1,62 @@
+// Model-checked serve scheduler: admission / deadline / drain.
+//
+// The threaded serve::Scheduler (src/serve/scheduler.*) and this model
+// share the same queueing core — serve::core::GroupQueue and
+// serve::core::expired_in_queue (src/serve/sched_core.hpp) — so the
+// interleavings explored here exercise the exact group-batching,
+// admission-bound, and stop-drain logic the daemon runs, minus the
+// thread plumbing. Time is a virtual clock advanced by explicit Tick
+// actions, which is what makes deadline expiry schedulable.
+//
+// Actions (one process per worker, plus submit / tick / stop processes):
+//
+//   Submit    the client submits the next query of the scenario script
+//   Take(w)   idle worker w pops the oldest group (expired tasks answer
+//             "deadline" at take time and never execute)
+//   Finish(w) worker w completes its batch ("ok" responses)
+//   Tick      the virtual clock advances one unit        [optional]
+//   Stop      drain begins: admission closes             [optional]
+//
+// Invariants checked on every interleaving: every query gets exactly one
+// response; a task expired at take time never executes; the queue depth
+// never exceeds the admission bound; groups leave the queue in creation
+// (FIFO) order; once stopped, no submission is admitted; at quiescence
+// nothing is left unanswered (drain completeness).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mc/explorer.hpp"
+
+namespace dmc::mc {
+
+class ServeSystem : public System {
+ public:
+  struct Query {
+    std::string key;            // batching group
+    long long deadline_rel = 0; // 0 = none; else expires at submit + rel
+  };
+
+  struct Config {
+    int max_queue = 2;
+    int workers = 2;
+    int ticks = 2;  // virtual-clock budget per execution
+    std::vector<Query> queries;  // submitted in script order
+  };
+
+  /// The default dmc-mc scenario: three queries in two groups, one with a
+  /// tight deadline, two workers, admission bound 2.
+  static Config default_config();
+
+  explicit ServeSystem(Config config);
+
+  Execution run(const PickFn& pick) override;
+  bool dependent(const Action& a, const Action& b) const override;
+  std::string name() const override { return "serve-sched"; }
+
+ private:
+  Config config_;
+};
+
+}  // namespace dmc::mc

@@ -40,6 +40,7 @@ Scheduler::Scheduler(SchedulerOptions opts, bpt::UniverseTier& tier)
     : opts_(opts), tier_(tier) {
   if (opts_.workers < 1) opts_.workers = 1;
   if (opts_.max_queue < 1) opts_.max_queue = 1;
+  queue_.set_capacity(static_cast<std::size_t>(opts_.max_queue));
   if (metrics::Registry* reg = metrics::global()) {
     met_accepted_ = &reg->counter("serve.admission.accepted");
     met_rejected_ = &reg->counter("serve.admission.rejected");
@@ -71,19 +72,19 @@ void Scheduler::start() {
 void Scheduler::stop() {
   {
     std::lock_guard<std::mutex> lock(mu_);
-    stopping_ = true;
+    queue_.stop();
   }
   cv_.notify_all();
 }
 
 std::size_t Scheduler::queued() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return queued_;
+  return queue_.queued();
 }
 
 void Scheduler::set_depth_locked() {
-  if (met_depth_) met_depth_->set(static_cast<long long>(queued_));
-  if (met_peak_) met_peak_->max_of(static_cast<long long>(queued_));
+  if (met_depth_) met_depth_->set(static_cast<long long>(queue_.queued()));
+  if (met_peak_) met_peak_->max_of(static_cast<long long>(queue_.queued()));
 }
 
 bool Scheduler::submit(Prepared p, Respond respond) {
@@ -96,15 +97,10 @@ bool Scheduler::submit(Prepared p, Respond respond) {
   t.prepared = std::move(p);
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_ ||
-        queued_ >= static_cast<std::size_t>(opts_.max_queue)) {
+    if (!queue_.push(key, std::move(t))) {
       if (met_rejected_) met_rejected_->add();
       return false;
     }
-    auto [it, inserted] = groups_.try_emplace(key);
-    if (inserted) order_.push_back(key);
-    it->second.push_back(std::move(t));
-    ++queued_;
     set_depth_locked();
     if (met_accepted_) met_accepted_->add();
   }
@@ -115,17 +111,12 @@ bool Scheduler::submit(Prepared p, Respond respond) {
 void Scheduler::worker_loop() {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [this] { return stopping_ || !order_.empty(); });
-    if (order_.empty()) {
-      if (stopping_) return;  // drained
+    cv_.wait(lock, [this] { return queue_.stopping() || !queue_.empty(); });
+    if (queue_.empty()) {
+      if (queue_.stopping()) return;  // drained
       continue;
     }
-    const std::string key = order_.front();
-    order_.pop_front();
-    auto it = groups_.find(key);
-    std::vector<Task> batch = std::move(it->second);
-    groups_.erase(it);
-    queued_ -= batch.size();
+    auto [key, batch] = queue_.pop_group();
     set_depth_locked();
     lock.unlock();
     run_batch(key, std::move(batch));
@@ -145,7 +136,7 @@ void Scheduler::run_batch(const std::string& key, std::vector<Task> batch) {
   live.reserve(batch.size());
   for (Task& t : batch) {
     const long long now = io::now_ms();
-    if (t.deadline_abs_ms > 0 && now > t.deadline_abs_ms) {
+    if (core::expired_in_queue(t.deadline_abs_ms, now)) {
       // Answered without running, with the round-budget degraded code —
       // see header comment.
       QueryResult r;

@@ -23,7 +23,6 @@
 // serve.responses, serve.latency_ms.<verb> histograms.
 #pragma once
 
-#include <deque>
 #include <condition_variable>
 #include <functional>
 #include <map>
@@ -36,6 +35,7 @@
 #include "par/thread.hpp"
 #include "serve/exec.hpp"
 #include "serve/json.hpp"
+#include "serve/sched_core.hpp"
 
 namespace dmc::serve {
 
@@ -83,10 +83,10 @@ class Scheduler {
   bpt::UniverseTier& tier_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  std::map<std::string, std::vector<Task>> groups_;
-  std::deque<std::string> order_;  // FIFO over group keys
-  std::size_t queued_ = 0;
-  bool stopping_ = false;
+  /// The queueing discipline itself (bounded admission, group FIFO, stop
+  /// semantics) lives in sched_core.hpp, shared with — and exhaustively
+  /// schedule-checked by — the dmc-mc serve model. Guarded by mu_.
+  core::GroupQueue<Task> queue_;
   bool started_ = false;
   std::vector<par::Thread> workers_;
   // Metric handles (null when no registry installed).

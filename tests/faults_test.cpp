@@ -10,6 +10,7 @@
 // sanitizers: ctest -L faults).
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <any>
 #include <optional>
 #include <string>
@@ -308,6 +309,49 @@ TEST(CrashFaults, LegacyRunThrowsCrashedError) {
   std::vector<std::unique_ptr<congest::NodeProgram>> programs2;
   for (int v = 0; v < 6; ++v) programs2.push_back(std::make_unique<Chatter>());
   EXPECT_THROW(net2.run(programs2), std::runtime_error);
+}
+
+TEST(CrashFaults, ReorderComposedWithSameRoundCrashesStaysStructured) {
+  // Reorder keeps frames in flight across round boundaries; two crash-stop
+  // faults landing in the *same* round as delayed deliveries exercise the
+  // crash path while the link queues are non-trivially populated. The
+  // contract is unchanged from the single-fault cases: a structured
+  // degraded outcome naming every crashed node, never a wrong answer, and
+  // a bit-identical round/fault trace for equal seeds.
+  const auto formula = mso::lib::triangle_free();
+  const Graph g = btd_graph(2);
+  const std::string spec = "reorder=0.4,reorder_max=3,crash=2@r12,crash=3@r12";
+  auto crashed_run = [&](std::uint64_t fault_seed) {
+    audit::RoundDigestSink sink;
+    NetworkConfig cfg = faulty_cfg(spec, 2);
+    cfg.faults->seed = fault_seed;
+    cfg.sink = &sink;
+    congest::Network net(g, cfg);
+    const auto out = dist::run_decision(net, formula, 3);
+    EXPECT_FALSE(out.run.ok());
+    EXPECT_EQ(out.run.status, RunStatus::kCrashed);
+    // Both crash-stops fire in the one round; the degraded outcome names
+    // both nodes and still claims no verdict.
+    EXPECT_EQ(out.run.crashed.size(), 2u);
+    EXPECT_EQ(std::count(out.run.crashed.begin(), out.run.crashed.end(), 2), 1);
+    EXPECT_EQ(std::count(out.run.crashed.begin(), out.run.crashed.end(), 3), 1);
+    EXPECT_FALSE(out.treedepth_exceeded);
+    return sink.digests();
+  };
+  const auto a = crashed_run(9), b = crashed_run(9), c = crashed_run(10);
+  EXPECT_EQ(a, b);  // same seed: reorder delays + crash cut are reproducible
+  EXPECT_NE(a, c);  // different seed: different in-flight pattern at the cut
+
+  // The same composition with the crashes aimed at an id absent from the
+  // network is inert: reorder alone must leave the verdict oracle-equal.
+  const bool expected = seq::decide(g, formula);
+  NetworkConfig cfg =
+      faulty_cfg("reorder=0.4,reorder_max=3,crash=99@r12,crash=98@r12", 2);
+  cfg.faults->seed = 9;
+  congest::Network net(g, cfg);
+  const auto out = dist::run_decision(net, formula, 3);
+  ASSERT_TRUE(out.run.ok());
+  EXPECT_EQ(out.holds, expected);
 }
 
 TEST(CrashFaults, CrashIdAbsentFromNetworkIsInert) {

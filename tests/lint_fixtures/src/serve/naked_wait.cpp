@@ -1,0 +1,25 @@
+// dmc-lint --self-test fixture for the naked-condvar-wait rule.
+//
+// Never compiled — the path sits under "src/serve", outside the audited
+// exemptions (src/par, src/bpt/universe_tier.cpp), so every lock-only
+// condition_variable wait must be flagged. Scanned by the lint_fixtures
+// ctest entry.
+
+void drain(std::condition_variable& cv, std::mutex& m, bool& done) {
+  std::unique_lock<std::mutex> lock(m);
+  cv.wait(lock);  // lint-expect: naked-condvar-wait
+  while (!done) {
+    cv_.wait(lock);  // lint-expect: naked-condvar-wait
+  }
+}
+
+void fine(std::condition_variable& cv, std::mutex& m, bool& done) {
+  std::unique_lock<std::mutex> lk(m);
+  // The predicate overload stays quiet: the comma breaks the match...
+  cv.wait(lk, [&] { return done; });
+  // ...as do the timed variants (a different rule's concern, if any)...
+  cv.wait_for(lk, std::chrono::milliseconds(5));
+  cv.wait_until(lk, deadline);
+  // ...and an audited hand-rolled loop is suppressible at the call site.
+  cv.wait(lk);  // dmc-lint: allow(naked-condvar-wait)
+}

@@ -42,6 +42,16 @@
 //                         through the serve::io layer (src/serve/io.hpp),
 //                         which owns the sanctioned timeout-aware
 //                         primitives.
+//   naked-condvar-wait    cv.wait(lock) with no predicate. A wait without
+//                         a predicate lambda is vulnerable to spurious
+//                         wakeups and lost notifications unless the caller
+//                         re-checks the condition in its own loop; the
+//                         two-argument overload wait(lock, pred) encodes
+//                         the loop correctly and self-documents what is
+//                         being waited for. The pool internals (src/par)
+//                         and the tier cache's hand-rolled wait loop
+//                         (src/bpt/universe_tier.cpp) are the audited
+//                         exceptions.
 //   raw-metric            std::atomic* in simulator/protocol code (paths
 //                         under src/congest or src/dist). Ad-hoc atomic
 //                         counters are invisible to the metrics registry,
@@ -185,6 +195,11 @@ const std::regex kMutableStatic(
     R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
 const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
 const std::regex kRawThread(R"(\bstd\s*::\s*(?:jthread|thread|async)\b)");
+// Member wait call with a single bare-identifier argument — the lock-only
+// condition_variable overload. A predicate wait has a second argument
+// (`, [..] {...}`), so the comma keeps it from matching; wait_for/
+// wait_until never match because `wait` must be followed by `(`.
+const std::regex kNakedWait(R"(\.\s*wait\s*\(\s*[A-Za-z_]\w*\s*\))");
 const std::regex kRawAtomic(R"(\bstd\s*::\s*atomic\w*)");
 // Global-namespace-qualified POSIX descriptor calls only: `io::read_line`
 // or `std::ios::in` must not match, so the `::` may not be preceded by an
@@ -239,6 +254,17 @@ bool in_serve_io(const std::string& path) {
   // '_' or end the stem.
   const std::size_t next = pos + std::string("src/serve/io").size();
   return next >= p.size() || p[next] == '.' || p[next] == '_';
+}
+
+/// The naked-condvar-wait rule exempts the audited hand-rolled wait
+/// loops: the pool internals (src/par) and the tier cache's single-flight
+/// wait (src/bpt/universe_tier.cpp), whose enclosing while-loops re-check
+/// the condition themselves.
+bool in_condvar_exempt(const std::string& path) {
+  if (in_par_tree(path)) return true;
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/bpt/universe_tier.cpp") != std::string::npos;
 }
 
 bool suppressed(const std::string& raw_line, const std::string& rule) {
@@ -320,6 +346,14 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
                       "and shutdown; go through serve::io "
                       "(src/serve/io.hpp), or move the code into the "
                       "sanctioned io layer");
+
+    if (!in_condvar_exempt(f.path) && std::regex_search(line, m, kNakedWait))
+      add_finding(out, f, i, "naked-condvar-wait",
+                  "condition-variable wait without a predicate — spurious "
+                  "wakeups and lost notifications slip through unless the "
+                  "caller loops; use wait(lock, [&]{ return <condition>; }) "
+                  "or mark an audited hand-rolled loop with "
+                  "dmc-lint: allow(naked-condvar-wait)");
 
     if (!in_par_tree(f.path) && std::regex_search(line, m, kRawThread))
       add_finding(out, f, i, "raw-thread",
