@@ -359,6 +359,7 @@ bool save_universe_cache(const Engine& engine, const std::string& path) {
     std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
     if (!out) return false;
     engine.save_universe(out);
+    out.flush();  // surface ENOSPC-style errors before the rename commits
     if (!out) {
       fs::remove(tmp, ec);
       return false;

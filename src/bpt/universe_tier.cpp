@@ -14,6 +14,7 @@ UniverseTier::UniverseTier(Options opts) : opts_(std::move(opts)) {
     met_builds_ = &reg->counter("bpt.universe_tier.builds");
     met_disk_hits_ = &reg->counter("bpt.universe_tier.disk_hits");
     met_saves_ = &reg->counter("bpt.universe_tier.saves");
+    met_persist_errors_ = &reg->counter("bpt.universe_tier.persist_errors");
     met_keys_ = &reg->gauge("bpt.universe_tier.keys");
   }
 }
@@ -110,13 +111,26 @@ void UniverseTier::release(const Lease& lease) {
   const std::shared_ptr<Engine> engine = slot->engine;
   const std::size_t types = engine->num_types();
   lock.unlock();
-  const bool saved = save_universe_cache(*engine, slot->path);
+  bool saved = false;
+  try {
+    saved = save_universe_cache(*engine, slot->path);
+  } catch (...) {
+    saved = false;  // persist failure must never escape release()
+  }
   lock.lock();
   slot->saving = false;
   if (saved) {
     slot->saved_types = types;
     ++stats_.saves;
     if (met_saves_) met_saves_->add(1);
+  } else {
+    // Degrade the key to in-memory: the engine stays fully usable, and
+    // dropping the backing path stops every later release from hammering
+    // an unwritable directory. save_universe_cache is temp+rename, so no
+    // partial DMCU file exists after a failure.
+    slot->path.clear();
+    ++stats_.persist_errors;
+    if (met_persist_errors_) met_persist_errors_->add(1);
   }
   cv_.notify_all();
 }

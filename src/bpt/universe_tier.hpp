@@ -20,9 +20,16 @@
 // also requires exclusive access. Holding the raw engine pointer past
 // release() forfeits that exclusion and is undefined.
 //
+// Write-back failures (unwritable directory, disk full, rename failure)
+// degrade the key to in-memory: the engine stays fully usable, the
+// backing path is dropped so a sick disk is not hammered on every
+// release, and bpt.universe_tier.persist_errors counts the degradation.
+// save_universe_cache is temp+rename, so a failed write-back never
+// leaves a partial DMCU file behind.
+//
 // Metrics (registry optional, resolved at construction — the Engine
-// pattern): bpt.universe_tier.{hits,misses,waits,builds,disk_hits,saves}
-// counters and the bpt.universe_tier.keys gauge.
+// pattern): bpt.universe_tier.{hits,misses,waits,builds,disk_hits,saves,
+// persist_errors} counters and the bpt.universe_tier.keys gauge.
 #pragma once
 
 #include <condition_variable>
@@ -74,6 +81,7 @@ class UniverseTier {
     long builds = 0;     // constructions that found no valid DMCU file
     long disk_hits = 0;  // constructions warm-loaded from DMCU
     long saves = 0;      // write-backs performed by release()
+    long persist_errors = 0;  // failed write-backs (key degraded to memory)
     std::size_t keys = 0;
   };
   Stats stats() const;
@@ -100,6 +108,7 @@ class UniverseTier {
   metrics::Counter* met_builds_ = nullptr;
   metrics::Counter* met_disk_hits_ = nullptr;
   metrics::Counter* met_saves_ = nullptr;
+  metrics::Counter* met_persist_errors_ = nullptr;
   metrics::Gauge* met_keys_ = nullptr;
 };
 

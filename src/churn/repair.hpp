@@ -1,0 +1,64 @@
+// Incremental elimination-tree repair (paper Lemma 2.2 / 2.5 locality).
+//
+// After a churn batch mutates the graph, the previous epoch's elimination
+// tree is usually *almost* valid: an edge deletion never invalidates it
+// (unless the edge was a tree edge), an edge insertion between an
+// ancestor-descendant pair leaves it untouched, and a leaf vertex joining
+// below its neighbors' common root path attaches in place. Only genuinely
+// structural events — merges across branches, tree-edge loss, internal
+// vertex departure — force a rebuild, and that rebuild is confined to the
+// smallest anchored region containing the violations: the subtrees under
+// the violations' LCA, re-eliminated against the same depth budget
+// 2^d - 1 that Algorithm 2 honors, and re-attached to the deepest
+// root-path ancestor each repaired component still has an edge to (so
+// every tree edge stays a graph edge — the invariant the bags protocol's
+// parent->child pipeline and the convergecasts rely on).
+//
+// The patch also reports exactly which vertices' *fold contexts* changed —
+// bag (root path) membership, bag-induced edges, or children arity — so
+// the engine re-folds only the dirty set plus its root-path closure, as
+// the recursive composition of Lemma 4.3 permits.
+//
+// Everything here is coordinator-side and deterministic; the distributed
+// cost of a repaired epoch is only the solve phase re-run by engine.hpp.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/elim_tree.hpp"
+#include "graph/graph.hpp"
+
+namespace dmc::churn {
+
+enum class RepairKind {
+  kRefold,      // tree shape intact: only fold contexts changed
+  kStructural,  // a bounded region was re-eliminated and re-anchored
+  kFailed,      // no within-budget repair found: caller must full-recompute
+};
+
+const char* to_string(RepairKind kind);
+
+struct TreePatch {
+  RepairKind kind = RepairKind::kFailed;
+  std::string reason;  // one-line diagnostic when kind == kFailed
+  /// Repaired tree over the *new* graph (success=true, rounds=0 — repair
+  /// costs no distributed rounds). Meaningless when kind == kFailed.
+  dist::ElimTreeResult tree;
+  /// Per new-graph vertex: the fold context (bag, bag edges, or children)
+  /// changed, so its cached class/table is stale. The refold set is this
+  /// plus its ancestor closure (engine.hpp).
+  std::vector<char> dirty;
+  int region = 0;  // vertices re-placed by the structural rebuild
+};
+
+/// Repairs `old_tree` (valid for `old_g`) into a tree for `new_g`, where
+/// `old_to_new` maps old vertices to new ids (-1 = deleted) — exactly the
+/// mapping produced by churn::apply_batch. Requires new_g connected and
+/// old_tree.success.
+TreePatch repair_tree(const Graph& old_g,
+                      const dist::ElimTreeResult& old_tree,
+                      const Graph& new_g,
+                      const std::vector<VertexId>& old_to_new, int d);
+
+}  // namespace dmc::churn

@@ -59,6 +59,16 @@ const bool kCorruptedPayloadCodec = [] {
 FaultPlan parse_fault_plan(std::string_view spec) {
   FaultPlan plan;
   std::string_view rest = spec;
+  // Scalar keys may appear at most once (`crash` legitimately repeats, one
+  // entry per crash fault). Last-wins would silently mask typos like
+  // "drop=0.1,drop=0.9", so duplicates are rejected outright.
+  std::vector<std::string> seen;
+  auto note_key = [&](std::string_view logical_key) {
+    const std::string k(logical_key);
+    for (const std::string& s : seen)
+      if (s == k) bad_spec(spec, "duplicate key \"" + k + "\"");
+    seen.push_back(k);
+  };
   while (!rest.empty()) {
     const std::size_t comma = rest.find(',');
     std::string_view item = rest.substr(0, comma);
@@ -70,6 +80,7 @@ FaultPlan parse_fault_plan(std::string_view spec) {
       bad_spec(spec, "\"" + std::string(item) + "\" is not key=value");
     const std::string_view key = item.substr(0, eq);
     const std::string_view value = item.substr(eq + 1);
+    if (key != "crash") note_key(key == "duplicate" ? "dup" : key);
     if (key == "drop") {
       plan.drop = parse_prob(spec, key, value);
     } else if (key == "dup" || key == "duplicate") {
@@ -83,7 +94,9 @@ FaultPlan parse_fault_plan(std::string_view spec) {
       if (v < 1 || v > 64) bad_spec(spec, "reorder_max must be in 1..64");
       plan.reorder_max = static_cast<int>(v);
     } else if (key == "seed") {
-      plan.seed = static_cast<std::uint64_t>(parse_long(spec, key, value));
+      const long v = parse_long(spec, key, value);
+      if (v < 0) bad_spec(spec, "seed must be >= 0");
+      plan.seed = static_cast<std::uint64_t>(v);
     } else if (key == "crash") {
       // crash=ID@rROUND — node ID crash-stops at the given physical round.
       const std::size_t at = value.find("@r");

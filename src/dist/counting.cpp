@@ -85,8 +85,19 @@ class CountingProgram : public congest::NodeProgram {
     have_table_.assign(children_ids_.size(), false);
   }
 
+  /// Incremental refold (churn engine): replay `cached` instead of folding.
+  /// `send_up` is false when the parent replays its own cached table too
+  /// (it will never read this node's table), saving the upward fragments.
+  void set_cached(bpt::CountTable cached, bool send_up) {
+    cached_ = std::move(cached);
+    have_cached_ = true;
+    send_up_ = send_up;
+  }
+
   bool finished() const { return finished_; }
   std::uint64_t total() const { return total_; }
+  const bpt::CountTable& root_table() const { return root_table_; }
+  bool folded() const { return folded_; }
 
   void on_round(NodeCtx& ctx) override {
     if (first_round_) {
@@ -114,23 +125,29 @@ class CountingProgram : public congest::NodeProgram {
         }
       }
     }
-    if (!solved_ && std::all_of(have_table_.begin(), have_table_.end(),
-                                [](bool b) { return b; })) {
+    if (!solved_ &&
+        (have_cached_ || std::all_of(have_table_.begin(), have_table_.end(),
+                                     [](bool b) { return b; }))) {
       solved_ = true;
-      const auto tables =
-          bpt::fold_count(engine_, local_.plan, local_.graph, child_tables_);
-      const bpt::CountTable& root_table = tables[local_.plan.root];
+      if (have_cached_) {
+        root_table_ = cached_;
+      } else {
+        const auto tables =
+            bpt::fold_count(engine_, local_.plan, local_.graph, child_tables_);
+        root_table_ = tables[local_.plan.root];
+        folded_ = true;
+      }
       if (parent_id_ < 0) {
         total_ = 0;
-        for (const auto& [t, c] : root_table) {
+        for (const auto& [t, c] : root_table_) {
           if (!evaluator_->eval(t)) continue;
           if (__builtin_add_overflow(total_, c, &total_))
             throw std::overflow_error("run_count: overflow");
         }
         finished_ = true;
         forward_total(ctx);
-      } else {
-        CountTablePayload payload{root_table};
+      } else if (send_up_) {
+        CountTablePayload payload{root_table_};
         const long bits = table_bits(payload, ctx);
         sender_.enqueue(ctx.port_of(parent_id_), std::move(payload), bits);
       }
@@ -159,6 +176,11 @@ class CountingProgram : public congest::NodeProgram {
   std::vector<bool> have_table_;
   congest::FragmentSender sender_;
   congest::FragmentReassembler reasm_;
+  bpt::CountTable cached_;
+  bpt::CountTable root_table_;
+  bool have_cached_ = false;
+  bool send_up_ = true;
+  bool folded_ = false;
   bool first_round_ = true;
   bool solved_ = false;
   bool finished_ = false;
@@ -167,10 +189,11 @@ class CountingProgram : public congest::NodeProgram {
 
 }  // namespace
 
-CountingOutcome run_count(
+CountingOutcome run_count_solve(
     congest::Network& net, const mso::FormulaPtr& formula,
-    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
-    bpt::Engine* engine_in) {
+    const std::vector<std::pair<std::string, mso::Sort>>& vars,
+    const ElimTreeResult& tree, const std::vector<LocalBag>& bags,
+    bpt::Engine* engine_in, CountingCache* cache) {
   CountingOutcome out;
   const mso::FormulaPtr lowered = mso::lower(formula, vars);
   std::optional<bpt::Engine> own_engine;
@@ -180,34 +203,34 @@ CountingOutcome run_count(
   }
   bpt::Engine& engine = *engine_in;
   bpt::Evaluator evaluator(engine, lowered, vars);
-
-  const ElimTreeResult tree = run_elim_tree(net, d);
-  out.rounds_elim = tree.rounds;
-  out.run = tree.run;
-  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
-  if (!tree.success) {
-    out.treedepth_exceeded = true;
-    return out;
-  }
+  if (!tree.success)
+    throw std::invalid_argument("run_count_solve: tree invalid");
   const auto& cfg = engine.config();
-  const BagsResult bags =
-      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
-  out.rounds_bags = bags.rounds;
-  out.run = bags.run;
-  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "count");
+  const bool incremental =
+      cache != nullptr &&
+      cache->refold.size() == static_cast<std::size_t>(net.n()) &&
+      cache->tables.size() == static_cast<std::size_t>(net.n()) &&
+      cache->valid.size() == static_cast<std::size_t>(net.n());
+  auto replay = [&](int v) {  // clean vertex with a usable cached table
+    return incremental && !cache->refold[v] && cache->valid[v];
+  };
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<CountingProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {
     std::vector<VertexId> children_ids;
     for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
-    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+    LocalContext lctx = make_local_context(bags[v], children_ids,
                                            cfg.vertex_labels, cfg.edge_labels);
     auto p = std::make_unique<CountingProgram>(
         engine, &evaluator, std::move(lctx),
         tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
         std::move(children_ids));
+    if (replay(v)) {
+      const int parent = tree.parent[v];
+      p->set_cached(cache->tables[v], parent >= 0 && !replay(parent));
+    }
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
@@ -221,11 +244,52 @@ CountingOutcome run_count(
   out.rounds_solve = out.run.rounds;
   out.num_classes = engine.num_types();
   if (!out.run.ok()) return out;  // degraded: count untrusted
+  for (const auto* h : handles) out.folds += h->folded() ? 1 : 0;
   out.count = handles[0]->total();
   for (const auto* h : handles)
     if (h->total() != out.count)
       throw std::logic_error("run_count: inconsistent totals");
+  if (cache != nullptr) {
+    cache->tables.assign(net.n(), bpt::CountTable{});
+    cache->valid.assign(net.n(), 1);
+    for (int v = 0; v < net.n(); ++v) cache->tables[v] = handles[v]->root_table();
+    cache->refold.assign(net.n(), 0);
+  }
   return out;
+}
+
+CountingOutcome run_count(
+    congest::Network& net, const mso::FormulaPtr& formula,
+    const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
+    bpt::Engine* engine_in) {
+  CountingOutcome out;
+  const mso::FormulaPtr lowered = mso::lower(formula, vars);
+  std::optional<bpt::Engine> own_engine;
+  if (engine_in == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered, vars));
+    engine_in = &*own_engine;
+  }
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  const auto& cfg = engine_in->config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
+
+  CountingOutcome solved =
+      run_count_solve(net, formula, vars, tree, bags.bags, engine_in, nullptr);
+  solved.rounds_elim = out.rounds_elim;
+  solved.rounds_bags = out.rounds_bags;
+  return solved;
 }
 
 }  // namespace dmc::dist

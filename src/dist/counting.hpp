@@ -13,7 +13,10 @@
 #include <vector>
 
 #include "bpt/engine.hpp"
+#include "bpt/tables.hpp"
 #include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
 #include "mso/ast.hpp"
 
 namespace dmc::dist {
@@ -23,10 +26,21 @@ struct CountingOutcome {
   std::uint64_t count = 0;
   long rounds_elim = 0, rounds_bags = 0, rounds_solve = 0;
   std::size_t num_classes = 0;
+  long folds = 0;  // COUNT-table folds performed (= n on a full run)
   /// How the pipeline ended. When !run.ok() every other field is untrusted.
   congest::RunOutcome run;
 
   long total_rounds() const { return rounds_elim + rounds_bags + rounds_solve; }
+};
+
+/// Incremental-refold state for the churn engine: per-vertex root COUNT
+/// tables carried across epochs (same contract as dist::DecisionCache —
+/// clean vertices replay their table without a fold and skip the upward
+/// payload unless the parent refolds).
+struct CountingCache {
+  std::vector<bpt::CountTable> tables;  // by graph vertex
+  std::vector<char> valid;              // by graph vertex: table usable
+  std::vector<char> refold;             // by graph vertex; empty = fold all
 };
 
 /// Counts satisfying assignments of the free variables (slot order =
@@ -38,5 +52,15 @@ CountingOutcome run_count(
     congest::Network& net, const mso::FormulaPtr& formula,
     const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
     bpt::Engine* engine = nullptr);
+
+/// Solve phase only, over an externally supplied elimination tree and bag
+/// set — the churn-engine seam (see run_decision_solve). When `cache` is
+/// non-null it supplies the refold plan and, on a completed run, is
+/// refreshed with every vertex's root COUNT table.
+CountingOutcome run_count_solve(
+    congest::Network& net, const mso::FormulaPtr& formula,
+    const std::vector<std::pair<std::string, mso::Sort>>& vars,
+    const dist::ElimTreeResult& tree, const std::vector<LocalBag>& bags,
+    bpt::Engine* engine = nullptr, CountingCache* cache = nullptr);
 
 }  // namespace dmc::dist

@@ -79,8 +79,18 @@ class DecisionProgram : public congest::NodeProgram {
     inputs_.assign(children_ids_.size(), bpt::kInvalidType);
   }
 
+  /// Incremental refold (churn engine): replay `cached` instead of folding.
+  /// `send_up` is false when the parent replays its own cached class too
+  /// (it will never read this node's class), saving the upward message.
+  void set_cached(bpt::TypeId cached, bool send_up) {
+    cached_ = cached;
+    send_up_ = send_up;
+  }
+
   bool has_verdict() const { return verdict_known_; }
   bool verdict() const { return verdict_; }
+  bpt::TypeId my_class() const { return my_class_; }
+  bool folded() const { return folded_; }
 
   void on_round(NodeCtx& ctx) override {
     if (first_round_) {
@@ -103,15 +113,19 @@ class DecisionProgram : public congest::NodeProgram {
         }
       }
     }
-    if (!sent_ && all_inputs_ready()) {
+    if (!sent_ && (cached_ != bpt::kInvalidType || all_inputs_ready())) {
       sent_ = true;
-      const bpt::TypeId my_class =
-          bpt::fold_type(engine_, local_.plan, local_.graph, inputs_);
+      if (cached_ != bpt::kInvalidType) {
+        my_class_ = cached_;
+      } else {
+        my_class_ = bpt::fold_type(engine_, local_.plan, local_.graph, inputs_);
+        folded_ = true;
+      }
       if (parent_id_ < 0) {
         verdict_known_ = true;
-        verdict_ = evaluator_->eval(my_class);
+        verdict_ = evaluator_->eval(my_class_);
         forward_verdict(ctx);
-      } else {
+      } else if (send_up_) {
         // Declared width must be schedule-independent under parallel
         // stepping (send-time num_types depends on the interning
         // schedule), so it is sized from the round-start universe
@@ -122,7 +136,7 @@ class DecisionProgram : public congest::NodeProgram {
         const int bits = ctx.audited() ? class_bits(engine_)
                                        : bits_for_count(*types_at_round_start_);
         par::atomic_fetch_max(*max_bits_, bits);
-        ctx.send(ctx.port_of(parent_id_), Message(ClassMsg{my_class}, bits));
+        ctx.send(ctx.port_of(parent_id_), Message(ClassMsg{my_class_}, bits));
       }
     }
   }
@@ -148,6 +162,10 @@ class DecisionProgram : public congest::NodeProgram {
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
   std::vector<bpt::TypeId> inputs_;
+  bpt::TypeId cached_ = bpt::kInvalidType;
+  bpt::TypeId my_class_ = bpt::kInvalidType;
+  bool send_up_ = true;
+  bool folded_ = false;
   bool first_round_ = true;
   bool sent_ = false;
   bool verdict_known_ = false;
@@ -158,9 +176,12 @@ class DecisionProgram : public congest::NodeProgram {
 
 }  // namespace
 
-DecisionOutcome run_decision(congest::Network& net,
-                             const mso::FormulaPtr& formula, int d,
-                             bpt::Engine* engine) {
+DecisionOutcome run_decision_solve(congest::Network& net,
+                                   const mso::FormulaPtr& formula,
+                                   const ElimTreeResult& tree,
+                                   const std::vector<LocalBag>& bags,
+                                   bpt::Engine* engine,
+                                   DecisionCache* cache) {
   DecisionOutcome out;
   const mso::FormulaPtr lowered = mso::lower(formula);
   std::optional<bpt::Engine> own_engine;
@@ -168,23 +189,10 @@ DecisionOutcome run_decision(congest::Network& net,
     own_engine.emplace(bpt::config_for(*lowered));
     engine = &*own_engine;
   }
-
-  const ElimTreeResult tree = run_elim_tree(net, d);
-  out.rounds_elim = tree.rounds;
-  out.run = tree.run;
-  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
-  if (!tree.success) {
-    out.treedepth_exceeded = true;
-    return out;
-  }
+  if (!tree.success)
+    throw std::invalid_argument("run_decision_solve: tree invalid");
   out.tree_depth = *std::max_element(tree.depth.begin(), tree.depth.end());
-
   const auto& cfg = engine->config();
-  const BagsResult bags =
-      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
-  out.rounds_bags = bags.rounds;
-  out.run = bags.run;
-  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "decide");
   bpt::Evaluator evaluator(*engine, lowered);
@@ -193,17 +201,29 @@ DecisionOutcome run_decision(congest::Network& net,
   std::size_t types_at_round_start = engine->num_types();
   net.set_round_begin_hook(
       [&types_at_round_start, engine] { types_at_round_start = engine->num_types(); });
+  const bool incremental =
+      cache != nullptr &&
+      cache->refold.size() == static_cast<std::size_t>(net.n()) &&
+      cache->classes.size() == static_cast<std::size_t>(net.n());
+  auto replay = [&](int v) {  // clean vertex with a usable cached class
+    return incremental && !cache->refold[v] &&
+           cache->classes[v] != bpt::kInvalidType;
+  };
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<DecisionProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {
     std::vector<VertexId> children_ids;
     for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
-    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+    LocalContext lctx = make_local_context(bags[v], children_ids,
                                            cfg.vertex_labels, cfg.edge_labels);
     auto p = std::make_unique<DecisionProgram>(
         *engine, &evaluator, std::move(lctx),
         tree.parent[v] < 0 ? -1 : net.id_of_vertex(tree.parent[v]),
         std::move(children_ids), &out.max_class_bits, &types_at_round_start);
+    if (replay(v)) {
+      const int parent = tree.parent[v];
+      p->set_cached(cache->classes[v], parent >= 0 && !replay(parent));
+    }
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }
@@ -212,11 +232,50 @@ DecisionOutcome run_decision(congest::Network& net,
   out.rounds_updown = out.run.rounds;
   out.num_classes = engine->num_types();
   if (!out.run.ok()) return out;  // degraded: verdict untrusted
+  for (const auto* h : handles) out.folds += h->folded() ? 1 : 0;
   // Distributed decision semantics: G |= phi iff every node accepts; all
   // nodes received the root's verdict.
   out.holds = true;
   for (const auto* h : handles) out.holds = out.holds && h->verdict();
+  if (cache != nullptr) {
+    cache->classes.assign(net.n(), bpt::kInvalidType);
+    for (int v = 0; v < net.n(); ++v) cache->classes[v] = handles[v]->my_class();
+    cache->refold.assign(net.n(), 0);
+  }
   return out;
+}
+
+DecisionOutcome run_decision(congest::Network& net,
+                             const mso::FormulaPtr& formula, int d,
+                             bpt::Engine* engine) {
+  DecisionOutcome out;
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+
+  const mso::FormulaPtr lowered = mso::lower(formula);
+  std::optional<bpt::Engine> own_engine;
+  if (engine == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered));
+    engine = &*own_engine;
+  }
+  const auto& cfg = engine->config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
+
+  DecisionOutcome solved =
+      run_decision_solve(net, formula, tree, bags.bags, engine, nullptr);
+  solved.rounds_elim = out.rounds_elim;
+  solved.rounds_bags = out.rounds_bags;
+  return solved;
 }
 
 }  // namespace dmc::dist

@@ -14,6 +14,8 @@
 
 #include "bpt/engine.hpp"
 #include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
 #include "mso/ast.hpp"
 
 namespace dmc::dist {
@@ -27,6 +29,7 @@ struct DecisionOutcome {
   int tree_depth = 0;          // depth of the constructed elimination tree
   std::size_t num_classes = 0;      // |C| reached by the engine
   int max_class_bits = 0;           // bits of the largest class message
+  long folds = 0;                   // BPT folds performed (= n on a full run)
   /// How the pipeline ended. When !run.ok() (round budget exhausted or
   /// crash-stop faults in any stage) `holds` and `treedepth_exceeded` are
   /// untrusted and must not be interpreted.
@@ -35,11 +38,37 @@ struct DecisionOutcome {
   long total_rounds() const { return rounds_elim + rounds_bags + rounds_updown; }
 };
 
+/// Incremental-refold state for the churn engine (src/churn/): per-vertex
+/// subtree classes carried across epochs. Vertices with `refold[v]` set
+/// fold fresh; clean vertices replay `classes[v]` without a BPT fold and
+/// skip the upward class message unless their parent refolds. Sound
+/// because a subtree's class depends only on its members' fold contexts
+/// (Lemma 4.3) — exactly what churn::TreePatch::dirty tracks — and class
+/// ids stay stable within one shared engine.
+struct DecisionCache {
+  std::vector<bpt::TypeId> classes;  // by graph vertex; kInvalidType = none
+  std::vector<char> refold;          // by graph vertex; empty = fold all
+};
+
 /// Decides the closed formula on the network, with treedepth budget d.
 /// If `engine` is non-null it is used (and filled) instead of a fresh one —
 /// useful for running many instances against one class universe.
 DecisionOutcome run_decision(congest::Network& net,
                              const mso::FormulaPtr& formula, int d,
                              bpt::Engine* engine = nullptr);
+
+/// Solve phase only: the class convergecast + verdict broadcast over an
+/// externally supplied elimination tree and bag set (`bags[v]` for graph
+/// vertex v). This is the seam the churn engine re-enters after an
+/// incremental repair — the elim/bags prologue of run_decision is skipped,
+/// so a repaired epoch costs only the up/down rounds. When `cache` is
+/// non-null it supplies the refold plan and, on a completed run, is
+/// refreshed with every vertex's class (refold flags cleared).
+DecisionOutcome run_decision_solve(congest::Network& net,
+                                   const mso::FormulaPtr& formula,
+                                   const ElimTreeResult& tree,
+                                   const std::vector<LocalBag>& bags,
+                                   bpt::Engine* engine = nullptr,
+                                   DecisionCache* cache = nullptr);
 
 }  // namespace dmc::dist

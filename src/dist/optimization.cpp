@@ -217,10 +217,12 @@ class OptimizationProgram : public congest::NodeProgram {
   bool infeasible_ = false;
 };
 
-OptimizationOutcome run_impl(congest::Network& net,
-                             const mso::FormulaPtr& formula,
-                             const std::string& var, mso::Sort var_sort, int d,
-                             Weight sign, bpt::Engine* engine_in) {
+OptimizationOutcome run_solve_impl(congest::Network& net,
+                                   const mso::FormulaPtr& formula,
+                                   const std::string& var, mso::Sort var_sort,
+                                   const ElimTreeResult& tree,
+                                   const std::vector<LocalBag>& bags,
+                                   Weight sign, bpt::Engine* engine_in) {
   OptimizationOutcome out;
   const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
   const mso::FormulaPtr lowered = mso::lower(formula, frees);
@@ -231,21 +233,9 @@ OptimizationOutcome run_impl(congest::Network& net,
   }
   bpt::Engine& engine = *engine_in;
   bpt::Evaluator evaluator(engine, lowered, frees);
-
-  const ElimTreeResult tree = run_elim_tree(net, d);
-  out.rounds_elim = tree.rounds;
-  out.run = tree.run;
-  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
-  if (!tree.success) {
-    out.treedepth_exceeded = true;
-    return out;
-  }
+  if (!tree.success)
+    throw std::invalid_argument("run_solve_impl: tree invalid");
   const auto& cfg = engine.config();
-  const BagsResult bags =
-      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
-  out.rounds_bags = bags.rounds;
-  out.run = bags.run;
-  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, sign < 0 ? "minimize" : "maximize");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
@@ -253,7 +243,7 @@ OptimizationOutcome run_impl(congest::Network& net,
   for (int v = 0; v < net.n(); ++v) {
     std::vector<VertexId> children_ids;
     for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
-    LocalContext lctx = make_local_context(bags.bags[v], children_ids,
+    LocalContext lctx = make_local_context(bags[v], children_ids,
                                            cfg.vertex_labels, cfg.edge_labels);
     if (sign < 0) {
       for (VertexId lv = 0; lv < lctx.graph.num_vertices(); ++lv)
@@ -321,6 +311,41 @@ OptimizationOutcome run_impl(congest::Network& net,
   return out;
 }
 
+OptimizationOutcome run_impl(congest::Network& net,
+                             const mso::FormulaPtr& formula,
+                             const std::string& var, mso::Sort var_sort, int d,
+                             Weight sign, bpt::Engine* engine_in) {
+  OptimizationOutcome out;
+  const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
+  const mso::FormulaPtr lowered = mso::lower(formula, frees);
+  std::optional<bpt::Engine> own_engine;
+  if (engine_in == nullptr) {
+    own_engine.emplace(bpt::config_for(*lowered, frees));
+    engine_in = &*own_engine;
+  }
+
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  const auto& cfg = engine_in->config();
+  const BagsResult bags =
+      run_bags(net, tree, cfg.vertex_labels, cfg.edge_labels);
+  out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
+
+  OptimizationOutcome solved = run_solve_impl(net, formula, var, var_sort,
+                                              tree, bags.bags, sign, engine_in);
+  solved.rounds_elim = out.rounds_elim;
+  solved.rounds_bags = out.rounds_bags;
+  return solved;
+}
+
 }  // namespace
 
 OptimizationOutcome run_maximize(congest::Network& net,
@@ -335,6 +360,26 @@ OptimizationOutcome run_minimize(congest::Network& net,
                                  const std::string& var, mso::Sort var_sort,
                                  int d, bpt::Engine* engine) {
   return run_impl(net, formula, var, var_sort, d, -1, engine);
+}
+
+OptimizationOutcome run_maximize_solve(congest::Network& net,
+                                       const mso::FormulaPtr& formula,
+                                       const std::string& var,
+                                       mso::Sort var_sort,
+                                       const ElimTreeResult& tree,
+                                       const std::vector<LocalBag>& bags,
+                                       bpt::Engine* engine) {
+  return run_solve_impl(net, formula, var, var_sort, tree, bags, 1, engine);
+}
+
+OptimizationOutcome run_minimize_solve(congest::Network& net,
+                                       const mso::FormulaPtr& formula,
+                                       const std::string& var,
+                                       mso::Sort var_sort,
+                                       const ElimTreeResult& tree,
+                                       const std::vector<LocalBag>& bags,
+                                       bpt::Engine* engine) {
+  return run_solve_impl(net, formula, var, var_sort, tree, bags, -1, engine);
 }
 
 }  // namespace dmc::dist

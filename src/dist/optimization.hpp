@@ -16,6 +16,8 @@
 
 #include "bpt/engine.hpp"
 #include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
 #include "graph/graph.hpp"
 #include "mso/ast.hpp"
 
@@ -54,5 +56,27 @@ OptimizationOutcome run_minimize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
                                  int d, bpt::Engine* engine = nullptr);
+
+/// Solve phase only, over an externally supplied elimination tree and bag
+/// set — the churn-engine seam (see dist::run_decision_solve). Unlike the
+/// decision/counting seams there is no per-vertex fold cache: Algorithm 1's
+/// top-down phase re-derives children's classes from ARGOPT backpointers,
+/// which only exist in a freshly built solver, so every node folds each
+/// epoch and the incremental saving is the skipped elim/bags prologue.
+OptimizationOutcome run_maximize_solve(congest::Network& net,
+                                       const mso::FormulaPtr& formula,
+                                       const std::string& var,
+                                       mso::Sort var_sort,
+                                       const ElimTreeResult& tree,
+                                       const std::vector<LocalBag>& bags,
+                                       bpt::Engine* engine = nullptr);
+
+OptimizationOutcome run_minimize_solve(congest::Network& net,
+                                       const mso::FormulaPtr& formula,
+                                       const std::string& var,
+                                       mso::Sort var_sort,
+                                       const ElimTreeResult& tree,
+                                       const std::vector<LocalBag>& bags,
+                                       bpt::Engine* engine = nullptr);
 
 }  // namespace dmc::dist

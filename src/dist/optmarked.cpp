@@ -237,24 +237,34 @@ class OptMarkedProgram : public congest::NodeProgram {
 
 }  // namespace
 
-OptMarkedOutcome run_optmarked(congest::Network& net,
-                               const mso::FormulaPtr& formula,
-                               const std::string& var, mso::Sort var_sort,
-                               int d, bool minimize) {
+std::pair<std::vector<std::string>, std::vector<std::string>>
+optmarked_labels(const mso::FormulaPtr& formula, const std::string& var,
+                 mso::Sort var_sort) {
+  const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
+  const mso::FormulaPtr lowered = mso::lower(formula, frees);
+  const bpt::EngineConfig cfg = bpt::config_for(*lowered, frees);
+  auto vlabels = cfg.vertex_labels;
+  auto elabels = cfg.edge_labels;
+  if (var_sort == mso::Sort::VertexSet)
+    vlabels.push_back(kMarkLabel);
+  else
+    elabels.push_back(kMarkLabel);
+  return {std::move(vlabels), std::move(elabels)};
+}
+
+OptMarkedOutcome run_optmarked_solve(congest::Network& net,
+                                     const mso::FormulaPtr& formula,
+                                     const std::string& var, mso::Sort var_sort,
+                                     const ElimTreeResult& tree,
+                                     const std::vector<LocalBag>& bags,
+                                     bool minimize) {
   OptMarkedOutcome out;
   const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
   const mso::FormulaPtr lowered = mso::lower(formula, frees);
   bpt::Engine engine(bpt::config_for(*lowered, frees));
   bpt::Evaluator evaluator(engine, lowered, frees);
-
-  const ElimTreeResult tree = run_elim_tree(net, d);
-  out.rounds_elim = tree.rounds;
-  out.run = tree.run;
-  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
-  if (!tree.success) {
-    out.treedepth_exceeded = true;
-    return out;
-  }
+  if (!tree.success)
+    throw std::invalid_argument("run_optmarked_solve: tree invalid");
   // Bag payloads additionally carry the "marked" label.
   auto vlabels = engine.config().vertex_labels;
   auto elabels = engine.config().edge_labels;
@@ -262,10 +272,6 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     vlabels.push_back(kMarkLabel);
   else
     elabels.push_back(kMarkLabel);
-  const BagsResult bags = run_bags(net, tree, vlabels, elabels);
-  out.rounds_bags = bags.rounds;
-  out.run = bags.run;
-  if (!bags.run.ok()) return out;  // degraded: bags incomplete
 
   congest::PhaseScope trace_scope(net, "optmarked");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
@@ -274,7 +280,7 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     std::vector<VertexId> children_ids;
     for (int c : tree.children[v]) children_ids.push_back(net.id_of_vertex(c));
     LocalContext lctx =
-        make_local_context(bags.bags[v], children_ids, vlabels, elabels);
+        make_local_context(bags[v], children_ids, vlabels, elabels);
     if (minimize) {
       for (VertexId lv = 0; lv < lctx.graph.num_vertices(); ++lv)
         lctx.graph.set_vertex_weight(lv, -lctx.graph.vertex_weight(lv));
@@ -306,6 +312,32 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
     out.best_weight = -out.best_weight;
   }
   return out;
+}
+
+OptMarkedOutcome run_optmarked(congest::Network& net,
+                               const mso::FormulaPtr& formula,
+                               const std::string& var, mso::Sort var_sort,
+                               int d, bool minimize) {
+  OptMarkedOutcome out;
+  const ElimTreeResult tree = run_elim_tree(net, d);
+  out.rounds_elim = tree.rounds;
+  out.run = tree.run;
+  if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
+  if (!tree.success) {
+    out.treedepth_exceeded = true;
+    return out;
+  }
+  const auto [vlabels, elabels] = optmarked_labels(formula, var, var_sort);
+  const BagsResult bags = run_bags(net, tree, vlabels, elabels);
+  out.rounds_bags = bags.rounds;
+  out.run = bags.run;
+  if (!bags.run.ok()) return out;  // degraded: bags incomplete
+
+  OptMarkedOutcome solved = run_optmarked_solve(net, formula, var, var_sort,
+                                                tree, bags.bags, minimize);
+  solved.rounds_elim = out.rounds_elim;
+  solved.rounds_bags = out.rounds_bags;
+  return solved;
 }
 
 }  // namespace dmc::dist

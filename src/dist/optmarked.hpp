@@ -14,7 +14,13 @@
 // equals the optimum over accepting classes; the verdict is broadcast.
 #pragma once
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "congest/network.hpp"
+#include "dist/bags.hpp"
+#include "dist/elim_tree.hpp"
 #include "graph/graph.hpp"
 #include "mso/ast.hpp"
 
@@ -40,5 +46,25 @@ OptMarkedOutcome run_optmarked(congest::Network& net,
                                const mso::FormulaPtr& formula,
                                const std::string& var, mso::Sort var_sort,
                                int d, bool minimize = false);
+
+/// Label sets the optmarked bags must carry: the engine config's labels
+/// plus the "marked" mark label on the solved sort. The churn engine uses
+/// this to build bags coordinator-side before calling the solve seam.
+std::pair<std::vector<std::string>, std::vector<std::string>>
+optmarked_labels(const mso::FormulaPtr& formula, const std::string& var,
+                 mso::Sort var_sort);
+
+/// Solve phase only, over an externally supplied elimination tree and bag
+/// set (which must carry the labels from optmarked_labels) — the
+/// churn-engine seam (see dist::run_decision_solve). Like the optimization
+/// seam there is no fold cache: the marked-class fold and OPT solver run
+/// fresh each epoch; the saving is the skipped elim/bags prologue.
+OptMarkedOutcome run_optmarked_solve(congest::Network& net,
+                                     const mso::FormulaPtr& formula,
+                                     const std::string& var,
+                                     mso::Sort var_sort,
+                                     const dist::ElimTreeResult& tree,
+                                     const std::vector<LocalBag>& bags,
+                                     bool minimize = false);
 
 }  // namespace dmc::dist

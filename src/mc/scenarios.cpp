@@ -3,6 +3,7 @@
 #include <functional>
 #include <stdexcept>
 
+#include "mc/churn_system.hpp"
 #include "mc/congest_system.hpp"
 #include "mc/serve_system.hpp"
 
@@ -22,6 +23,14 @@ std::unique_ptr<System> make_congest(CongestScenario scenario,
   opts.defer_bound = o.defer_bound;
   opts.extra_tx_bound = o.extra_tx_bound;
   return std::make_unique<CongestSystem>(std::move(scenario), opts);
+}
+
+std::unique_ptr<System> make_churn(ChurnScenario scenario,
+                                   const ScenarioOptions& o) {
+  ChurnSystem::Options opts;
+  opts.defer_bound = o.defer_bound;
+  opts.extra_tx_bound = o.extra_tx_bound;
+  return std::make_unique<ChurnSystem>(std::move(scenario), opts);
 }
 
 const std::vector<Entry>& registry() {
@@ -49,6 +58,20 @@ const std::vector<Entry>& registry() {
        "(--self-check target; needs extra-tx budget >= 1)",
        [](const ScenarioOptions& o) {
          return make_congest(scenario_transport_pair(true), o);
+       }},
+      {"churn-repair",
+       "4-cycle churn epoch (edge deletion + incremental elimination-tree "
+       "repair) under hooked lossless transport; oracle digest equality on "
+       "every interleaving",
+       [](const ScenarioOptions& o) {
+         return make_churn(scenario_churn_repair(), o);
+       }},
+      {"churn-crash",
+       "churn-repair with a crash-stop fault at an explored position in "
+       "every epoch network (degradation taxonomy, full-recompute "
+       "fallback)",
+       [](const ScenarioOptions& o) {
+         return make_churn(scenario_churn_crash(), o);
        }},
       {"serve-sched",
        "serve scheduler admission/deadline/drain state machine over the "

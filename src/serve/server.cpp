@@ -64,6 +64,7 @@ JsonObject Server::metrics_response(const std::string& id) const {
   tier["builds"] = static_cast<long long>(ts.builds);
   tier["disk_hits"] = static_cast<long long>(ts.disk_hits);
   tier["saves"] = static_cast<long long>(ts.saves);
+  tier["persist_errors"] = static_cast<long long>(ts.persist_errors);
   tier["keys"] = static_cast<long long>(ts.keys);
   o["universe_tier"] = std::move(tier);
   o["queued"] = static_cast<long long>(sched_->queued());

@@ -97,6 +97,39 @@ TEST(FaultPlanParse, RejectsMalformedSpecs) {
                std::invalid_argument);
 }
 
+TEST(FaultPlanParse, RejectsDuplicateScalarKeys) {
+  // Last-wins would silently mask typos; every scalar key is once-only.
+  EXPECT_THROW(congest::parse_fault_plan("drop=0.1,drop=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("seed=1,drop=0.1,seed=2"),
+               std::invalid_argument);
+  // dup and duplicate are one logical key.
+  EXPECT_THROW(congest::parse_fault_plan("dup=0.1,duplicate=0.2"),
+               std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("reorder=0.1,reorder=0.1"),
+               std::invalid_argument);
+  // crash legitimately repeats: one entry per crash fault.
+  const FaultPlan plan =
+      congest::parse_fault_plan("crash=1@r3,crash=2@r5,seed=9");
+  ASSERT_EQ(plan.crashes.size(), 2u);
+  EXPECT_EQ(plan.crashes[0].node, 1);
+  EXPECT_EQ(plan.crashes[1].round, 5);
+}
+
+TEST(FaultPlanParse, RejectsOutOfRangeScalars) {
+  EXPECT_THROW(congest::parse_fault_plan("seed=-1"), std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("crash=-1@r3"),
+               std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("crash=2@r-4"),
+               std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("dup=1.01"), std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("corrupt=-0.5"),
+               std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("reorder=2"), std::invalid_argument);
+  EXPECT_THROW(congest::parse_fault_plan("reorder_max=65"),
+               std::invalid_argument);
+}
+
 // --- injector determinism -----------------------------------------------------
 
 TEST(FaultInjector, FatesAreAPureFunctionOfTheArguments) {

@@ -79,6 +79,41 @@ TEST(McExplorer, CrashTaxonomyHoldsAtEveryPosition) {
   EXPECT_LT(dpor.schedules, full.schedules);
 }
 
+TEST(McExplorer, ChurnRepairDigestStableAcrossSchedules) {
+  // One churn episode (init + edge-deletion repair epoch) is ~900 choice
+  // points deep — a full dmc pipeline runs under the hook twice — so the
+  // default depth bound would prune every execution; the schedule cap
+  // bounds the run instead. Every explored interleaving must complete,
+  // digest-match the schedule-free oracle inside the execution, and agree
+  // on the episode digest across executions.
+  ScenarioOptions so;
+  auto sys = dmc::mc::make_scenario("churn-repair", so);
+  ExplorerOptions eo;
+  eo.depth_bound = 4096;
+  eo.max_schedules = 32;
+  ExploreResult r = dmc::mc::explore(*sys, eo);
+  EXPECT_TRUE(r.clean()) << r.violations << " violations";
+  EXPECT_GT(r.schedules, 1);
+  EXPECT_EQ(r.pruned, 0);
+  EXPECT_TRUE(r.have_reference_digest);
+  EXPECT_FALSE(r.digest_divergence);
+}
+
+TEST(McExplorer, ChurnCrashTaxonomyHoldsAtEveryPosition) {
+  // Crash positioning legitimately changes which epochs survive; the
+  // invariant is the degradation taxonomy (a degraded epoch carries a
+  // degraded RunOutcome; no exception ever escapes the engine).
+  ScenarioOptions so;
+  auto sys = dmc::mc::make_scenario("churn-crash", so);
+  ExplorerOptions eo;
+  eo.depth_bound = 4096;
+  eo.max_schedules = 32;
+  ExploreResult r = dmc::mc::explore(*sys, eo);
+  EXPECT_EQ(r.violations, 0);
+  EXPECT_GT(r.schedules, 1);
+  EXPECT_EQ(r.pruned, 0);
+}
+
 TEST(McExplorer, ServeSchedulerInvariantsHold) {
   ExploreResult full = explore_scenario("serve-sched", /*dpor=*/false);
   ExploreResult dpor = explore_scenario("serve-sched", /*dpor=*/true);
@@ -182,17 +217,19 @@ TEST(McTrace, DefaultReplayMatchesExplorationReference) {
   EXPECT_EQ(r.exec.digest, exp.reference_digest);
 }
 
-TEST(McScenarios, RegistryListsAllFive) {
+TEST(McScenarios, RegistryListsAllSeven) {
   std::set<std::string> names;
   for (const auto& [name, desc] : dmc::mc::list_scenarios()) {
     names.insert(name);
     EXPECT_FALSE(desc.empty());
   }
-  EXPECT_EQ(names.size(), 5u);
+  EXPECT_EQ(names.size(), 7u);
   EXPECT_TRUE(names.count("transport-pair"));
   EXPECT_TRUE(names.count("transport-chain3"));
   EXPECT_TRUE(names.count("transport-crash3"));
   EXPECT_TRUE(names.count("transport-pair-planted"));
+  EXPECT_TRUE(names.count("churn-repair"));
+  EXPECT_TRUE(names.count("churn-crash"));
   EXPECT_TRUE(names.count("serve-sched"));
 }
 

@@ -8,6 +8,7 @@
 
 #include <atomic>
 #include <filesystem>
+#include <fstream>
 #include <memory>
 #include <set>
 #include <thread>
@@ -162,6 +163,33 @@ TEST_F(UniverseTierTest, ReleaseWithoutGrowthDoesNotResave) {
   EXPECT_TRUE(b.warm);
   tier.release(b);  // no new types interned
   EXPECT_EQ(tier.stats().saves, 1);
+}
+
+TEST_F(UniverseTierTest, PersistFailureDegradesToMemory) {
+  // disk_dir is a regular file, so every DMCU write-back must fail (works
+  // under root too, where permission bits alone would not block writes).
+  // The tier must degrade the key to in-memory — count the error, keep
+  // serving the engine, leave no partial file — never crash.
+  const fs::path blocked = tmp.path / "blocked";
+  { std::ofstream(blocked) << "x"; }
+  bpt::UniverseTier tier({blocked.string()});
+  auto a = tier.acquire(text, cfg);
+  ASSERT_TRUE(a.engine);
+  (void)bpt::fold_type(*a.engine, plan, g);
+  tier.release(a);  // last lease + growth => write-back attempt, fails
+  EXPECT_EQ(tier.stats().saves, 0);
+  EXPECT_EQ(tier.stats().persist_errors, 1);
+
+  // The engine stays warm and usable; the sick backing path is dropped,
+  // so later releases do not retry (exactly one persist error).
+  auto b = tier.acquire(text, cfg);
+  EXPECT_TRUE(b.warm);
+  (void)bpt::fold_type(*b.engine, plan, g);
+  tier.release(b);
+  EXPECT_EQ(tier.stats().persist_errors, 1);
+  // No partial DMCU or leftover .tmp anywhere near the blocked path.
+  for (const auto& entry : fs::directory_iterator(tmp.path))
+    EXPECT_EQ(entry.path(), blocked) << "unexpected file: " << entry.path();
 }
 
 TEST_F(UniverseTierTest, ContendedAcquireReleaseChurn) {

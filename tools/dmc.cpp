@@ -34,6 +34,16 @@
 // --universe-cache DIR (needs --dist) persists the type universe under
 // DIR ("auto" = $DMC_CACHE_DIR / $XDG_CACHE_HOME/dmc / ~/.cache/dmc) so
 // repeated runs of the same formula skip universe construction.
+// --churn SCRIPT (needs --dist) runs the query as a sequence of epochs
+// under deterministic graph churn (grammar in churn/script.hpp, e.g.
+// "add=0-5,del=2-3;random=8,seed=42"): after each mutation batch the
+// elimination tree is repaired incrementally and only affected root-path
+// BPT tables are re-folded, digest-checked per epoch against a
+// from-scratch oracle unless the script says verify=off. Composes with
+// --faults (crash/loss mid-repair degrades in a structured way and falls
+// back to a full recompute). Exit 5 = incremental/oracle digest mismatch,
+// exit 9 = at least one epoch ended repair-degraded. See
+// docs/ROBUSTNESS.md "Churn and repair".
 // --metrics FILE (needs --dist) installs the aggregate metrics registry
 // (src/metrics) for the run — congestion histograms, transport counters,
 // pool and engine statistics — and writes a Prometheus-text snapshot to
@@ -56,6 +66,8 @@
 #include <string>
 
 #include "bpt/universe_cache.hpp"
+#include "churn/engine.hpp"
+#include "churn/script.hpp"
 #include "congest/conformance.hpp"
 #include "congest/faults.hpp"
 #include "congest/network.hpp"
@@ -88,7 +100,9 @@ namespace {
                "           [--faults drop=P,dup=P,corrupt=P,reorder=P,"
                "crash=ID@rR,seed=N[,transport=raw]]\n"
                "           [--threads N] [--universe-cache DIR|auto]\n"
-               "           [--metrics FILE|-] [--metrics-interval R]\n");
+               "           [--metrics FILE|-] [--metrics-interval R]\n"
+               "           [--churn SCRIPT e.g. add=0-5,del=2-3;random=8,"
+               "seed=42]\n");
   std::exit(2);
 }
 
@@ -171,6 +185,7 @@ std::optional<int> dist_budget(const Args& args) {
     if (args.has("threads")) usage("--threads requires --dist");
     if (args.has("universe-cache")) usage("--universe-cache requires --dist");
     if (args.has("metrics")) usage("--metrics requires --dist");
+    if (args.has("churn")) usage("--churn requires --dist");
     return std::nullopt;
   }
   if (args.has("audit") && args.has("trace"))
@@ -179,6 +194,17 @@ std::optional<int> dist_budget(const Args& args) {
     usage("--audit runs the fault-free conformance battery; drop --faults");
   if (args.has("metrics-interval") && !args.has("metrics"))
     usage("--metrics-interval requires --metrics");
+  if (args.has("churn")) {
+    // The churn engine runs one network per epoch (plus oracle runs), so
+    // single-run plumbing does not compose.
+    if (args.has("audit")) usage("--audit does not compose with --churn");
+    if (args.has("trace")) usage("--trace does not compose with --churn");
+    if (args.has("universe-cache"))
+      usage("--universe-cache does not compose with --churn "
+            "(the engine keeps its own warm universe)");
+    if (args.has("metrics-interval"))
+      usage("--metrics-interval does not compose with --churn");
+  }
   return parse_int(args.get("dist"), "--dist");
 }
 
@@ -449,10 +475,93 @@ void print_phase_summary(const obs::TraceBuffer& buffer,
               stats.max_message_bits);
 }
 
+/// --churn mode, shared by decide/maximize/minimize/count: each script
+/// batch is an epoch — mutate, repair the elimination tree, re-fold only
+/// the affected root-path tables, digest-check against a from-scratch
+/// oracle. Per-epoch reporting plus the final epoch's verdict; exit 5 on
+/// any incremental/oracle digest divergence, 9 if any epoch degraded.
+int run_churn(const Args& args, Graph g, churn::Query query, int d) {
+  churn::ChurnScript script;
+  try {
+    script = churn::parse_churn_script(args.get("churn"));
+  } catch (const std::invalid_argument& e) {
+    usage(e.what());
+  }
+  auto ms = make_metrics_setup(args);  // before any engine/network exists
+  churn::Options opts;
+  opts.d = d;
+  opts.verify = script.verify;
+  opts.net.threads = thread_count(args);
+  apply_fault_options(args, opts.net);
+  churn::ChurnEngine engine(std::move(g), std::move(query), opts);
+  const std::vector<churn::StepOutcome> outs = engine.run(script);
+  bool degraded = false, mismatch = false;
+  for (std::size_t i = 0; i < outs.size(); ++i) {
+    const churn::StepOutcome& o = outs[i];
+    // Epoch 0 and no-tree epochs recompute without attempting a repair.
+    const bool repaired = o.status == churn::StepStatus::kRefolded ||
+                          o.status == churn::StepStatus::kRebuilt ||
+                          o.repair_failed || o.fallback_used;
+    std::printf("epoch %zu: status=%s repair=%s rounds=%ld refold=%d "
+                "folds=%ld digest=%016llx%s%s\n",
+                i, churn::to_string(o.status),
+                repaired ? churn::to_string(o.repair) : "-",
+                o.rounds, o.refold_count, o.folds,
+                static_cast<unsigned long long>(o.digest),
+                o.verified ? (o.digest_ok ? " oracle=match" : " oracle=MISMATCH")
+                           : " oracle=skipped",
+                o.note.empty() ? "" : (" note=" + o.note).c_str());
+    degraded = degraded || !o.ok();
+    mismatch = mismatch || (o.verified && !o.digest_ok);
+  }
+  const churn::StepOutcome& last = outs.back();
+  if (last.verdict.treedepth_exceeded) {
+    std::printf("final: treedepth > %d\n", d);
+  } else if (!last.ok()) {
+    std::printf("final: degraded (%s); verdict untrusted\n",
+                congest::to_string(last.run.status));
+  } else {
+    switch (engine.query().pipeline) {
+      case churn::Pipeline::kDecision:
+        std::printf("final: %s\n", last.verdict.holds ? "holds" : "fails");
+        break;
+      case churn::Pipeline::kCount:
+        std::printf("final: count=%llu\n",
+                    static_cast<unsigned long long>(last.verdict.count));
+        break;
+      default:
+        if (last.verdict.feasible)
+          std::printf("final: optimum=%lld\n",
+                      static_cast<long long>(last.verdict.best_weight));
+        else
+          std::printf("final: infeasible\n");
+        break;
+    }
+  }
+  if (ms) ms->write_snapshot(degraded ? "churn-degraded" : "churn-ok");
+  if (mismatch) {
+    std::fprintf(stderr, "error: incremental digest diverged from the "
+                         "from-scratch oracle\n");
+    return 5;
+  }
+  if (degraded) {
+    std::fprintf(stderr, "degraded: at least one churn epoch could not be "
+                         "repaired or re-solved; see per-epoch notes\n");
+    return 9;
+  }
+  return 0;
+}
+
 int cmd_decide(const Args& args) {
   const Graph g = load_graph(args);
   const auto formula = mso::parse(args.get("formula"));
   if (const auto d = dist_budget(args)) {
+    if (args.has("churn")) {
+      churn::Query q;
+      q.pipeline = churn::Pipeline::kDecision;
+      q.formula = formula;
+      return run_churn(args, g, std::move(q), *d);
+    }
     auto ms = make_metrics_setup(args);  // before any engine/network exists
     if (args.has("audit")) {
       const int rc = run_audit_battery(g, [&](congest::Network& net) {
@@ -504,6 +613,15 @@ int cmd_optimize(const Args& args, bool maximize) {
   const std::string var = args.get("var");
   const mso::Sort sort = parse_sort(args.get("sort"));
   if (const auto d = dist_budget(args)) {
+    if (args.has("churn")) {
+      churn::Query q;
+      q.pipeline =
+          maximize ? churn::Pipeline::kMaximize : churn::Pipeline::kMinimize;
+      q.formula = formula;
+      q.var = var;
+      q.var_sort = sort;
+      return run_churn(args, g, std::move(q), *d);
+    }
     auto ms = make_metrics_setup(args);  // before any engine/network exists
     if (args.has("audit")) {
       const int rc = run_audit_battery(g, [&](congest::Network& net) {
@@ -589,6 +707,13 @@ int cmd_count(const Args& args) {
     vars.emplace_back(item.substr(0, colon), parse_sort(item.substr(colon + 1)));
   }
   if (const auto d = dist_budget(args)) {
+    if (args.has("churn")) {
+      churn::Query q;
+      q.pipeline = churn::Pipeline::kCount;
+      q.formula = formula;
+      q.vars = vars;
+      return run_churn(args, g, std::move(q), *d);
+    }
     auto ms = make_metrics_setup(args);  // before any engine/network exists
     if (args.has("audit")) {
       const int rc = run_audit_battery(g, [&](congest::Network& net) {

@@ -12,8 +12,19 @@
 // own `code`; for `batch`, the maximum code across responses — so a
 // batch exits 0 iff every query held. Transport failures (no daemon,
 // daemon died mid-batch) exit 4.
+//
+// --retries N bounds reconnect attempts when no daemon is listening yet
+// (daemon warm-up in scripts/CI): exponential backoff from 50 ms doubling
+// to a 1 s cap, plus a deterministic jitter derived from (socket path,
+// attempt) — reproducible runs, but concurrent clients of different
+// sockets don't stampede in lockstep. Default 0 = connect once, fail
+// fast (the pre-retry behavior).
+#include <chrono>
+#include <cstdint>
 #include <iostream>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "serve/client.hpp"
@@ -23,8 +34,38 @@ namespace {
 [[noreturn]] void usage(const std::string& why = "") {
   if (!why.empty()) std::cerr << "dmcd-client: " << why << "\n";
   std::cerr << "usage: dmcd-client --socket PATH [--timeout-ms N] "
-               "ping|metrics|shutdown|query LINE|batch\n";
+               "[--retries N] ping|metrics|shutdown|query LINE|batch\n";
   std::exit(2);
+}
+
+long backoff_ms(const std::string& socket, int attempt) {
+  const long base = attempt >= 5 ? 1000 : (50L << attempt);
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : socket) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  h ^= static_cast<std::uint64_t>(attempt);
+  h *= 1099511628211ull;
+  return base + static_cast<long>(h % (base / 4 + 1));
+}
+
+/// Connects, retrying a refused/absent socket up to `retries` times with
+/// backoff_ms between attempts. Rethrows the final failure.
+std::unique_ptr<dmc::serve::Client> connect_client(const std::string& socket,
+                                                   int retries) {
+  for (int attempt = 0;; ++attempt) {
+    try {
+      return std::make_unique<dmc::serve::Client>(socket);
+    } catch (const std::exception& e) {
+      if (attempt >= retries) throw;
+      const long wait = backoff_ms(socket, attempt);
+      std::cerr << "dmcd-client: connect failed (" << e.what() << "); retry "
+                << (attempt + 1) << "/" << retries << " in " << wait
+                << " ms\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(wait));
+    }
+  }
 }
 
 int response_code(const dmc::serve::Json& resp) {
@@ -40,6 +81,7 @@ int main(int argc, char** argv) {
   std::string verb;
   std::string query_line;
   int timeout_ms = 60000;
+  int retries = 0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--socket") {
@@ -52,6 +94,14 @@ int main(int argc, char** argv) {
       } catch (...) {
         usage("--timeout-ms: not an integer");
       }
+    } else if (arg == "--retries") {
+      if (i + 1 >= argc) usage("--retries needs a value");
+      try {
+        retries = std::stoi(argv[++i]);
+      } catch (...) {
+        usage("--retries: not an integer");
+      }
+      if (retries < 0) usage("--retries: must be >= 0");
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else if (verb.empty()) {
@@ -67,7 +117,9 @@ int main(int argc, char** argv) {
   if (verb == "query" && query_line.empty()) usage("query needs a line");
 
   try {
-    dmc::serve::Client client(socket);
+    const std::unique_ptr<dmc::serve::Client> conn =
+        connect_client(socket, retries);
+    dmc::serve::Client& client = *conn;
 
     if (verb == "ping" || verb == "metrics" || verb == "shutdown") {
       const auto resp = verb == "ping"       ? client.ping(timeout_ms)

@@ -40,11 +40,9 @@ SNAP="$DIR/metrics.prom"
   --universe-dir "$DIR/ucache" >"$DIR/dmcd.log" 2>&1 &
 DPID=$!
 
-for _ in $(seq 1 100); do
-  "$CLIENT" --socket "$SOCK" ping >/dev/null 2>&1 && break
-  sleep 0.1
-done
-"$CLIENT" --socket "$SOCK" ping | grep -q '"status":"pong"' || {
+# Daemon warm-up via the client's own bounded reconnect (exponential
+# backoff, deterministic jitter): 10 retries cover ~4 s of start-up.
+"$CLIENT" --socket "$SOCK" --retries 10 ping | grep -q '"status":"pong"' || {
   echo "serve_smoke: daemon never became ready" >&2
   cat "$DIR/dmcd.log" >&2
   exit 1
