@@ -109,8 +109,8 @@ class FragmentSender {
 /// unnoticed. Protocol code uses FragmentReassembler, which is robust to
 /// both; this helper remains for unit tests of the perfect path.
 inline std::optional<std::any> poll_fragment(NodeCtx& ctx, int port) {
-  const auto& msg = ctx.recv(port);
-  if (!msg.has_value()) return std::nullopt;
+  const Message* msg = ctx.recv(port);
+  if (msg == nullptr) return std::nullopt;
   const Fragment* frag = std::any_cast<Fragment>(&msg->value);
   if (frag == nullptr || !frag->value.has_value()) return std::nullopt;
   return frag->value;
@@ -132,8 +132,8 @@ class FragmentReassembler {
   std::optional<std::any> poll(NodeCtx& ctx, int port) {
     if (port >= static_cast<int>(ports_.size())) ports_.resize(port + 1);
     PortState& state = ports_[port];
-    const auto& msg = ctx.recv(port);
-    if (msg.has_value()) {
+    const Message* msg = ctx.recv(port);
+    if (msg != nullptr) {
       const Fragment* frag = std::any_cast<Fragment>(&msg->value);
       if (frag != nullptr) absorb(state, *frag);
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <numeric>
 #include <random>
 #include <stdexcept>
@@ -14,6 +15,13 @@
 #include "par/pool.hpp"
 
 namespace dmc::congest {
+
+namespace {
+// Sentinels for Network::wake_request_: kNoWake = the node made no request
+// this step (stays restless); kSleepForever = sleep until traffic.
+constexpr int kNoWake = -1;
+constexpr int kSleepForever = std::numeric_limits<int>::max();
+}  // namespace
 
 const char* to_string(RunStatus status) {
   switch (status) {
@@ -61,17 +69,16 @@ VertexId NodeCtx::neighbor_id(int port) const {
 }
 
 int NodeCtx::port_of(VertexId id) const {
-  const auto& inc = net_.graph_.incident(vertex_);
-  for (int port = 0; port < static_cast<int>(inc.size()); ++port)
-    if (net_.ids_[inc[port].first] == id) return port;
-  return -1;
+  if (id < 0 || id >= static_cast<VertexId>(net_.vertex_of_id_.size()))
+    return -1;
+  return net_.graph_.port_of(vertex_, net_.vertex_of_id_[id]);
 }
 
 void NodeCtx::send(int port, Message msg) {
-  auto& out = net_.outbox_[vertex_];
-  if (port < 0 || port >= static_cast<int>(out.size()))
+  if (port < 0 || port >= net_.graph_.degree(vertex_))
     throw std::out_of_range("NodeCtx::send: bad port");
-  if (out[port].has_value())
+  Message& out = net_.out_slot(vertex_, port);
+  if (Network::engaged(out))
     throw std::logic_error("NodeCtx::send: port already used this round");
   if (msg.bits <= 0)
     throw std::invalid_argument(
@@ -95,7 +102,12 @@ void NodeCtx::send(int port, Message msg) {
   par::atomic_fetch_max(net_.stats_.max_message_bits, msg.bits);
   par::atomic_fetch_max(net_.round_max_message_bits_, msg.bits);
   if (net_.metrics_ != nullptr) net_.note_send_metrics(vertex_, port, msg.bits);
-  out[port] = std::move(msg);
+  out = std::move(msg);
+  // Perfect-path delivery walks exactly the links sent on this round; the
+  // fault paths scan their channel tables instead and never drain the list.
+  if (net_.fault_rt_ == nullptr)
+    net_.sent_links_[par::atomic_claim(net_.sent_count_)] =
+        net_.link_of(vertex_, port);
 }
 
 void NodeCtx::send_all(const Message& msg) {
@@ -107,9 +119,20 @@ void NodeCtx::send_unreliable(int port, Message msg) {
   if (net_.fault_rt_ != nullptr) net_.fault_rt_->note_best_effort(vertex_, port);
 }
 
-const std::optional<Message>& NodeCtx::recv(int port) const {
-  return net_.inbox_[vertex_].at(port);
+const Message* NodeCtx::recv(int port) const {
+  if (port < 0 || port >= net_.graph_.degree(vertex_))
+    throw std::out_of_range("NodeCtx::recv: bad port");
+  const Message& m = net_.inbox_[net_.link_of(vertex_, port)];
+  return Network::engaged(m) ? &m : nullptr;
 }
+
+void NodeCtx::wake_at(int round) {
+  // A wake in the past (or present) is a request to keep stepping.
+  if (round <= net_.round_) return;
+  net_.sched_request(vertex_, round);
+}
+
+void NodeCtx::sleep() { net_.sched_request(vertex_, kSleepForever); }
 
 void NodeCtx::note_reassembly_depth(int depth) {
   if (net_.metrics_ != nullptr) net_.metrics_->reassembly_depth->max_of(depth);
@@ -155,42 +178,166 @@ Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
   }
   vertex_of_id_.resize(g.num_vertices());
   for (int v = 0; v < g.num_vertices(); ++v) vertex_of_id_[ids_[v]] = v;
-  inbox_.resize(g.num_vertices());
-  outbox_.resize(g.num_vertices());
-  for (int v = 0; v < g.num_vertices(); ++v) {
-    inbox_[v].resize(g.degree(v));
-    outbox_[v].resize(g.degree(v));
-  }
-  peer_port_.resize(g.num_vertices());
-  for (int v = 0; v < g.num_vertices(); ++v) {
-    const auto& inc = g.incident(v);
-    peer_port_[v].assign(inc.size(), -1);
+  // Our private copy of the graph serves every per-round incidence query;
+  // finalize its CSR arena now so run() never hits the lazy rebuild (the
+  // per-round path stays allocation-free and safe under parallel stepping).
+  graph_.finalize();
+  const int n_ = graph_.num_vertices();
+  link_offset_.resize(n_ + 1, 0);
+  for (int v = 0; v < n_; ++v)
+    link_offset_[v + 1] = link_offset_[v] + graph_.degree(v);
+  const int links = link_offset_.back();
+  inbox_.resize(links);
+  outbox_.resize(links);
+  peer_link_.resize(links, -1);
+  link_src_.resize(links, -1);
+  for (int v = 0; v < n_; ++v) {
+    const auto& inc = graph_.incident(v);
     for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
-      const auto& winc = g.incident(inc[port].first);
-      for (int wp = 0; wp < static_cast<int>(winc.size()); ++wp) {
-        if (winc[wp].first == v) {
-          peer_port_[v][port] = wp;
-          break;
-        }
-      }
+      const int l = link_of(v, port);
+      link_src_[l] = v;
+      const VertexId w = inc[port].first;
+      peer_link_[l] = link_of(w, graph_.port_of(w, v));
     }
   }
+  // Pre-size every per-round buffer to its worst case so run() performs no
+  // allocation on the perfect path (the obs/metrics zero-allocation tests
+  // pin this down).
+  sent_links_.resize(links);
+  inbox_links_.reserve(links);
+  sched_done_.resize(n_, 0);
+  sched_asleep_.resize(n_, 0);
+  wake_request_.resize(n_, kNoWake);
+  wake_heap_.reserve(n_);
+  restless_.reserve(n_);
+  restless_pos_.resize(n_, -1);
+  active_.reserve(n_);
+  pending_active_.reserve(2 * static_cast<std::size_t>(links));
+  active_mark_.resize(n_, 0);
   if (cfg_.metrics == nullptr) cfg_.metrics = metrics::global();
   if (cfg_.metrics != nullptr) {
     metrics_ = std::make_unique<detail::NetMetrics>();
     metrics_->resolve(*cfg_.metrics);
-    // Directed-link index: link_offset_[v] + port. The round accumulators
-    // exist only while metrics are on; the disabled path allocates nothing.
-    link_offset_.resize(g.num_vertices() + 1, 0);
-    for (int v = 0; v < g.num_vertices(); ++v)
-      link_offset_[v + 1] = link_offset_[v] + g.degree(v);
-    const int links = link_offset_.back();
+    // Per-link round accumulators exist only while metrics are on; the
+    // disabled path allocates nothing beyond the fixed tables above.
     link_round_bits_.assign(links, 0);
     link_round_msgs_.assign(links, 0);
     link_total_bits_.assign(links, 0);
   }
   if (cfg_.faults.has_value())
     fault_rt_ = std::make_unique<detail::FaultRuntime>(*this, *cfg_.faults);
+}
+
+std::size_t Network::memory_bytes() const {
+  const std::size_t n_ = static_cast<std::size_t>(n());
+  const std::size_t links = inbox_.size();
+  std::size_t total = 0;
+  total += (ids_.size() + vertex_of_id_.size()) * sizeof(VertexId);
+  total += link_offset_.size() * sizeof(int);
+  total += (peer_link_.size() + link_src_.size()) * sizeof(int);
+  total += 2 * links * sizeof(Message);          // inbox_ + outbox_
+  total += links * sizeof(int);                  // sent_links_
+  total += links * sizeof(int);                  // inbox_links_ (reserved)
+  total += 2 * links * sizeof(int);              // pending_active_ (reserved)
+  total += n_ * (2 * sizeof(char) + 4 * sizeof(int));  // scheduler arrays
+  total += n_ * (sizeof(std::pair<int, int>) + sizeof(int));  // heap + active
+  total += (link_round_bits_.size() + link_total_bits_.size()) *
+               sizeof(long long) +
+           link_round_msgs_.size() * sizeof(long);
+  return total;
+}
+
+void Network::sched_reset() {
+  const int n_ = n();
+  std::fill(sched_done_.begin(), sched_done_.end(), 0);
+  std::fill(sched_asleep_.begin(), sched_asleep_.end(), 0);
+  std::fill(wake_request_.begin(), wake_request_.end(), kNoWake);
+  wake_heap_.clear();
+  // Every node starts restless: the first round steps everyone, exactly
+  // like dense stepping, and the first note_stepped() settles the flags.
+  restless_.clear();
+  for (int v = 0; v < n_; ++v) {
+    restless_.push_back(v);
+    restless_pos_[v] = v;
+  }
+  active_.clear();
+  pending_active_.clear();
+  std::fill(active_mark_.begin(), active_mark_.end(), 0);
+  active_stamp_ = 0;
+  sched_done_count_ = 0;
+}
+
+void Network::restless_add(int v) {
+  if (restless_pos_[v] >= 0) return;
+  restless_pos_[v] = static_cast<int>(restless_.size());
+  restless_.push_back(v);
+}
+
+void Network::restless_remove(int v) {
+  const int pos = restless_pos_[v];
+  if (pos < 0) return;
+  const int last = restless_.back();
+  restless_[pos] = last;
+  restless_pos_[last] = pos;
+  restless_.pop_back();
+  restless_pos_[v] = -1;
+}
+
+void Network::sched_request(int v, int round) {
+  if (!cfg_.sparse_stepping) return;
+  int& req = wake_request_[v];
+  req = (req == kNoWake) ? round : std::min(req, round);
+}
+
+void Network::sched_activate(int v) { pending_active_.push_back(v); }
+
+void Network::sched_build_active() {
+  active_.clear();
+  const int stamp = ++active_stamp_;
+  auto push = [&](int v) {
+    if (active_mark_[v] == stamp) return;
+    active_mark_[v] = stamp;
+    active_.push_back(v);
+  };
+  for (int v : restless_) push(v);
+  const auto later = [](const std::pair<int, int>& a,
+                        const std::pair<int, int>& b) { return a > b; };
+  while (!wake_heap_.empty() && wake_heap_.front().first <= round_) {
+    push(wake_heap_.front().second);
+    std::pop_heap(wake_heap_.begin(), wake_heap_.end(), later);
+    wake_heap_.pop_back();
+  }
+  for (int v : pending_active_) push(v);
+  pending_active_.clear();
+  // Sorted ascending: serial stepping visits the active set in the same
+  // (per-vertex) order dense stepping would, so annotation streams and any
+  // order-sensitive protocol bug reproduce identically.
+  std::sort(active_.begin(), active_.end());
+}
+
+void Network::sched_note_stepped(int v, bool done_now) {
+  const int req = wake_request_[v];
+  wake_request_[v] = kNoWake;
+  if (done_now != (sched_done_[v] != 0)) {
+    sched_done_[v] = done_now ? 1 : 0;
+    sched_done_count_ += done_now ? 1 : -1;
+  }
+  if (req != kNoWake) {
+    sched_asleep_[v] = 1;
+    restless_remove(v);
+    if (req != kSleepForever) {
+      wake_heap_.emplace_back(req, v);
+      std::push_heap(wake_heap_.begin(), wake_heap_.end(),
+                     [](const std::pair<int, int>& a,
+                        const std::pair<int, int>& b) { return a > b; });
+    }
+  } else {
+    sched_asleep_[v] = 0;
+    if (done_now)
+      restless_remove(v);
+    else
+      restless_add(v);
+  }
 }
 
 void Network::note_send_metrics(int vertex, int port, int bits) {
@@ -322,6 +469,7 @@ RunOutcome Network::run_outcome(
     std::vector<std::unique_ptr<NodeProgram>>& programs) {
   if (static_cast<int>(programs.size()) != n())
     throw std::invalid_argument("Network::run: one program per vertex needed");
+  if (cfg_.sparse_stepping) sched_reset();
   if (fault_rt_ != nullptr) return fault_rt_->run(programs);
   return run_perfect(programs);
 }
@@ -368,6 +516,40 @@ void Network::step_programs(std::vector<std::unique_ptr<NodeProgram>>& programs,
   }
 }
 
+void Network::step_active(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                          int threads) {
+  const int count = static_cast<int>(active_.size());
+  const bool reverse = cfg_.step_order == NetworkConfig::StepOrder::kReverse;
+  if (threads <= 1) {
+    for (int i = 0; i < count; ++i) {
+      const int v = active_[reverse ? count - 1 - i : i];
+      NodeCtx ctx(*this, v);
+      programs[v]->on_round(ctx);
+    }
+    return;
+  }
+  const bool buffer_annotations = cfg_.sink != nullptr;
+  if (buffer_annotations) {
+    pending_annotations_.assign(n(), {});
+    stepping_parallel_ = true;
+  }
+  par::parallel_for(threads, static_cast<std::size_t>(count),
+                    [&](std::size_t i) {
+                      const int v =
+                          active_[reverse ? count - 1 - static_cast<int>(i)
+                                          : static_cast<int>(i)];
+                      NodeCtx ctx(*this, v);
+                      programs[v]->on_round(ctx);
+                    });
+  if (buffer_annotations) {
+    stepping_parallel_ = false;
+    for (int i = 0; i < count; ++i) {
+      const int v = active_[reverse ? count - 1 - i : i];
+      for (const std::string& name : pending_annotations_[v]) annotate(name);
+    }
+  }
+}
+
 RunOutcome Network::run_perfect(
     std::vector<std::unique_ptr<NodeProgram>>& programs) {
   const int n_ = n();
@@ -383,18 +565,79 @@ RunOutcome Network::run_perfect(
   }
   long rounds_this_run = 0;
   const int step_threads = effective_step_threads();
+  const bool sparse = cfg_.sparse_stepping;
+  // Bulk round skip: with no per-round observers (trace sink, metrics,
+  // audit digest, round-begin hook), a stretch of rounds with an empty
+  // active set is a pure clock advance — jump straight to the next wake.
+  const bool can_fast_forward = sparse && sink == nullptr &&
+                                metrics_ == nullptr && !cfg_.audit &&
+                                !round_begin_hook_;
   for (;;) {
+    if (sparse) {
+      sched_build_active();
+      if (can_fast_forward && active_.empty()) {
+        // Nobody restless, no traffic, no due wake. Termination is not
+        // being missed: had all nodes been done with no sends, the
+        // previous round's completion check would have broken out.
+        const long next_wake = wake_heap_.empty()
+                                   ? std::numeric_limits<long>::max()
+                                   : wake_heap_.front().first;
+        const long to_cap =
+            static_cast<long>(cfg_.max_rounds) + 1 - rounds_this_run;
+        const long skip = std::min(next_wake - round_, to_cap);
+        round_ += static_cast<int>(skip);
+        rounds_this_run += skip;
+        stats_.rounds += skip;
+        if (rounds_this_run > cfg_.max_rounds) {
+          RunOutcome outcome;
+          outcome.status = RunStatus::kRoundLimit;
+          outcome.rounds = rounds_this_run;
+          outcome.virtual_rounds = rounds_this_run;
+          for (const std::string& name : span_stack_) {
+            if (!outcome.stalled_phase.empty()) outcome.stalled_phase += '/';
+            outcome.stalled_phase += name;
+          }
+          return outcome;
+        }
+        sched_build_active();  // the skipped-to round's wakes are now due
+      }
+    }
     if (round_begin_hook_) round_begin_hook_();
-    // Step every node. Rounds are simultaneous in the model, so the step
-    // order must be immaterial; kReverse exists so the conformance harness
-    // can prove that for each protocol, and that same property is what
-    // makes parallel stepping sound (see docs/PERFORMANCE.md).
-    step_programs(programs, step_threads);
-    // Check completion *after* the step (so final outputs are set). The
-    // untraced path short-circuits; the traced path counts done nodes.
+    // Step the active set (or every node when dense). Rounds are
+    // simultaneous in the model, so the step order must be immaterial;
+    // kReverse exists so the conformance harness can prove that for each
+    // protocol, and that same property is what makes parallel stepping
+    // sound (see docs/PERFORMANCE.md).
+    if (sparse)
+      step_active(programs, step_threads);
+    else
+      step_programs(programs, step_threads);
+    stats_.active_steps +=
+        sparse ? static_cast<long long>(active_.size()) : n_;
+    // Check completion *after* the step (so final outputs are set). Sparse
+    // untraced runs keep an incremental done count (done() is re-evaluated
+    // only when a node steps — the wake contract in NodeCtx::wake_at makes
+    // that exact); traced runs scan so RoundEvent::done_nodes matches dense
+    // stepping node for node.
     bool all_done = true;
     int done_count = 0;
-    if (sink == nullptr) {
+    if (sparse) {
+      for (int v : active_) {
+        NodeCtx ctx(*this, v);
+        sched_note_stepped(v, programs[v]->done(ctx));
+      }
+      if (sink == nullptr) {
+        all_done = sched_done_count_ == n_;
+      } else {
+        for (int v = 0; v < n_; ++v) {
+          NodeCtx ctx(*this, v);
+          if (programs[v]->done(ctx))
+            ++done_count;
+          else
+            all_done = false;
+        }
+      }
+    } else if (sink == nullptr) {
       for (int v = 0; v < n_ && all_done; ++v) {
         NodeCtx ctx(*this, v);
         all_done = programs[v]->done(ctx);
@@ -408,18 +651,23 @@ RunOutcome Network::run_perfect(
           all_done = false;
       }
     }
-    // Deliver messages: outbox of u's port (to w) lands in w's port (to u).
-    for (int v = 0; v < n_; ++v)
-      for (auto& slot : inbox_[v]) slot.reset();
-    bool any_message = false;
-    for (int v = 0; v < n_; ++v) {
-      const auto& inc = graph_.incident(v);
-      for (int port = 0; port < static_cast<int>(inc.size()); ++port) {
-        if (!outbox_[v][port].has_value()) continue;
-        any_message = true;
-        const int w = inc[port].first;
-        inbox_[w][peer_port_[v][port]] = std::move(outbox_[v][port]);
-        outbox_[v][port].reset();
+    // Deliver: clear last round's consumed inbox slots, then walk exactly
+    // the links sent on this round — outbox of u's port to w lands in w's
+    // reverse slot. A quiet round costs nothing.
+    for (const int l : inbox_links_) inbox_[l] = Message{};
+    inbox_links_.clear();
+    const int sent = sent_count_;
+    sent_count_ = 0;
+    const bool any_message = sent > 0;
+    for (int i = 0; i < sent; ++i) {
+      const int l = sent_links_[i];
+      const int pl = peer_link_[l];
+      inbox_[pl] = std::move(outbox_[l]);
+      outbox_[l] = Message{};
+      inbox_links_.push_back(pl);
+      if (sparse) {
+        sched_activate(link_src_[pl]);  // receiver reads it next round
+        sched_activate(link_src_[l]);   // sender stays hot one more round
       }
     }
     ++round_;

@@ -127,6 +127,17 @@ struct NetworkConfig {
   /// concurrency. Audit mode, fault injection, and serial sections
   /// (Network::SerialSection) force serial stepping regardless.
   int threads = 1;
+  /// Sparse event-driven rounds (docs/PERFORMANCE.md, "Sparse stepping and
+  /// the active set"). A node is stepped in a round only if it (a) received
+  /// traffic at the end of the previous round, (b) sent last round, (c) has
+  /// a pending NodeCtx::wake_at/sleep expiry, or (d) is not yet done and
+  /// never opted into sleeping. Quiescent done nodes cost zero. Message
+  /// traffic, stats, digests, and round counts are identical to dense
+  /// stepping for conforming protocols (rounds are simultaneous, so a step
+  /// that neither reads traffic nor changes state is unobservable); the
+  /// scale-labelled tests assert that equivalence pipeline by pipeline.
+  /// false = legacy dense stepping (every node, every round).
+  bool sparse_stepping = true;
 };
 
 struct NetworkStats {
@@ -134,6 +145,11 @@ struct NetworkStats {
   long messages = 0;
   long long total_bits = 0;
   int max_message_bits = 0;
+  /// Node steps actually executed (on_round invocations). Dense stepping
+  /// makes this n * rounds; the sparse scheduler makes it the active-set
+  /// total — the gap is the work the event-driven path saved (E16 gates
+  /// it as a deterministic bench column).
+  long long active_steps = 0;
   /// Audit-mode counters: messages cross-checked through their codec and
   /// their true (measured) encoded bits. encoded_bits <= total_bits always;
   /// the gap is the declared slack. Both stay 0 with audit off.
@@ -251,8 +267,22 @@ class NodeCtx {
   /// way must carry a dmc-lint allow(raw-send) suppression.
   void send_unreliable(int port, Message msg);
 
-  /// Message received from `port` at the end of the previous round.
-  const std::optional<Message>& recv(int port) const;
+  /// Message received from `port` at the end of the previous round, or
+  /// nullptr. The pointer aliases the network's flat mailbox slot and is
+  /// valid until the end of the current round.
+  const Message* recv(int port) const;
+
+  /// Sparse-stepping hints (no-ops under dense stepping; see
+  /// NetworkConfig::sparse_stepping). wake_at(round) requests that this
+  /// node not be stepped again until the given round (in NodeCtx::round()
+  /// units); sleep() requests no further steps at all. Either way the node
+  /// is woken early by incoming traffic, and the request lasts only until
+  /// its next step — a phase-scheduled protocol re-arms its wake each time
+  /// it runs. Contract: a sleeping node whose done() answer flips on the
+  /// round clock must wake_at() the flip round, or round counts can drift
+  /// from dense stepping.
+  void wake_at(int round);
+  void sleep();
 
   /// Reports the current reassembly backlog of one FragmentReassembler
   /// port (partially received + completed-but-undelivered messages) into
@@ -293,6 +323,13 @@ class Network {
   VertexId id_of_vertex(int vertex) const { return ids_[vertex]; }
   int vertex_of_id(VertexId id) const { return vertex_of_id_.at(id); }
 
+  /// Steady-state bytes the network itself holds per simulated graph —
+  /// mailboxes, link tables, id maps, scheduler state — excluding the
+  /// graph structure (Graph::memory_bytes) and any protocol state. Logical
+  /// sizes, so the figure is deterministic for a given graph (the E16
+  /// bytes-per-vertex budget gates it).
+  std::size_t memory_bytes() const;
+
   /// Rolling digest of all audited message traffic (audit mode only; 0
   /// otherwise). Per round the digest folds an order-insensitive sum of
   /// per-message hashes (sender id, receiver id, declared bits, encoded
@@ -322,6 +359,9 @@ class Network {
   /// order (prefer the PhaseScope RAII helper). phase_end closes any open
   /// NodeCtx annotation first, so annotations never leak across phases.
   bool traced() const { return cfg_.sink != nullptr; }
+  /// The configuration this network was built with (threads resolved at
+  /// run time, not here).
+  const NetworkConfig& config() const { return cfg_; }
   void phase_begin(std::string_view name);
   void phase_end();
   void annotate(std::string_view name);
@@ -372,6 +412,32 @@ class Network {
   /// trace-event sequence is identical to a serial step.
   void step_programs(std::vector<std::unique_ptr<NodeProgram>>& programs,
                      int threads);
+  /// Steps exactly the vertices in active_ (pre-sorted ascending; kReverse
+  /// iterates it backwards), same annotation-buffering contract.
+  void step_active(std::vector<std::unique_ptr<NodeProgram>>& programs,
+                   int threads);
+
+  // --- active-set scheduler (cfg_.sparse_stepping) -------------------------
+  // A vertex is *restless* while it has neither finished nor asked to
+  // sleep: restless vertices step every round, exactly like dense stepping.
+  // Everything else steps only on a trigger: delivered traffic, a send it
+  // made last round, or a due wake_at(). All bookkeeping runs serially
+  // between the parallel step join and delivery.
+  void sched_reset();
+  void sched_build_active();          // restless + due wakes + pending triggers
+  void sched_note_stepped(int v, bool done_now);  // consume wake request
+  void sched_activate(int v);         // queue a trigger for the next round
+  void sched_request(int v, int round);  // NodeCtx::wake_at / sleep backend
+  void restless_add(int v);
+  void restless_remove(int v);
+
+  /// Flat-mailbox accessors shared with the fault runtime. A slot is
+  /// engaged iff bits > 0 (send() rejects non-positive declared sizes, so
+  /// 0 is a free sentinel); disengaging assigns Message{}.
+  int link_of(int v, int port) const { return link_offset_[v] + port; }
+  Message& out_slot(int v, int port) { return outbox_[link_of(v, port)]; }
+  Message& in_slot(int v, int port) { return inbox_[link_of(v, port)]; }
+  static bool engaged(const Message& m) { return m.bits > 0; }
 
   void close_annotation();
   /// Metrics hooks, all no-ops when metrics_ is null. note_send_metrics
@@ -396,9 +462,6 @@ class Network {
   NetworkStats stats_;
   int round_ = 0;
   int round_max_message_bits_ = 0;  // reset per round while traced
-  // peer_port_[v][port] = the port on which v's neighbor across `port`
-  // sees v (precomputed; delivery was a per-message reverse scan before).
-  std::vector<std::vector<int>> peer_port_;
   std::function<void()> round_begin_hook_;
   int serial_section_depth_ = 0;
   // Parallel-step annotation buffering (traced runs only).
@@ -407,8 +470,31 @@ class Network {
   // Audit digest state (see audit_digest()); touched only when cfg_.audit.
   std::uint64_t audit_digest_ = 0;
   std::uint64_t audit_round_acc_ = 0;
-  // per vertex, per port
-  std::vector<std::vector<std::optional<Message>>> inbox_, outbox_;
+  // --- flat link-indexed mailboxes -----------------------------------------
+  // Directed link l = link_offset_[v] + port names (vertex v, port). The
+  // mailboxes are two flat Message arrays over those links — one cache-
+  // friendly arena each instead of n per-vertex vectors — and delivery
+  // walks only the links actually sent on this round (sent_links_), so a
+  // quiet network pays nothing per round. peer_link_[l] is the same edge
+  // seen from the other endpoint; link_src_[l] recovers the owning vertex.
+  std::vector<Message> inbox_, outbox_;  // size L = sum of degrees
+  std::vector<int> peer_link_;           // directed link -> reverse link
+  std::vector<int> link_src_;            // directed link -> source vertex
+  std::vector<int> sent_links_;          // links sent on this round (dense cap L)
+  int sent_count_ = 0;                   // atomic cursor into sent_links_
+  std::vector<int> inbox_links_;         // engaged inbox slots to clear next round
+  // --- active-set scheduler state (see sched_* above) ----------------------
+  std::vector<char> sched_done_;     // last observed done() per vertex
+  std::vector<char> sched_asleep_;   // vertex holds an unconsumed sleep/wake
+  std::vector<int> wake_request_;    // per-vertex request written during a step
+  std::vector<std::pair<int, int>> wake_heap_;  // (round, vertex) min-heap
+  std::vector<int> restless_;        // compact list: !done && !asleep
+  std::vector<int> restless_pos_;    // vertex -> index in restless_ (-1 absent)
+  std::vector<int> active_;          // this round's step list, sorted
+  std::vector<int> pending_active_;  // traffic/sent triggers for next round
+  std::vector<int> active_mark_;     // dedup stamps for active_ building
+  int active_stamp_ = 0;
+  int sched_done_count_ = 0;
   // Trace state: driver span stack + the current annotation sub-span
   // ("" = none). Touched only when cfg_.sink != nullptr.
   std::vector<std::string> span_stack_;
@@ -422,8 +508,9 @@ class Network {
   // per send / round and allocates nothing.
   std::unique_ptr<detail::NetMetrics> metrics_;
   std::vector<int> link_offset_;            // vertex -> first directed link
+                                            // (size n+1; always built)
   std::vector<long long> link_round_bits_;  // per directed link, this round
-  std::vector<long> link_round_msgs_;
+  std::vector<long> link_round_msgs_;       // (metrics-only accumulators)
   std::vector<long long> link_total_bits_;  // per directed link, lifetime
 };
 

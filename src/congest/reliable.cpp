@@ -113,7 +113,8 @@ void FaultRuntime::crash_node(VertexId id) {
   emit_fault(obs::FaultEvent::Kind::Crash, physical_round_, id, -1, 0);
   // Crash-stop cuts the node's links: queued sends vanish and frames on
   // the wire to/from it are lost; live links stop waiting on it.
-  for (auto& slot : net_.outbox_[v]) slot.reset();
+  for (int port = 0; port < net_.graph_.degree(v); ++port)
+    net_.out_slot(v, port) = Message{};
   for (int port = 0; port < static_cast<int>(link_of_[v].size()); ++port) {
     const int out = link_of_[v][port];
     channels_[out].active = false;
@@ -393,16 +394,35 @@ RunOutcome FaultRuntime::run_reliable(
     // round-start snapshots keep exact fault-free (p = 0) parity.
     if (net_.round_begin_hook_) net_.round_begin_hook_();
 
-    // Step every live node: one *virtual* round (NodeCtx::round() is the
-    // virtual clock, so fixed-schedule protocols run unmodified).
-    int live = 0;
-    for (int i = 0; i < n; ++i) {
-      const int v = reverse ? n - 1 - i : i;
-      if (crashed_[v]) continue;
-      ++live;
-      NodeCtx ctx(net_, v);
-      programs[v]->on_round(ctx);
+    // Step every live *active* node: one *virtual* round (NodeCtx::round()
+    // is the virtual clock, so fixed-schedule protocols run unmodified).
+    // The active-set scheduler applies here too — crashed nodes are
+    // filtered at step time, and channel loads / payload deposits below
+    // queue the traffic triggers.
+    const bool sparse = net_.cfg_.sparse_stepping;
+    if (sparse) {
+      net_.sched_build_active();
+      const int count = static_cast<int>(net_.active_.size());
+      for (int i = 0; i < count; ++i) {
+        const int v = net_.active_[reverse ? count - 1 - i : i];
+        if (crashed_[v]) continue;
+        NodeCtx ctx(net_, v);
+        programs[v]->on_round(ctx);
+        net_.stats_.active_steps += 1;
+        net_.sched_note_stepped(v, programs[v]->done(ctx));
+      }
+    } else {
+      for (int i = 0; i < n; ++i) {
+        const int v = reverse ? n - 1 - i : i;
+        if (crashed_[v]) continue;
+        NodeCtx ctx(net_, v);
+        programs[v]->on_round(ctx);
+        net_.stats_.active_steps += 1;
+      }
     }
+    int live = 0;
+    for (int v = 0; v < n; ++v)
+      if (!crashed_[v]) ++live;
     if (live == 0) return finish(RunStatus::kCrashed, physical, vrounds, true);
 
     bool all_done = true;
@@ -419,26 +439,29 @@ RunOutcome FaultRuntime::run_reliable(
     // Load this virtual round's frame onto every live-to-live channel (the
     // queued payload or an empty marker) and wipe the inboxes the step
     // just consumed.
-    for (int v = 0; v < n; ++v)
-      for (auto& slot : net_.inbox_[v]) slot.reset();
+    for (Message& slot : net_.inbox_)
+      if (Network::engaged(slot)) slot = Message{};
     bool any_payload = false;
     for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
       Channel& ch = channels_[k];
       const Link& L = links_[k];
-      auto& slot = net_.outbox_[L.u][L.uport];
+      Message& slot = net_.out_slot(L.u, L.uport);
       if (crashed_[L.u] || crashed_[L.v]) {
-        slot.reset();
+        slot = Message{};
         ch.active = false;
         continue;
       }
       ch.seq = net_.round_;
       ch.active = true;
-      ch.has_payload = slot.has_value();
+      ch.has_payload = Network::engaged(slot);
       if (ch.has_payload) {
-        ch.payload = std::move(*slot);
+        ch.payload = std::move(slot);
+        slot = Message{};
         ch.payload_bits = ch.payload.bits;
-        slot.reset();
         any_payload = true;
+        // The sender made progress this round: keep it in next round's
+        // active set (same trigger as the perfect path's sent-last-round).
+        if (sparse) net_.sched_activate(L.u);
       } else {
         ch.payload = Message{};
         ch.payload_bits = 0;
@@ -533,8 +556,10 @@ RunOutcome FaultRuntime::run_reliable(
         }
         ch.delivered = true;
         if (copy.with_payload) {
-          net_.inbox_[L.v][L.vport] = std::move(ch.payload);
+          net_.in_slot(L.v, L.vport) = std::move(ch.payload);
           ch.payload_deposited = true;
+          // Traffic wakes the receiver for the next virtual round.
+          if (net_.cfg_.sparse_stepping) net_.sched_activate(L.v);
         }
       };
 
@@ -606,6 +631,10 @@ RunOutcome FaultRuntime::run_raw(
     apply_scheduled_crashes();
     if (net_.round_begin_hook_) net_.round_begin_hook_();
 
+    // Raw transport steps dense: messages ride the faulty links directly,
+    // so a receiver cannot be told apart from a non-receiver until the
+    // in-flight queue drains — the active-set optimization stays on the
+    // perfect and reliable paths.
     int live = 0;
     for (int i = 0; i < n; ++i) {
       const int v = reverse ? n - 1 - i : i;
@@ -613,6 +642,7 @@ RunOutcome FaultRuntime::run_raw(
       ++live;
       NodeCtx ctx(net_, v);
       programs[v]->on_round(ctx);
+      net_.stats_.active_steps += 1;
     }
     if (live == 0)
       return finish(RunStatus::kCrashed, physical, physical, true);
@@ -632,10 +662,10 @@ RunOutcome FaultRuntime::run_raw(
     bool any_send = false;
     for (int k = 0; k < static_cast<int>(links_.size()); ++k) {
       const Link& L = links_[k];
-      auto& slot = net_.outbox_[L.u][L.uport];
-      if (!slot.has_value()) continue;
+      Message& slot = net_.out_slot(L.u, L.uport);
+      if (!Network::engaged(slot)) continue;
       if (crashed_[L.u]) {
-        slot.reset();
+        slot = Message{};
         continue;
       }
       any_send = true;
@@ -649,7 +679,7 @@ RunOutcome FaultRuntime::run_raw(
         copy.order = order_counter_ + 1;  // behind the primary copy
         copy.corrupt = fate.dup_corrupt;
         copy.with_payload = true;
-        copy.payload = *slot;  // copied before the primary moves it
+        copy.payload = slot;  // copied before the primary moves it
         net_.stats_.faults_duplicated += 1;
         emit_fault(obs::FaultEvent::Kind::Duplicate, physical_round_, src, dst,
                    fate.dup_delay);
@@ -669,7 +699,7 @@ RunOutcome FaultRuntime::run_raw(
         copy.order = order_counter_;
         copy.corrupt = fate.corrupt;
         copy.with_payload = true;
-        copy.payload = std::move(*slot);
+        copy.payload = std::move(slot);
         if (fate.delay > 0) {
           net_.stats_.faults_delayed += 1;
           emit_fault(obs::FaultEvent::Kind::Delay, physical_round_, src, dst,
@@ -683,7 +713,7 @@ RunOutcome FaultRuntime::run_raw(
         flight_[k].push_back(std::move(copy));
       }
       order_counter_ += 2;
-      slot.reset();
+      slot = Message{};
     }
 
     physical_round_ += 1;
@@ -705,8 +735,8 @@ RunOutcome FaultRuntime::run_raw(
       net_.round_max_message_bits_ = 0;
     }
 
-    for (int v = 0; v < n; ++v)
-      for (auto& slot : net_.inbox_[v]) slot.reset();
+    for (Message& slot : net_.inbox_)
+      if (Network::engaged(slot)) slot = Message{};
     const int delivered =
         deliver_due(physical_round_, [&](int k, InFlight& copy) {
           const Link& L = links_[k];
@@ -715,10 +745,10 @@ RunOutcome FaultRuntime::run_raw(
             // Detectably garbled: the payload arrives as a CorruptedPayload
             // marker of the same declared size; std::any_cast to the real
             // type fails and robust receivers ignore it.
-            net_.inbox_[L.v][L.vport] =
+            net_.in_slot(L.v, L.vport) =
                 Message(CorruptedPayload{}, copy.payload.bits);
           else
-            net_.inbox_[L.v][L.vport] = std::move(copy.payload);
+            net_.in_slot(L.v, L.vport) = std::move(copy.payload);
         });
 
     bool flight_empty = true;

@@ -112,6 +112,9 @@ class BagsProgram : public congest::NodeProgram {
       }
     }
     sender_.pump(ctx);
+    // Bagless with nothing queued: blocked on the parent's chunk stream,
+    // which wakes us on arrival (sparse scheduler; no-op otherwise).
+    if (!has_bag_ && sender_.idle()) ctx.sleep();
   }
 
   bool done(const NodeCtx&) const override {

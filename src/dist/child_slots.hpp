@@ -1,0 +1,41 @@
+// Sorted (child id -> fold slot) lookup shared by the aggregation
+// protocols. Each program keeps its children in elimination-tree order so
+// folds stay schedule-independent, but incoming child messages identify
+// themselves by sender id; resolving that id with a linear scan makes a
+// hub with 10^5 children quadratic in its degree. ChildSlots answers the
+// same query in O(log c) from one sorted array, with no per-message
+// allocation.
+#pragma once
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace dmc::dist {
+
+class ChildSlots {
+ public:
+  explicit ChildSlots(const std::vector<VertexId>& children) {
+    slots_.reserve(children.size());
+    for (std::size_t i = 0; i < children.size(); ++i)
+      slots_.emplace_back(children[i], static_cast<int>(i));
+    std::sort(slots_.begin(), slots_.end());
+  }
+
+  /// Fold slot of child `id` (its index in the original children list), or
+  /// -1 when `id` is not a child.
+  int slot(VertexId id) const {
+    const auto it = std::lower_bound(
+        slots_.begin(), slots_.end(),
+        std::make_pair(id, std::numeric_limits<int>::min()));
+    return it != slots_.end() && it->first == id ? it->second : -1;
+  }
+
+ private:
+  std::vector<std::pair<VertexId, int>> slots_;
+};
+
+}  // namespace dmc::dist

@@ -8,6 +8,7 @@
 #include "congest/fragment.hpp"
 #include "congest/wire.hpp"
 #include "dist/bags.hpp"
+#include "dist/child_slots.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
@@ -80,7 +81,8 @@ class CountingProgram : public congest::NodeProgram {
         evaluator_(evaluator),
         local_(std::move(lctx)),
         parent_id_(parent_id),
-        children_ids_(std::move(children_ids)) {
+        children_ids_(std::move(children_ids)),
+        child_slots_(children_ids_) {
     child_tables_.resize(children_ids_.size());
     have_table_.assign(children_ids_.size(), false);
   }
@@ -108,11 +110,11 @@ class CountingProgram : public congest::NodeProgram {
       const VertexId from = ctx.neighbor_id(p);
       if (auto payload = reasm_.poll(ctx, p)) {
         const auto& tp = std::any_cast<const CountTablePayload&>(*payload);
-        for (std::size_t i = 0; i < children_ids_.size(); ++i)
-          if (children_ids_[i] == from) {
-            child_tables_[i] = tp.table;
-            have_table_[i] = true;
-          }
+        const int slot = child_slots_.slot(from);
+        if (slot >= 0) {
+          child_tables_[slot] = tp.table;
+          have_table_[slot] = true;
+        }
         continue;
       }
       const auto& msg = ctx.recv(p);
@@ -153,6 +155,9 @@ class CountingProgram : public congest::NodeProgram {
       }
     }
     sender_.pump(ctx);
+    // Blocked on children's table chunks or the parent's total — both
+    // arrive as traffic, which wakes us (sparse scheduler; no-op otherwise).
+    if (!finished_ && sender_.idle()) ctx.sleep();
   }
 
   bool done(const NodeCtx&) const override {
@@ -172,6 +177,7 @@ class CountingProgram : public congest::NodeProgram {
   LocalContext local_;
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
+  ChildSlots child_slots_;
   std::vector<bpt::CountTable> child_tables_;
   std::vector<bool> have_table_;
   congest::FragmentSender sender_;
@@ -261,7 +267,7 @@ CountingOutcome run_count_solve(
 CountingOutcome run_count(
     congest::Network& net, const mso::FormulaPtr& formula,
     const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
-    bpt::Engine* engine_in) {
+    bpt::Engine* engine_in, const ElimTreeOptions& tree_opts) {
   CountingOutcome out;
   const mso::FormulaPtr lowered = mso::lower(formula, vars);
   std::optional<bpt::Engine> own_engine;
@@ -270,7 +276,7 @@ CountingOutcome run_count(
     engine_in = &*own_engine;
   }
 
-  const ElimTreeResult tree = run_elim_tree(net, d);
+  const ElimTreeResult tree = run_elim_tree(net, d, tree_opts);
   out.rounds_elim = tree.rounds;
   out.run = tree.run;
   if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict

@@ -51,7 +51,7 @@ struct CountingCache {
 CountingOutcome run_count(
     congest::Network& net, const mso::FormulaPtr& formula,
     const std::vector<std::pair<std::string, mso::Sort>>& vars, int d,
-    bpt::Engine* engine = nullptr);
+    bpt::Engine* engine = nullptr, const ElimTreeOptions& tree_opts = {});
 
 /// Solve phase only, over an externally supplied elimination tree and bag
 /// set — the churn-engine seam (see run_decision_solve). When `cache` is

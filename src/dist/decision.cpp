@@ -7,6 +7,7 @@
 #include "bpt/tables.hpp"
 #include "congest/wire.hpp"
 #include "dist/bags.hpp"
+#include "dist/child_slots.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
@@ -74,6 +75,7 @@ class DecisionProgram : public congest::NodeProgram {
         local_(std::move(ctx)),
         parent_id_(parent_id),
         children_ids_(std::move(children_ids)),
+        child_slots_(children_ids_),
         max_bits_(max_bits),
         types_at_round_start_(types_at_round_start) {
     inputs_.assign(children_ids_.size(), bpt::kInvalidType);
@@ -102,9 +104,8 @@ class DecisionProgram : public congest::NodeProgram {
       const auto& msg = ctx.recv(p);
       if (!msg) continue;
       if (const auto* cm = std::any_cast<ClassMsg>(&msg->value)) {
-        const VertexId from = ctx.neighbor_id(p);
-        for (std::size_t i = 0; i < children_ids_.size(); ++i)
-          if (children_ids_[i] == from) inputs_[i] = cm->type;
+        const int slot = child_slots_.slot(ctx.neighbor_id(p));
+        if (slot >= 0) inputs_[slot] = cm->type;
       } else if (const auto* vm = std::any_cast<VerdictMsg>(&msg->value)) {
         if (!verdict_known_) {
           verdict_known_ = true;
@@ -139,6 +140,9 @@ class DecisionProgram : public congest::NodeProgram {
         ctx.send(ctx.port_of(parent_id_), Message(ClassMsg{my_class_}, bits));
       }
     }
+    // Waiting on children's classes or the root's verdict — both arrive as
+    // traffic, which wakes us (sparse scheduler; no-op otherwise).
+    if (!verdict_known_) ctx.sleep();
   }
 
   bool done(const NodeCtx&) const override { return verdict_known_; }
@@ -161,6 +165,7 @@ class DecisionProgram : public congest::NodeProgram {
   LocalContext local_;
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
+  ChildSlots child_slots_;
   std::vector<bpt::TypeId> inputs_;
   bpt::TypeId cached_ = bpt::kInvalidType;
   bpt::TypeId my_class_ = bpt::kInvalidType;
@@ -247,9 +252,10 @@ DecisionOutcome run_decision_solve(congest::Network& net,
 
 DecisionOutcome run_decision(congest::Network& net,
                              const mso::FormulaPtr& formula, int d,
-                             bpt::Engine* engine) {
+                             bpt::Engine* engine,
+                             const ElimTreeOptions& tree_opts) {
   DecisionOutcome out;
-  const ElimTreeResult tree = run_elim_tree(net, d);
+  const ElimTreeResult tree = run_elim_tree(net, d, tree_opts);
   out.rounds_elim = tree.rounds;
   out.run = tree.run;
   if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict

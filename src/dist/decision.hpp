@@ -53,9 +53,12 @@ struct DecisionCache {
 /// Decides the closed formula on the network, with treedepth budget d.
 /// If `engine` is non-null it is used (and filled) instead of a fresh one —
 /// useful for running many instances against one class universe.
+/// `tree_opts` tunes the elimination-tree prologue (e.g. change-only
+/// flooding for the sparse scheduler); the verdict is unaffected.
 DecisionOutcome run_decision(congest::Network& net,
                              const mso::FormulaPtr& formula, int d,
-                             bpt::Engine* engine = nullptr);
+                             bpt::Engine* engine = nullptr,
+                             const ElimTreeOptions& tree_opts = {});
 
 /// Solve phase only: the class convergecast + verdict broadcast over an
 /// externally supplied elimination tree and bag set (`bags[v]` for graph

@@ -108,7 +108,8 @@ struct AdoptMsg {
 // one extra round so the last AdoptMsg is processed.
 class ElimTreeProgram : public congest::NodeProgram {
  public:
-  explicit ElimTreeProgram(int d) : d_(d) {
+  explicit ElimTreeProgram(int d, bool sparse_flood)
+      : d_(d), sparse_(sparse_flood) {
     election_rounds_ = (1 << d_) + 1;
     phase_len_ = election_rounds_ + 2;
     num_phases_ = (1 << d_) - 1;  // phases 0 .. D-1
@@ -135,8 +136,19 @@ class ElimTreeProgram : public congest::NodeProgram {
     }
     if (step < E) {
       ctx.annotate("election");
+      const VertexId before = cur_min_;
       if (step > 0) absorb_floods(ctx);
-      ctx.send_all(Message(FloodMsg{marked(), cur_min_}, 1 + id_bits));
+      if (!sparse_) {
+        ctx.send_all(Message(FloodMsg{marked(), cur_min_}, 1 + id_bits));
+      } else if (!marked() && phase < num_phases_ &&
+                 (step == 0 || cur_min_ < before)) {
+        // Change-only flooding: forward the minimum only when it improved
+        // this step (or the phase's step-0 seed). Improvements still
+        // travel one hop per round, so the election converges on the same
+        // leaders in the same number of rounds as the dense schedule.
+        ctx.send_all(Message(FloodMsg{false, cur_min_}, 1 + id_bits));
+      }
+      arm_wake(ctx, phase, step);
       return;
     }
     if (step == E) {
@@ -144,10 +156,12 @@ class ElimTreeProgram : public congest::NodeProgram {
       absorb_floods(ctx);
       if (phase == 0) {
         if (!marked() && cur_min_ == ctx.id()) depth_ = 1;  // root, parent -1
+        arm_wake(ctx, phase, step);
         return;
       }
       if (!marked())
         ctx.send_all(Message(ReportMsg{cur_min_, ctx.id()}, 2 * id_bits));
+      arm_wake(ctx, phase, step);
       return;
     }
     // step == E + 1: adoption by nodes of depth == phase.
@@ -168,6 +182,7 @@ class ElimTreeProgram : public congest::NodeProgram {
         children_.push_back(chosen.first);
       }
     }
+    arm_wake(ctx, phase, step);
   }
 
   bool done(const NodeCtx& ctx) const override {
@@ -175,6 +190,25 @@ class ElimTreeProgram : public congest::NodeProgram {
   }
 
  private:
+  /// Sparse mode: after acting at (phase, step), sleep until the next
+  /// round this node *must* act even without traffic. Traffic (floods,
+  /// reports, adoptions) wakes a sleeping node earlier via the scheduler's
+  /// delivery trigger, so nothing is missed. Marked nodes only ever react
+  /// to report traffic; their sole mandatory round is the final one, where
+  /// done() flips and the scheduler must observe it.
+  void arm_wake(NodeCtx& ctx, int phase, int step) {
+    if (!sparse_) return;
+    int next;
+    if (marked()) {
+      next = total_rounds_;
+    } else if (step < election_rounds_) {
+      next = std::min(phase * phase_len_ + election_rounds_, total_rounds_);
+    } else {
+      next = std::min((phase + 1) * phase_len_, total_rounds_);
+    }
+    ctx.wake_at(start_round_ + next);
+  }
+
   void absorb_floods(NodeCtx& ctx) {
     if (marked()) return;
     for (int p = 0; p < ctx.degree(); ++p) {
@@ -198,6 +232,7 @@ class ElimTreeProgram : public congest::NodeProgram {
   }
 
   int d_;
+  bool sparse_;
   int election_rounds_;
   int phase_len_;
   int num_phases_;
@@ -211,13 +246,14 @@ class ElimTreeProgram : public congest::NodeProgram {
 
 }  // namespace
 
-ElimTreeResult run_elim_tree(congest::Network& net, int d) {
+ElimTreeResult run_elim_tree(congest::Network& net, int d,
+                             const ElimTreeOptions& opts) {
   if (d < 1) throw std::invalid_argument("run_elim_tree: d >= 1 required");
   congest::PhaseScope trace_scope(net, "elim-tree");
   std::vector<std::unique_ptr<congest::NodeProgram>> programs;
   std::vector<ElimTreeProgram*> handles;
   for (int v = 0; v < net.n(); ++v) {
-    auto p = std::make_unique<ElimTreeProgram>(d);
+    auto p = std::make_unique<ElimTreeProgram>(d, opts.sparse_flood);
     handles.push_back(p.get());
     programs.push_back(std::move(p));
   }

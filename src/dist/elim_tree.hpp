@@ -35,7 +35,22 @@ struct ElimTreeResult {
   congest::RunOutcome run;
 };
 
+struct ElimTreeOptions {
+  /// Change-only flooding, tuned for the sparse scheduler
+  /// (NetworkConfig::sparse_stepping): an unmarked node floods its
+  /// component minimum only when it improves (plus the mandatory seed at
+  /// each phase's step 0), marked nodes stop flooding entirely, and every
+  /// node sleeps between its mandatory steps, waking on traffic or its
+  /// next scheduled step. Min-flooding is monotone and idempotent, so the
+  /// elected leaders — and hence the resulting tree and the round count —
+  /// are identical to the dense schedule; only the message count drops.
+  /// Off by default: the dense flood schedule is Algorithm 2's literal
+  /// cost model and the E1/E12 baselines gate its exact message counts.
+  bool sparse_flood = false;
+};
+
 /// Runs Algorithm 2 on the network. Stats accumulate in net.stats().
-ElimTreeResult run_elim_tree(congest::Network& net, int d);
+ElimTreeResult run_elim_tree(congest::Network& net, int d,
+                             const ElimTreeOptions& opts = {});
 
 }  // namespace dmc::dist

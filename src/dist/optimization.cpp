@@ -11,6 +11,7 @@
 #include "congest/fragment.hpp"
 #include "congest/wire.hpp"
 #include "dist/bags.hpp"
+#include "dist/child_slots.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
@@ -102,6 +103,7 @@ class OptimizationProgram : public congest::NodeProgram {
         local_(std::move(lctx)),
         parent_id_(parent_id),
         children_ids_(std::move(children_ids)),
+        child_slots_(children_ids_),
         shared_(shared) {
     child_tables_.resize(children_ids_.size());
     have_table_.assign(children_ids_.size(), false);
@@ -122,11 +124,10 @@ class OptimizationProgram : public congest::NodeProgram {
       const VertexId from = ctx.neighbor_id(p);
       if (auto payload = reasm_.poll(ctx, p)) {
         const auto& tp = std::any_cast<const TablePayload&>(*payload);
-        for (std::size_t i = 0; i < children_ids_.size(); ++i) {
-          if (children_ids_[i] == from) {
-            child_tables_[i] = tp.table;
-            have_table_[i] = true;
-          }
+        const int slot = child_slots_.slot(from);
+        if (slot >= 0) {
+          child_tables_[slot] = tp.table;
+          have_table_[slot] = true;
         }
         continue;
       }
@@ -174,6 +175,9 @@ class OptimizationProgram : public congest::NodeProgram {
       }
     }
     sender_.pump(ctx);
+    // Blocked on children's table chunks or the top-down assignment — both
+    // arrive as traffic, which wakes us (sparse scheduler; no-op otherwise).
+    if (!finished_ && sender_.idle()) ctx.sleep();
   }
 
   bool done(const NodeCtx&) const override {
@@ -205,6 +209,7 @@ class OptimizationProgram : public congest::NodeProgram {
   LocalContext local_;
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
+  ChildSlots child_slots_;
   OptimizationOutcome* shared_;
   std::vector<bpt::OptTable> child_tables_;
   std::vector<bool> have_table_;
@@ -314,7 +319,8 @@ OptimizationOutcome run_solve_impl(congest::Network& net,
 OptimizationOutcome run_impl(congest::Network& net,
                              const mso::FormulaPtr& formula,
                              const std::string& var, mso::Sort var_sort, int d,
-                             Weight sign, bpt::Engine* engine_in) {
+                             Weight sign, bpt::Engine* engine_in,
+                             const ElimTreeOptions& tree_opts) {
   OptimizationOutcome out;
   const std::vector<std::pair<std::string, mso::Sort>> frees{{var, var_sort}};
   const mso::FormulaPtr lowered = mso::lower(formula, frees);
@@ -324,7 +330,7 @@ OptimizationOutcome run_impl(congest::Network& net,
     engine_in = &*own_engine;
   }
 
-  const ElimTreeResult tree = run_elim_tree(net, d);
+  const ElimTreeResult tree = run_elim_tree(net, d, tree_opts);
   out.rounds_elim = tree.rounds;
   out.run = tree.run;
   if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict
@@ -351,15 +357,17 @@ OptimizationOutcome run_impl(congest::Network& net,
 OptimizationOutcome run_maximize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d, bpt::Engine* engine) {
-  return run_impl(net, formula, var, var_sort, d, 1, engine);
+                                 int d, bpt::Engine* engine,
+                                 const ElimTreeOptions& tree_opts) {
+  return run_impl(net, formula, var, var_sort, d, 1, engine, tree_opts);
 }
 
 OptimizationOutcome run_minimize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d, bpt::Engine* engine) {
-  return run_impl(net, formula, var, var_sort, d, -1, engine);
+                                 int d, bpt::Engine* engine,
+                                 const ElimTreeOptions& tree_opts) {
+  return run_impl(net, formula, var, var_sort, d, -1, engine, tree_opts);
 }
 
 OptimizationOutcome run_maximize_solve(congest::Network& net,

@@ -49,13 +49,15 @@ struct OptimizationOutcome {
 OptimizationOutcome run_maximize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d, bpt::Engine* engine = nullptr);
+                                 int d, bpt::Engine* engine = nullptr,
+                                 const ElimTreeOptions& tree_opts = {});
 
 /// min phi(S): maximization over negated weights.
 OptimizationOutcome run_minimize(congest::Network& net,
                                  const mso::FormulaPtr& formula,
                                  const std::string& var, mso::Sort var_sort,
-                                 int d, bpt::Engine* engine = nullptr);
+                                 int d, bpt::Engine* engine = nullptr,
+                                 const ElimTreeOptions& tree_opts = {});
 
 /// Solve phase only, over an externally supplied elimination tree and bag
 /// set — the churn-engine seam (see dist::run_decision_solve). Unlike the

@@ -8,6 +8,7 @@
 #include "congest/fragment.hpp"
 #include "congest/wire.hpp"
 #include "dist/bags.hpp"
+#include "dist/child_slots.hpp"
 #include "dist/elim_tree.hpp"
 #include "dist/local.hpp"
 #include "mso/lower.hpp"
@@ -97,6 +98,7 @@ class OptMarkedProgram : public congest::NodeProgram {
         local_(std::move(lctx)),
         parent_id_(parent_id),
         children_ids_(std::move(children_ids)),
+        child_slots_(children_ids_),
         vertex_sort_(vertex_sort),
         shared_(shared) {
     child_payloads_.resize(children_ids_.size());
@@ -116,11 +118,11 @@ class OptMarkedProgram : public congest::NodeProgram {
       const VertexId from = ctx.neighbor_id(p);
       if (auto payload = reasm_.poll(ctx, p)) {
         const auto& up = std::any_cast<const UpPayload&>(*payload);
-        for (std::size_t i = 0; i < children_ids_.size(); ++i)
-          if (children_ids_[i] == from) {
-            child_payloads_[i] = up;
-            have_payload_[i] = true;
-          }
+        const int slot = child_slots_.slot(from);
+        if (slot >= 0) {
+          child_payloads_[slot] = up;
+          have_payload_[slot] = true;
+        }
         continue;
       }
       const auto& msg = ctx.recv(p);
@@ -163,6 +165,9 @@ class OptMarkedProgram : public congest::NodeProgram {
       }
     }
     sender_.pump(ctx);
+    // Blocked on children's payload chunks or the parent's verdict — both
+    // arrive as traffic, which wakes us (sparse scheduler; no-op otherwise).
+    if (!finished_ && sender_.idle()) ctx.sleep();
   }
 
   bool done(const NodeCtx&) const override {
@@ -222,6 +227,7 @@ class OptMarkedProgram : public congest::NodeProgram {
   LocalContext local_;
   VertexId parent_id_;
   std::vector<VertexId> children_ids_;
+  ChildSlots child_slots_;
   bool vertex_sort_;
   OptMarkedOutcome* shared_;
   std::vector<UpPayload> child_payloads_;
@@ -317,9 +323,10 @@ OptMarkedOutcome run_optmarked_solve(congest::Network& net,
 OptMarkedOutcome run_optmarked(congest::Network& net,
                                const mso::FormulaPtr& formula,
                                const std::string& var, mso::Sort var_sort,
-                               int d, bool minimize) {
+                               int d, bool minimize,
+                               const ElimTreeOptions& tree_opts) {
   OptMarkedOutcome out;
-  const ElimTreeResult tree = run_elim_tree(net, d);
+  const ElimTreeResult tree = run_elim_tree(net, d, tree_opts);
   out.rounds_elim = tree.rounds;
   out.run = tree.run;
   if (!tree.run.ok()) return out;  // degraded: not a treedepth verdict

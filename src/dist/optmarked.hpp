@@ -45,7 +45,8 @@ struct OptMarkedOutcome {
 OptMarkedOutcome run_optmarked(congest::Network& net,
                                const mso::FormulaPtr& formula,
                                const std::string& var, mso::Sort var_sort,
-                               int d, bool minimize = false);
+                               int d, bool minimize = false,
+                               const ElimTreeOptions& tree_opts = {});
 
 /// Label sets the optmarked bags must carry: the engine config's labels
 /// plus the "marked" mark label on the solved sort. The churn engine uses

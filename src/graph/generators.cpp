@@ -1,6 +1,7 @@
 #include "graph/generators.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <sstream>
 #include <stdexcept>
 
@@ -103,6 +104,36 @@ Graph kary_tree(int arity, int levels) {
     }
     frontier = std::move(next);
   }
+  return g;
+}
+
+Graph spider(int d, int width) {
+  if (d < 2 || width < 1)
+    throw std::invalid_argument("spider: need d >= 2, width >= 1");
+  const long long leg_len = (1LL << (d - 1)) - 1;
+  const long long total = 1 + static_cast<long long>(width) * leg_len;
+  if (total > std::numeric_limits<int>::max())
+    throw std::invalid_argument("spider: instance too large");
+  Graph g(1);  // center
+  for (int leg = 0; leg < width; ++leg) {
+    const VertexId first = g.add_vertices(static_cast<int>(leg_len));
+    g.add_edge(0, first);
+    for (long long i = 0; i + 1 < leg_len; ++i)
+      g.add_edge(first + static_cast<VertexId>(i),
+                 first + static_cast<VertexId>(i) + 1);
+  }
+  return g;
+}
+
+Graph deeppath(int n, int d) {
+  if (d < 2) throw std::invalid_argument("deeppath: need d >= 2");
+  const long long spine = (1LL << (d - 1)) - 1;
+  if (spine > n)
+    throw std::invalid_argument("deeppath: need n >= 2^(d-1) - 1");
+  const int s = static_cast<int>(spine);
+  Graph g(n);
+  for (int i = 0; i + 1 < s; ++i) g.add_edge(i, i + 1);
+  for (int v = s; v < n; ++v) g.add_edge(v, (v - s) % s);
   return g;
 }
 
@@ -248,8 +279,17 @@ Graph family(const std::string& spec) {
     Rng rng(42);
     return random_bounded_treedepth(n, d, 0.4, rng);
   }
-  throw std::invalid_argument("unknown family '" + name +
-                              "' (path/cycle/star/clique/grid/btd)");
+  if (name == "spider") {
+    const int d = num("spider depth");
+    return spider(d, num("spider width"));
+  }
+  if (name == "deeppath") {
+    const int n = num("deeppath size");
+    return deeppath(n, num("deeppath depth"));
+  }
+  throw std::invalid_argument(
+      "unknown family '" + name +
+      "' (path/cycle/star/clique/grid/btd/spider/deeppath)");
 }
 
 void randomize_weights(Graph& g, Weight lo, Weight hi, Rng& rng) {

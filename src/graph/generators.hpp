@@ -34,6 +34,20 @@ Graph wheel(int rim);
 /// Complete k-ary tree with the given number of levels.
 Graph kary_tree(int arity, int levels);
 
+/// Spider: a center vertex with `width` legs, each leg a path on
+/// 2^(d-1) - 1 vertices (the longest path a treedepth-(d-1) graph can be,
+/// Lemma 2.5). td <= d: eliminate the center, then each leg is a path of
+/// treedepth d-1. Built in O(n); the million-vertex scale family of
+/// EXPERIMENTS.md E16 (n = 1 + width * (2^(d-1) - 1)).
+Graph spider(int d, int width);
+
+/// Deep path: a spine path on 2^(d-1) - 1 vertices plus pendant leaves
+/// distributed round-robin over the spine until the graph has `n` vertices.
+/// td <= d: hang each leaf below its spine vertex in the spine's standard
+/// depth-(d-1) elimination tree. Built in O(n); maximizes elimination-tree
+/// depth at scale where spider maximizes breadth.
+Graph deeppath(int n, int d);
+
 Graph random_tree(int n, Rng& rng);
 Graph erdos_renyi(int n, double p, Rng& rng);
 
@@ -53,7 +67,8 @@ Graph random_connected(int n, int extra, Rng& rng);
 Graph disjoint_union(const Graph& a, const Graph& b);
 
 /// Builds a named family instance from a colon-separated spec:
-/// "path:12", "cycle:9", "star:8", "clique:5", "grid:4x5", "btd:20:3"
+/// "path:12", "cycle:9", "star:8", "clique:5", "grid:4x5", "btd:20:3",
+/// "spider:4:10", "deeppath:100:4"
 /// (btd is seeded deterministically, matching the dmc CLI). Throws
 /// std::invalid_argument on an unknown family or malformed parameters —
 /// the shared spec grammar of `dmc --family` and the dmcd query protocol.

@@ -5,16 +5,49 @@
 
 namespace dmc {
 
-void Graph::resize(int n) {
-  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
-  adj_.resize(n);
-  vertex_weights_.resize(n, 1);
-  for (auto& [name, bits] : vertex_labels_) bits.resize(n, false);
+namespace {
+
+/// splitmix64 finalizer: full-avalanche hash of the packed endpoint key.
+std::uint64_t hash_key(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
 }
 
-void Graph::check_vertex(VertexId v) const {
-  if (v < 0 || v >= num_vertices())
-    throw std::out_of_range("Graph: vertex id out of range");
+using LabelColumns =
+    std::vector<std::pair<std::string, std::vector<bool>>>;
+
+std::vector<bool>* find_label(LabelColumns& cols, const std::string& name) {
+  auto it = std::lower_bound(
+      cols.begin(), cols.end(), name,
+      [](const auto& col, const std::string& n) { return col.first < n; });
+  if (it == cols.end() || it->first != name) return nullptr;
+  return &it->second;
+}
+
+const std::vector<bool>* find_label(const LabelColumns& cols,
+                                    const std::string& name) {
+  return find_label(const_cast<LabelColumns&>(cols), name);
+}
+
+std::vector<bool>& ensure_label(LabelColumns& cols, const std::string& name) {
+  auto it = std::lower_bound(
+      cols.begin(), cols.end(), name,
+      [](const auto& col, const std::string& n) { return col.first < n; });
+  if (it == cols.end() || it->first != name)
+    it = cols.insert(it, {name, {}});
+  return it->second;
+}
+
+}  // namespace
+
+void Graph::resize(int n) {
+  if (n < 0) throw std::invalid_argument("Graph: negative vertex count");
+  if (n != num_vertices()) csr_dirty_ = true;
+  deg_.resize(n, 0);
+  vertex_weights_.resize(n, 1);
+  for (auto& [name, bits] : vertex_labels_) bits.resize(n, false);
 }
 
 VertexId Graph::add_vertices(int count) {
@@ -24,18 +57,86 @@ VertexId Graph::add_vertices(int count) {
   return first;
 }
 
+void Graph::index_grow(std::size_t min_slots) {
+  std::size_t cap = 16;
+  while (cap < min_slots) cap <<= 1;
+  std::vector<std::uint64_t> keys(cap, kEmptyKey);
+  std::vector<EdgeId> vals(cap, -1);
+  const std::uint64_t mask = cap - 1;
+  for (std::size_t i = 0; i < index_keys_.size(); ++i) {
+    if (index_keys_[i] == kEmptyKey) continue;
+    std::uint64_t slot = hash_key(index_keys_[i]) & mask;
+    while (keys[slot] != kEmptyKey) slot = (slot + 1) & mask;
+    keys[slot] = index_keys_[i];
+    vals[slot] = index_vals_[i];
+  }
+  index_keys_ = std::move(keys);
+  index_vals_ = std::move(vals);
+}
+
+void Graph::index_insert(std::uint64_t key, EdgeId e) {
+  // keep load factor <= 70%: grow when (count+1) > 0.7 * capacity
+  const std::size_t count = edges_.size();
+  if (index_keys_.empty() || (count + 1) * 10 > index_keys_.size() * 7)
+    index_grow(std::max<std::size_t>(16, (count + 1) * 2));
+  const std::uint64_t mask = index_keys_.size() - 1;
+  std::uint64_t slot = hash_key(key) & mask;
+  while (index_keys_[slot] != kEmptyKey) slot = (slot + 1) & mask;
+  index_keys_[slot] = key;
+  index_vals_[slot] = e;
+}
+
+EdgeId Graph::index_find(std::uint64_t key) const {
+  if (index_keys_.empty()) return -1;
+  const std::uint64_t mask = index_keys_.size() - 1;
+  std::uint64_t slot = hash_key(key) & mask;
+  while (index_keys_[slot] != kEmptyKey) {
+    if (index_keys_[slot] == key) return index_vals_[slot];
+    slot = (slot + 1) & mask;
+  }
+  return -1;
+}
+
+void Graph::rebuild_csr() const {
+  const int n = num_vertices();
+  csr_off_.assign(n + 1, 0);
+  for (const Edge& e : edges_) {
+    ++csr_off_[e.u + 1];
+    ++csr_off_[e.v + 1];
+  }
+  for (int v = 0; v < n; ++v) csr_off_[v + 1] += csr_off_[v];
+  csr_adj_.resize(2 * edges_.size());
+  csr_eport_.resize(2 * edges_.size());
+  // Scatter in edge-id order: each endpoint's list fills in the order its
+  // edges were added, reproducing the historical adjacency-vector ports.
+  // The cursor position *is* the edge's port at that endpoint; recording it
+  // here is what makes port_of O(1).
+  std::vector<int> cursor(csr_off_.begin(), csr_off_.end() - 1);
+  for (EdgeId e = 0; e < static_cast<EdgeId>(edges_.size()); ++e) {
+    const Edge& ed = edges_[e];
+    csr_eport_[2 * e] = cursor[ed.u] - csr_off_[ed.u];
+    csr_adj_[cursor[ed.u]++] = {ed.v, e};
+    csr_eport_[2 * e + 1] = cursor[ed.v] - csr_off_[ed.v];
+    csr_adj_[cursor[ed.v]++] = {ed.u, e};
+  }
+  csr_off_.pop_back();  // offsets only; sizes come from deg_
+  csr_dirty_ = false;
+}
+
 EdgeId Graph::add_edge(VertexId u, VertexId v) {
   check_vertex(u);
   check_vertex(v);
   if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
   if (u > v) std::swap(u, v);
-  if (edge_index_.count({u, v}))
+  const std::uint64_t key = pack_key(u, v);
+  if (index_find(key) >= 0)
     throw std::invalid_argument("Graph::add_edge: duplicate edge");
   const EdgeId e = num_edges();
   edges_.push_back(Edge{u, v});
-  edge_index_[{u, v}] = e;
-  adj_[u].emplace_back(v, e);
-  adj_[v].emplace_back(u, e);
+  index_insert(key, e);
+  ++deg_[u];
+  ++deg_[v];
+  csr_dirty_ = true;
   edge_weights_.push_back(1);
   for (auto& [name, bits] : edge_labels_) bits.push_back(false);
   return e;
@@ -54,45 +155,42 @@ EdgeId Graph::edge_id(VertexId u, VertexId v) const {
   check_vertex(u);
   check_vertex(v);
   if (u > v) std::swap(u, v);
-  auto it = edge_index_.find({u, v});
-  return it == edge_index_.end() ? -1 : it->second;
+  return index_find(pack_key(u, v));
 }
 
-std::vector<VertexId> Graph::neighbors(VertexId v) const {
-  std::vector<VertexId> out;
-  out.reserve(adj_.at(v).size());
-  for (auto [w, e] : adj_.at(v)) out.push_back(w);
-  return out;
+int Graph::port_of(VertexId v, VertexId w) const {
+  const EdgeId e = edge_id(v, w);
+  if (e < 0) return -1;
+  if (csr_dirty_) rebuild_csr();
+  return edges_[e].u == v ? csr_eport_[2 * e] : csr_eport_[2 * e + 1];
 }
 
 void Graph::set_vertex_label(const std::string& name, VertexId v, bool on) {
   check_vertex(v);
-  auto& bits = vertex_labels_[name];
+  auto& bits = ensure_label(vertex_labels_, name);
   bits.resize(num_vertices(), false);
   bits[v] = on;
 }
 
 void Graph::set_edge_label(const std::string& name, EdgeId e, bool on) {
-  if (e < 0 || e >= num_edges())
-    throw std::out_of_range("Graph: edge id out of range");
-  auto& bits = edge_labels_[name];
+  check_edge(e);
+  auto& bits = ensure_label(edge_labels_, name);
   bits.resize(num_edges(), false);
   bits[e] = on;
 }
 
 bool Graph::vertex_has_label(const std::string& name, VertexId v) const {
   check_vertex(v);
-  auto it = vertex_labels_.find(name);
-  if (it == vertex_labels_.end()) return false;
-  return v < static_cast<int>(it->second.size()) && it->second[v];
+  const auto* bits = find_label(vertex_labels_, name);
+  if (bits == nullptr) return false;
+  return v < static_cast<int>(bits->size()) && (*bits)[v];
 }
 
 bool Graph::edge_has_label(const std::string& name, EdgeId e) const {
-  if (e < 0 || e >= num_edges())
-    throw std::out_of_range("Graph: edge id out of range");
-  auto it = edge_labels_.find(name);
-  if (it == edge_labels_.end()) return false;
-  return e < static_cast<int>(it->second.size()) && it->second[e];
+  check_edge(e);
+  const auto* bits = find_label(edge_labels_, name);
+  if (bits == nullptr) return false;
+  return e < static_cast<int>(bits->size()) && (*bits)[e];
 }
 
 std::vector<std::string> Graph::vertex_label_names() const {
@@ -113,8 +211,7 @@ void Graph::set_vertex_weight(VertexId v, Weight w) {
 }
 
 void Graph::set_edge_weight(EdgeId e, Weight w) {
-  if (e < 0 || e >= num_edges())
-    throw std::out_of_range("Graph: edge id out of range");
+  check_edge(e);
   edge_weights_[e] = w;
 }
 
@@ -124,8 +221,7 @@ Weight Graph::vertex_weight(VertexId v) const {
 }
 
 Weight Graph::edge_weight(EdgeId e) const {
-  if (e < 0 || e >= num_edges())
-    throw std::out_of_range("Graph: edge id out of range");
+  check_edge(e);
   return edge_weights_[e];
 }
 
@@ -155,6 +251,26 @@ Graph Graph::induced_subgraph(const std::vector<VertexId>& vertices,
   }
   if (old_to_new) *old_to_new = std::move(map);
   return sub;
+}
+
+std::size_t Graph::memory_bytes() const {
+  std::size_t total = 0;
+  total += edges_.size() * sizeof(Edge);
+  total += deg_.size() * sizeof(int);
+  total += vertex_weights_.size() * sizeof(Weight);
+  total += edge_weights_.size() * sizeof(Weight);
+  total += index_keys_.size() * sizeof(std::uint64_t);
+  total += index_vals_.size() * sizeof(EdgeId);
+  if (!csr_dirty_) {
+    total += csr_off_.size() * sizeof(int);
+    total += csr_adj_.size() * sizeof(std::pair<VertexId, EdgeId>);
+    total += csr_eport_.size() * sizeof(int);
+  }
+  for (const auto& [name, bits] : vertex_labels_)
+    total += name.size() + bits.size() / 8;
+  for (const auto& [name, bits] : edge_labels_)
+    total += name.size() + bits.size() / 8;
+  return total;
 }
 
 std::string Graph::to_string() const {

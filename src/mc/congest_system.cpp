@@ -48,8 +48,8 @@ class PairReceiver : public congest::NodeProgram {
   int receives = 0;
 
   void on_round(congest::NodeCtx& ctx) override {
-    const auto& msg = ctx.recv(0);
-    if (!msg.has_value()) return;
+    const auto* msg = ctx.recv(0);
+    if (msg == nullptr) return;
     if (const auto* v = std::any_cast<std::int64_t>(&msg->value)) {
       value = *v;
       receives += 1;

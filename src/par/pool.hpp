@@ -53,4 +53,13 @@ void atomic_fetch_add(T& target, T value) {
   std::atomic_ref<T>(target).fetch_add(value, std::memory_order_relaxed);
 }
 
+/// Atomically claims the next slot from a plain shared cursor: fetch-add
+/// returning the pre-increment value. Serial callers pay an uncontended
+/// atomic and get the obvious counter semantics.
+template <typename T>
+T atomic_claim(T& counter, T delta = T{1}) {
+  return std::atomic_ref<T>(counter).fetch_add(delta,
+                                               std::memory_order_relaxed);
+}
+
 }  // namespace dmc::par

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "graph/algorithms.hpp"
 #include "td/elimination_forest.hpp"
 
@@ -126,6 +129,69 @@ TEST(Generators, DisjointUnion) {
   EXPECT_EQ(g.num_vertices(), 6);
   EXPECT_EQ(g.num_edges(), 5);
   EXPECT_EQ(num_connected_components(g), 2);
+}
+
+TEST(Generators, SpiderShapeAndTreedepth) {
+  for (int d = 2; d <= 4; ++d) {
+    for (int width = 1; width <= 3; ++width) {
+      const int leg = (1 << (d - 1)) - 1;
+      const int n = 1 + width * leg;
+      if (n > 20) continue;  // exact_treedepth's subset-DP size cap
+      const Graph g = gen::spider(d, width);
+      EXPECT_EQ(g.num_vertices(), n);
+      EXPECT_EQ(g.num_edges(), width * leg);  // a tree
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_EQ(g.degree(0), width);
+      EXPECT_LE(exact_treedepth(g), d) << "d=" << d << " width=" << width;
+    }
+  }
+  EXPECT_THROW(gen::spider(1, 3), std::invalid_argument);
+  EXPECT_THROW(gen::spider(3, 0), std::invalid_argument);
+}
+
+TEST(Generators, DeeppathShapeAndTreedepth) {
+  for (int d = 2; d <= 4; ++d) {
+    const int spine = (1 << (d - 1)) - 1;
+    for (int n : {spine, spine + 1, std::min(4 * spine + 2, 20)}) {
+      const Graph g = gen::deeppath(n, d);
+      EXPECT_EQ(g.num_vertices(), n);
+      EXPECT_EQ(g.num_edges(), n - 1);  // spine + one edge per leaf
+      EXPECT_TRUE(is_connected(g));
+      EXPECT_LE(exact_treedepth(g), d) << "d=" << d << " n=" << n;
+    }
+  }
+  // Leaves are spread evenly: no spine vertex carries two more than another.
+  const Graph g = gen::deeppath(25, 4);  // spine 7, 18 leaves
+  int lo = 25, hi = 0;
+  for (int v = 0; v < 7; ++v) {
+    lo = std::min(lo, g.degree(v));
+    hi = std::max(hi, g.degree(v));
+  }
+  EXPECT_LE(hi - lo, 2);  // spine ends have one fewer spine edge
+  EXPECT_THROW(gen::deeppath(2, 3), std::invalid_argument);
+  EXPECT_THROW(gen::deeppath(10, 1), std::invalid_argument);
+}
+
+TEST(Generators, SpiderAndDeeppathBuildAtScaleLinearly) {
+  // The E16 family: ~10^6 vertices must materialize in O(n). No timing
+  // assertion (CI noise) — just that construction completes and the CSR
+  // adjacency finalizes; a quadratic builder would time the suite out.
+  const Graph s = gen::spider(9, 3922);  // 1 + 3922 * 255 = 1000111
+  EXPECT_EQ(s.num_vertices(), 1000111);
+  EXPECT_EQ(s.num_edges(), 1000110);
+  EXPECT_EQ(s.degree(0), 3922);
+  const Graph p = gen::deeppath(1000000, 9);
+  EXPECT_EQ(p.num_vertices(), 1000000);
+  EXPECT_EQ(p.num_edges(), 999999);
+}
+
+TEST(Generators, FamilySpecsParseSpiderAndDeeppath) {
+  const Graph s = gen::family("spider:3:5");
+  EXPECT_EQ(s.num_vertices(), 1 + 5 * 3);
+  const Graph p = gen::family("deeppath:40:3");
+  EXPECT_EQ(p.num_vertices(), 40);
+  EXPECT_THROW(gen::family("spider:3"), std::invalid_argument);
+  EXPECT_THROW(gen::family("deeppath:abc:3"), std::invalid_argument);
 }
 
 TEST(Generators, RandomizeWeights) {

@@ -100,6 +100,7 @@ namespace {
                "           [--faults drop=P,dup=P,corrupt=P,reorder=P,"
                "crash=ID@rR,seed=N[,transport=raw]]\n"
                "           [--threads N] [--universe-cache DIR|auto]\n"
+               "           [--sparse-flood]\n"
                "           [--metrics FILE|-] [--metrics-interval R]\n"
                "           [--churn SCRIPT e.g. add=0-5,del=2-3;random=8,"
                "seed=42]\n");
@@ -158,8 +159,8 @@ Args parse_args(int argc, char** argv) {
   for (int i = 2; i < argc; ++i) {
     const std::string key = argv[i];
     if (key.rfind("--", 0) != 0) usage("options start with --");
-    if (key == "--audit") {  // boolean flag, takes no value
-      args.options["audit"] = "1";
+    if (key == "--audit" || key == "--sparse-flood") {  // boolean flags
+      args.options[key.substr(2)] = "1";
       continue;
     }
     if (i + 1 >= argc) usage(("missing value for " + key).c_str());
@@ -186,6 +187,7 @@ std::optional<int> dist_budget(const Args& args) {
     if (args.has("universe-cache")) usage("--universe-cache requires --dist");
     if (args.has("metrics")) usage("--metrics requires --dist");
     if (args.has("churn")) usage("--churn requires --dist");
+    if (args.has("sparse-flood")) usage("--sparse-flood requires --dist");
     return std::nullopt;
   }
   if (args.has("audit") && args.has("trace"))
@@ -204,8 +206,20 @@ std::optional<int> dist_budget(const Args& args) {
             "(the engine keeps its own warm universe)");
     if (args.has("metrics-interval"))
       usage("--metrics-interval does not compose with --churn");
+    if (args.has("sparse-flood"))
+      usage("--sparse-flood does not compose with --churn "
+            "(the engine repairs trees incrementally)");
   }
   return parse_int(args.get("dist"), "--dist");
+}
+
+/// --sparse-flood: change-only flooding in the elimination-tree prologue
+/// (see dist::ElimTreeOptions::sparse_flood). Same tree, same rounds,
+/// fewer messages; pairs with the sparse scheduler on huge instances.
+dist::ElimTreeOptions tree_options(const Args& args) {
+  dist::ElimTreeOptions opts;
+  opts.sparse_flood = args.has("sparse-flood");
+  return opts;
 }
 
 /// --threads: worker count for the simulated rounds and engine folds.
@@ -580,7 +594,8 @@ int cmd_decide(const Args& args) {
     apply_fault_options(args, cfg);
     apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
-    const auto out = dist::run_decision(net, formula, *d, cache.get());
+    const auto out =
+        dist::run_decision(net, formula, *d, cache.get(), tree_options(args));
     cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
@@ -643,10 +658,11 @@ int cmd_optimize(const Args& args, bool maximize) {
     apply_fault_options(args, cfg);
     apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
-    const auto out =
-        maximize
-            ? dist::run_maximize(net, formula, var, sort, *d, cache.get())
-            : dist::run_minimize(net, formula, var, sort, *d, cache.get());
+    const auto out = maximize
+                         ? dist::run_maximize(net, formula, var, sort, *d,
+                                              cache.get(), tree_options(args))
+                         : dist::run_minimize(net, formula, var, sort, *d,
+                                              cache.get(), tree_options(args));
     cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
@@ -732,7 +748,8 @@ int cmd_count(const Args& args) {
     apply_fault_options(args, cfg);
     apply_metrics_options(ms.get(), cfg);
     congest::Network net(g, cfg);
-    const auto out = dist::run_count(net, formula, vars, *d, cache.get());
+    const auto out = dist::run_count(net, formula, vars, *d, cache.get(),
+                                     tree_options(args));
     cache.save();
     if (!out.run.ok()) {
       print_phase_summary(trace->buffer, net.stats());
