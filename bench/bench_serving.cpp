@@ -119,7 +119,10 @@ ServedRun run_served(const std::vector<serve::Query>& qs,
   bpt::UniverseTier tier({dir.string()});
   ServedRun run;
   {
-    serve::Scheduler sched({workers, static_cast<int>(qs.size())}, tier);
+    serve::SchedulerOptions sopts;
+    sopts.workers = workers;
+    sopts.max_queue = static_cast<int>(qs.size());
+    serve::Scheduler sched(sopts, tier);
     std::mutex mu;
     std::condition_variable cv;
     std::vector<serve::JsonObject> responses;

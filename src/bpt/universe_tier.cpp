@@ -3,6 +3,7 @@
 
 #include "bpt/universe_cache.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/clock.hpp"
 
 namespace dmc::bpt {
 
@@ -36,6 +37,7 @@ UniverseTier::Lease UniverseTier::acquire(const std::string& formula_text,
   const std::shared_ptr<Slot> slot = it->second;
 
   bool waited = false;
+  const long long wait_start = obs::now_ms();
   while (slot->building || slot->saving) {
     waited = true;
     cv_.wait(lock);
@@ -47,6 +49,7 @@ UniverseTier::Lease UniverseTier::acquire(const std::string& formula_text,
 
   Lease lease;
   lease.key = key;
+  lease.wait_ms = waited ? obs::now_ms() - wait_start : 0;
   if (slot->engine) {
     ++stats_.hits;
     if (met_hits_) met_hits_->add(1);
@@ -62,6 +65,7 @@ UniverseTier::Lease UniverseTier::acquire(const std::string& formula_text,
   lock.unlock();
   std::shared_ptr<Engine> engine;
   bool disk_hit = false;
+  const long long build_start = obs::now_ms();
   try {
     engine = std::make_shared<Engine>(cfg);
     if (!opts_.disk_dir.empty())
@@ -90,6 +94,7 @@ UniverseTier::Lease UniverseTier::acquire(const std::string& formula_text,
   cv_.notify_all();
   lease.engine = engine;
   lease.disk_hit = disk_hit;
+  lease.build_ms = obs::now_ms() - build_start;
   return lease;
 }
 
@@ -112,13 +117,16 @@ void UniverseTier::release(const Lease& lease) {
   const std::size_t types = engine->num_types();
   lock.unlock();
   bool saved = false;
+  const long long persist_start = obs::now_ms();
   try {
     saved = save_universe_cache(*engine, slot->path);
   } catch (...) {
     saved = false;  // persist failure must never escape release()
   }
+  const long long persist_ms = obs::now_ms() - persist_start;
   lock.lock();
   slot->saving = false;
+  stats_.persist_ms += persist_ms;
   if (saved) {
     slot->saved_types = types;
     ++stats_.saves;

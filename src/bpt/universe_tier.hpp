@@ -56,11 +56,17 @@ class UniverseTier {
 
   /// A checked-out engine. `warm` says the engine already lived in the
   /// tier; `disk_hit` says this call's construction loaded a DMCU file.
+  /// The millisecond stamps (obs::now_ms) feed the serving layer's
+  /// per-query span breakdown: `wait_ms` is time parked behind another
+  /// builder/saver, `build_ms` is this call's own construct/disk-load
+  /// time (0 on a warm hit).
   struct Lease {
     std::shared_ptr<Engine> engine;
     std::string key;  // tier key (also the DMCU file path when backed)
     bool warm = false;
     bool disk_hit = false;
+    long long wait_ms = 0;
+    long long build_ms = 0;
   };
 
   /// Returns the shared engine for the key derived from `formula_text`
@@ -82,6 +88,7 @@ class UniverseTier {
     long disk_hits = 0;  // constructions warm-loaded from DMCU
     long saves = 0;      // write-backs performed by release()
     long persist_errors = 0;  // failed write-backs (key degraded to memory)
+    long long persist_ms = 0;  // total wall ms spent in write-backs
     std::size_t keys = 0;
   };
   Stats stats() const;

@@ -269,6 +269,7 @@ StepOutcome ChurnEngine::solve(congest::Network& net,
   out.rounds = out.run.rounds;
   out.status =
       out.run.ok() ? StepStatus::kRecomputed : StepStatus::kDegraded;
+  if (!out.run.ok()) out.flight = net.flight_recorder().dump_string();
   out.digest = out.verdict.digest(query_.pipeline);
   if (out.run.ok()) {
     // The refreshed caches are positional over bags ordered by these ids.
@@ -287,6 +288,7 @@ StepOutcome ChurnEngine::full_compute(const congest::NetworkConfig& cfg) {
   out.rounds = tree.rounds;
   if (!tree.run.ok()) {
     out.status = StepStatus::kDegraded;
+    out.flight = net.flight_recorder().dump_string();
     tree_.reset();
     invalidate_caches();
     return out;
@@ -304,6 +306,7 @@ StepOutcome ChurnEngine::full_compute(const congest::NetworkConfig& cfg) {
   out.rounds += bags.rounds;
   if (!bags.run.ok()) {
     out.status = StepStatus::kDegraded;
+    out.flight = net.flight_recorder().dump_string();
     tree_.reset();
     invalidate_caches();
     return out;

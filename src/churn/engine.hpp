@@ -105,6 +105,9 @@ struct StepOutcome {
   /// Outcome of the last network run of the epoch (the fallback's when
   /// fallback_used). Degraded steps carry the degraded outcome here.
   congest::RunOutcome run;
+  /// Flight-recorder JSONL of the epoch's network, captured only when the
+  /// epoch ends degraded — the CLI persists it under --flight-record.
+  std::string flight;
   std::string note;  // one-line diagnostic (repair reason, budget drift)
 
   bool ok() const { return status != StepStatus::kDegraded; }

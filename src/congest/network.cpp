@@ -163,7 +163,8 @@ void Network::audit_send(int vertex, int port, const Message& msg) {
   audit_round_acc_ += h;
 }
 
-Network::Network(const Graph& g, NetworkConfig cfg) : graph_(g), cfg_(cfg) {
+Network::Network(const Graph& g, NetworkConfig cfg)
+    : graph_(g), cfg_(cfg), flight_(cfg.flight_capacity) {
   if (g.num_vertices() == 0)
     throw std::invalid_argument("Network: empty graph");
   if (!is_connected(g))
@@ -350,6 +351,37 @@ void Network::note_send_metrics(int vertex, int port, int bits) {
   par::atomic_fetch_add(link_round_msgs_[link], 1L);
 }
 
+void Network::metrics_skip_rounds(long skip) {
+  detail::NetMetrics& m = *metrics_;
+  auto refresh_utilization = [&] {
+    const long long links = static_cast<long long>(link_round_bits_.size());
+    if (links > 0 && bandwidth_ > 0)
+      m.utilization_permille->set(m.cum_bits * 1000 /
+                                  (links * bandwidth_ * m.metric_rounds));
+  };
+  if (cfg_.metrics_interval <= 0 || !cfg_.metrics_flush) {
+    m.rounds->add(skip);
+    m.metric_rounds += skip;
+    refresh_utilization();
+    return;
+  }
+  // Replay each crossed flush boundary with the round counters it would
+  // have seen, so periodic snapshots of a fast-forwarded run match the
+  // round-by-round execution snapshot for snapshot.
+  long remaining = skip;
+  while (remaining > 0) {
+    const long to_boundary =
+        cfg_.metrics_interval - (m.metric_rounds % cfg_.metrics_interval);
+    const long step = std::min(to_boundary, remaining);
+    m.rounds->add(step);
+    m.metric_rounds += step;
+    remaining -= step;
+    refresh_utilization();
+    if (m.metric_rounds % cfg_.metrics_interval == 0)
+      cfg_.metrics_flush(m.metric_rounds);
+  }
+}
+
 void Network::metrics_round_end() {
   detail::NetMetrics& m = *metrics_;
   m.rounds->add(1);
@@ -384,6 +416,8 @@ void Network::note_serial_section() {
 Network::~Network() = default;
 
 void Network::phase_begin(std::string_view name) {
+  flight_.record_phase(round_, static_cast<int>(span_stack_.size()),
+                       /*end=*/false, name);
   if (cfg_.sink == nullptr) {
     // No trace events, but fault-aware / phase-tracking networks still
     // maintain the span stack so degraded outcomes can name their phase.
@@ -403,10 +437,16 @@ void Network::phase_begin(std::string_view name) {
 
 void Network::phase_end() {
   if (cfg_.sink == nullptr) {
-    if ((cfg_.track_phases || fault_rt_ != nullptr) && !span_stack_.empty())
+    if ((cfg_.track_phases || fault_rt_ != nullptr) && !span_stack_.empty()) {
+      flight_.record_phase(round_, static_cast<int>(span_stack_.size()) - 1,
+                           /*end=*/true, span_stack_.back());
       span_stack_.pop_back();
+    }
     return;
   }
+  if (!span_stack_.empty())
+    flight_.record_phase(round_, static_cast<int>(span_stack_.size()) - 1,
+                         /*end=*/true, span_stack_.back());
   if (span_stack_.empty())
     throw std::logic_error("Network::phase_end: no open phase");
   close_annotation();
@@ -556,22 +596,26 @@ RunOutcome Network::run_perfect(
   obs::TraceSink* const sink = cfg_.sink;
   long prev_messages = stats_.messages;
   long long prev_bits = stats_.total_bits;
-  if (sink != nullptr) {
+  {
     obs::RunInfo info;
     info.n = n_;
     info.bandwidth = bandwidth_;
     info.first_round = round_;
-    sink->run_begin(info);
+    flight_.record_run_begin(info);
+    if (sink != nullptr) sink->run_begin(info);
   }
   long rounds_this_run = 0;
   const int step_threads = effective_step_threads();
   const bool sparse = cfg_.sparse_stepping;
-  // Bulk round skip: with no per-round observers (trace sink, metrics,
-  // audit digest, round-begin hook), a stretch of rounds with an empty
-  // active set is a pure clock advance — jump straight to the next wake.
-  const bool can_fast_forward = sparse && sink == nullptr &&
-                                metrics_ == nullptr && !cfg_.audit &&
-                                !round_begin_hook_;
+  // Bulk round skip: a stretch of rounds with an empty active set is a
+  // pure clock advance — jump straight to the next wake. Observers no
+  // longer forfeit the skip: a trace sink gets one coalesced
+  // QuiescentEvent (expanded to per-round events by sinks that need
+  // them), metrics get the equivalent bulk fold (metrics_skip_rounds).
+  // Only the audit digest and the round-begin hook still force
+  // round-by-round execution: both run arbitrary per-round logic whose
+  // absence would change their outputs.
+  const bool can_fast_forward = sparse && !cfg_.audit && !round_begin_hook_;
   for (;;) {
     if (sparse) {
       sched_build_active();
@@ -585,10 +629,27 @@ RunOutcome Network::run_perfect(
         const long to_cap =
             static_cast<long>(cfg_.max_rounds) + 1 - rounds_this_run;
         const long skip = std::min(next_wake - round_, to_cap);
+        // Counts are constant for the whole stretch: nothing steps during
+        // quiescence, and the wake contract forces any node whose done()
+        // flips on the clock to wake at the flip round — it would be in
+        // the heap, bounding `skip`.
+        obs::QuiescentEvent ev;
+        ev.first_round = round_;
+        ev.skipped_rounds = skip;
+        ev.active_nodes = n_ - sched_done_count_;
+        ev.done_nodes = sched_done_count_;
         round_ += static_cast<int>(skip);
         rounds_this_run += skip;
         stats_.rounds += skip;
+        flight_.record_quiescent(ev);
+        if (metrics_ != nullptr) metrics_skip_rounds(skip);
+        if (sink != nullptr) sink->quiescent(ev);
         if (rounds_this_run > cfg_.max_rounds) {
+          if (sink != nullptr) {
+            close_annotation();
+            sink->run_end();
+          }
+          flight_.record_run_end(round_);
           RunOutcome outcome;
           outcome.status = RunStatus::kRoundLimit;
           outcome.rounds = rounds_this_run;
@@ -615,10 +676,11 @@ RunOutcome Network::run_perfect(
     stats_.active_steps +=
         sparse ? static_cast<long long>(active_.size()) : n_;
     // Check completion *after* the step (so final outputs are set). Sparse
-    // untraced runs keep an incremental done count (done() is re-evaluated
-    // only when a node steps — the wake contract in NodeCtx::wake_at makes
-    // that exact); traced runs scan so RoundEvent::done_nodes matches dense
-    // stepping node for node.
+    // runs keep an incremental done count, traced or not (done() is
+    // re-evaluated only when a node steps — the wake contract in
+    // NodeCtx::wake_at makes that exact, and the scale-labelled tests pin
+    // RoundEvent::done_nodes to dense stepping's per-round scan); an O(n)
+    // scan per traced round would sink million-vertex traced runs.
     bool all_done = true;
     int done_count = 0;
     if (sparse) {
@@ -626,17 +688,8 @@ RunOutcome Network::run_perfect(
         NodeCtx ctx(*this, v);
         sched_note_stepped(v, programs[v]->done(ctx));
       }
-      if (sink == nullptr) {
-        all_done = sched_done_count_ == n_;
-      } else {
-        for (int v = 0; v < n_; ++v) {
-          NodeCtx ctx(*this, v);
-          if (programs[v]->done(ctx))
-            ++done_count;
-          else
-            all_done = false;
-        }
-      }
+      done_count = sched_done_count_;
+      all_done = sched_done_count_ == n_;
     } else if (sink == nullptr) {
       for (int v = 0; v < n_ && all_done; ++v) {
         NodeCtx ctx(*this, v);
@@ -678,6 +731,23 @@ RunOutcome Network::run_perfect(
       audit_digest_ = audit::mix64(audit_digest_, audit_round_acc_);
       audit_round_acc_ = 0;
     }
+    {
+      // The flight recorder keeps its own delta baselines: it records on
+      // every path, traced or not.
+      obs::RoundEvent ev;
+      ev.round = round_ - 1;
+      ev.messages = stats_.messages - flight_prev_messages_;
+      ev.bits = stats_.total_bits - flight_prev_bits_;
+      ev.max_message_bits = round_max_message_bits_;
+      // Dense untraced runs short-circuit the done scan; -1 marks the
+      // count as unknown in the dump.
+      const bool counted = sparse || sink != nullptr;
+      ev.active_nodes = counted ? n_ - done_count : -1;
+      ev.done_nodes = counted ? done_count : -1;
+      flight_.record_round(ev);
+      flight_prev_messages_ = stats_.messages;
+      flight_prev_bits_ = stats_.total_bits;
+    }
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = round_ - 1;
@@ -689,14 +759,15 @@ RunOutcome Network::run_perfect(
       sink->round(ev);
       prev_messages = stats_.messages;
       prev_bits = stats_.total_bits;
-      round_max_message_bits_ = 0;
     }
+    round_max_message_bits_ = 0;  // per-round for the flight recorder too
     if (all_done && !any_message) break;
     if (rounds_this_run > cfg_.max_rounds) {
       if (sink != nullptr) {
         close_annotation();
         sink->run_end();
       }
+      flight_.record_run_end(round_);
       RunOutcome outcome;
       outcome.status = RunStatus::kRoundLimit;
       outcome.rounds = rounds_this_run;
@@ -714,6 +785,7 @@ RunOutcome Network::run_perfect(
     close_annotation();  // protocol annotations never outlive their run
     sink->run_end();
   }
+  flight_.record_run_end(round_);
   RunOutcome outcome;
   outcome.status = RunStatus::kCompleted;
   outcome.rounds = rounds_this_run;

@@ -29,6 +29,7 @@
 
 #include "congest/faults.hpp"
 #include "graph/graph.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/trace.hpp"
 
 namespace dmc::metrics {
@@ -138,6 +139,12 @@ struct NetworkConfig {
   /// scale-labelled tests assert that equivalence pipeline by pipeline.
   /// false = legacy dense stepping (every node, every round).
   bool sparse_stepping = true;
+  /// Capacity of the always-on flight recorder (obs/flight_recorder.hpp):
+  /// the last N round/fault/phase events retained for post-mortem dumps of
+  /// degraded runs. The ring is pre-allocated once in the constructor and
+  /// recording is a few POD stores per round, so the zero-allocation and
+  /// determinism contracts are unaffected.
+  std::size_t flight_capacity = obs::FlightRecorder::kDefaultCapacity;
 };
 
 struct NetworkStats {
@@ -362,6 +369,11 @@ class Network {
   /// The configuration this network was built with (threads resolved at
   /// run time, not here).
   const NetworkConfig& config() const { return cfg_; }
+  /// The always-on ring of recent events (rounds, faults, phases,
+  /// quiescent skips). Tools dump it when a run ends degraded; see
+  /// docs/OBSERVABILITY.md "Flight recorder".
+  const obs::FlightRecorder& flight_recorder() const { return flight_; }
+  obs::FlightRecorder& flight_recorder() { return flight_; }
   void phase_begin(std::string_view name);
   void phase_end();
   void annotate(std::string_view name);
@@ -448,6 +460,12 @@ class Network {
   /// flush. note_serial_section counts SerialSection entries.
   void note_send_metrics(int vertex, int port, int bits);
   void metrics_round_end();
+  /// Bulk metrics fold for a fast-forwarded quiescent stretch: `skip`
+  /// rounds with zero traffic on every link. Equivalent to calling
+  /// metrics_round_end() `skip` times (round counter, utilization
+  /// denominator, and every crossed metrics_interval flush boundary) at
+  /// O(flush boundaries) cost instead of O(skip * links).
+  void metrics_skip_rounds(long skip);
   void note_serial_section();
   /// Audit-mode conformance check of one outgoing message (wire.hpp);
   /// throws std::invalid_argument with sender/port/round context on any
@@ -512,6 +530,12 @@ class Network {
   std::vector<long long> link_round_bits_;  // per directed link, this round
   std::vector<long> link_round_msgs_;       // (metrics-only accumulators)
   std::vector<long long> link_total_bits_;  // per directed link, lifetime
+  // Always-on post-mortem ring (cfg_.flight_capacity POD slots, allocated
+  // once here). Fed on every path — perfect, fault, fast-forward — so a
+  // degraded run can always be dumped.
+  obs::FlightRecorder flight_;
+  long long flight_prev_bits_ = 0;  // recorder's own round-delta baselines
+  long flight_prev_messages_ = 0;
 };
 
 /// RAII driver span: opens a named phase on construction, closes it (and

@@ -83,14 +83,16 @@ void FaultRuntime::note_best_effort(int vertex, int port) {
 
 void FaultRuntime::emit_fault(obs::FaultEvent::Kind kind, long round,
                               VertexId src, VertexId dst, int detail_value) {
-  if (net_.cfg_.sink == nullptr) return;
   obs::FaultEvent ev;
   ev.kind = kind;
   ev.round = round;
   ev.src = src;
   ev.dst = dst;
   ev.detail = detail_value;
-  net_.cfg_.sink->fault(ev);
+  // The flight recorder sees every fault even when untraced — it is the
+  // post-mortem story of a degraded run.
+  net_.flight_.record_fault(ev);
+  if (net_.cfg_.sink != nullptr) net_.cfg_.sink->fault(ev);
 }
 
 std::string FaultRuntime::phase_path() const {
@@ -336,6 +338,9 @@ RunOutcome FaultRuntime::finish(RunStatus status, long physical,
   outcome.virtual_rounds = virtual_rounds;
   outcome.crashed = crashed_ids_;
   if (stalled) outcome.stalled_phase = phase_path();
+  if (status != RunStatus::kCompleted)
+    net_.flight_.note(physical_round_, to_string(status));
+  net_.flight_.record_run_end(physical_round_);
   if (net_.cfg_.sink != nullptr) {
     net_.close_annotation();
     net_.cfg_.sink->run_end();
@@ -345,12 +350,13 @@ RunOutcome FaultRuntime::finish(RunStatus status, long physical,
 
 RunOutcome FaultRuntime::run(
     std::vector<std::unique_ptr<NodeProgram>>& programs) {
-  if (net_.cfg_.sink != nullptr) {
+  {
     obs::RunInfo info;
     info.n = net_.n();
     info.bandwidth = net_.bandwidth_;
     info.first_round = physical_round_;
-    net_.cfg_.sink->run_begin(info);
+    net_.flight_.record_run_begin(info);
+    if (net_.cfg_.sink != nullptr) net_.cfg_.sink->run_begin(info);
   }
   return injector_.plan().raw_transport ? run_raw(programs)
                                         : run_reliable(programs);
@@ -373,6 +379,18 @@ RunOutcome FaultRuntime::run_reliable(
     physical += 1;
     net_.stats_.rounds += 1;
     if (net_.metrics_ != nullptr) net_.metrics_round_end();
+    {
+      obs::RoundEvent ev;
+      ev.round = physical_round_ - 1;
+      ev.messages = net_.stats_.messages - net_.flight_prev_messages_;
+      ev.bits = net_.stats_.total_bits - net_.flight_prev_bits_;
+      ev.max_message_bits = net_.round_max_message_bits_;
+      ev.active_nodes = n - done_count;
+      ev.done_nodes = done_count;
+      net_.flight_.record_round(ev);
+      net_.flight_prev_messages_ = net_.stats_.messages;
+      net_.flight_prev_bits_ = net_.stats_.total_bits;
+    }
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = physical_round_ - 1;
@@ -384,8 +402,8 @@ RunOutcome FaultRuntime::run_reliable(
       sink->round(ev);
       prev_messages = net_.stats_.messages;
       prev_bits = net_.stats_.total_bits;
-      net_.round_max_message_bits_ = 0;
     }
+    net_.round_max_message_bits_ = 0;
   };
 
   for (;;) {
@@ -721,6 +739,18 @@ RunOutcome FaultRuntime::run_raw(
     net_.round_ += 1;  // raw mode: protocol clock == physical clock
     net_.stats_.rounds += 1;
     if (net_.metrics_ != nullptr) net_.metrics_round_end();
+    {
+      obs::RoundEvent ev;
+      ev.round = physical_round_ - 1;
+      ev.messages = net_.stats_.messages - net_.flight_prev_messages_;
+      ev.bits = net_.stats_.total_bits - net_.flight_prev_bits_;
+      ev.max_message_bits = net_.round_max_message_bits_;
+      ev.active_nodes = n - done_count;
+      ev.done_nodes = done_count;
+      net_.flight_.record_round(ev);
+      net_.flight_prev_messages_ = net_.stats_.messages;
+      net_.flight_prev_bits_ = net_.stats_.total_bits;
+    }
     if (sink != nullptr) {
       obs::RoundEvent ev;
       ev.round = physical_round_ - 1;
@@ -732,8 +762,8 @@ RunOutcome FaultRuntime::run_raw(
       sink->round(ev);
       prev_messages = net_.stats_.messages;
       prev_bits = net_.stats_.total_bits;
-      net_.round_max_message_bits_ = 0;
     }
+    net_.round_max_message_bits_ = 0;
 
     for (Message& slot : net_.inbox_)
       if (Network::engaged(slot)) slot = Message{};

@@ -119,7 +119,13 @@ void Registry::write_prometheus(std::ostream& out) const {
         }
         out << pname << "_bucket{le=\"+Inf\"} " << h.count() << "\n"
             << pname << "_sum " << h.sum() << "\n"
-            << pname << "_count " << h.count() << "\n";
+            << pname << "_count " << h.count() << "\n"
+            // Derived tail fields (log2-bucket upper bounds) so scrapes
+            // and bench_gate.py can gate on p50/p95/max directly instead
+            // of re-deriving them from the cumulative buckets.
+            << pname << "_p50 " << h.p50() << "\n"
+            << pname << "_p95 " << h.p95() << "\n"
+            << pname << "_max " << h.max() << "\n";
         break;
       }
     }
@@ -146,6 +152,8 @@ void Registry::write_json_fields(std::ostream& out) const {
         field(name + ".count", e.histogram->count());
         field(name + ".sum", e.histogram->sum());
         field(name + ".max", e.histogram->max());
+        field(name + ".p50", e.histogram->p50());
+        field(name + ".p95", e.histogram->p95());
         break;
     }
   }

@@ -111,6 +111,29 @@ class Histogram {
     return buckets_[i].load(std::memory_order_relaxed);
   }
 
+  /// Derived quantile estimate: the inclusive upper edge of the smallest
+  /// bucket whose cumulative count reaches rank ceil(q * count). The log2
+  /// buckets make this an upper bound within 2x of the true quantile —
+  /// plenty for tail-latency gating. The top (unbounded) bucket reports
+  /// the observed max instead of an edge. 0 when empty.
+  long long quantile(double q) const {
+    const long long n = count();
+    if (n <= 0) return 0;
+    long long rank = static_cast<long long>(q * static_cast<double>(n));
+    if (static_cast<double>(rank) < q * static_cast<double>(n)) ++rank;
+    if (rank < 1) rank = 1;
+    if (rank > n) rank = n;
+    long long cum = 0;
+    for (int i = 0; i < kBuckets; ++i) {
+      cum += bucket(i);
+      if (cum >= rank)
+        return i >= kBuckets - 1 ? max() : bucket_upper(i);
+    }
+    return max();  // racy concurrent records: fall back to the max
+  }
+  long long p50() const { return quantile(0.50); }
+  long long p95() const { return quantile(0.95); }
+
  private:
   std::array<std::atomic<long long>, kBuckets> buckets_{};
   std::atomic<long long> count_{0};
@@ -137,12 +160,14 @@ class Registry {
 
   /// Prometheus text exposition format: one family per instrument,
   /// "dmc_" prefix, dots mapped to underscores, histograms as cumulative
-  /// le-labelled buckets plus _sum/_count.
+  /// le-labelled buckets plus _sum/_count and derived _p50/_p95/_max
+  /// gauges (log2-bucket upper bounds; see Histogram::quantile).
   void write_prometheus(std::ostream& out) const;
 
   /// Flat JSON fields (no surrounding braces): "name":value for counters
-  /// and gauges, "name.count"/"name.sum"/"name.max" for histograms —
-  /// ready to splice into a DMC_BENCH_JSON row.
+  /// and gauges, "name.count"/"name.sum"/"name.max" plus derived
+  /// "name.p50"/"name.p95" for histograms — ready to splice into a
+  /// DMC_BENCH_JSON row and gate on with tools/bench_gate.py.
   void write_json_fields(std::ostream& out) const;
 
  private:

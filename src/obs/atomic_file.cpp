@@ -1,0 +1,33 @@
+#include "obs/atomic_file.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dmc::obs {
+
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* err) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      if (err != nullptr) *err = "cannot open " + tmp;
+      return false;
+    }
+    out << content;
+    out.flush();
+    if (!out) {
+      if (err != nullptr) *err = "short write to " + tmp;
+      std::remove(tmp.c_str());
+      return false;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    if (err != nullptr) *err = "rename " + tmp + " -> " + path + " failed";
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+}  // namespace dmc::obs

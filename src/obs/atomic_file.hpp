@@ -1,0 +1,19 @@
+// Atomic file publication: write to `<path>.tmp`, flush, rename over
+// `<path>`. Readers (Prometheus scrapers tailing the dmcd metrics
+// snapshot, post-mortem tooling picking up flight-recorder dumps) never
+// observe a torn file. This is the one shared implementation of the
+// temp+rename idiom — tools/dmc and tools/dmcd used to each carry their
+// own copy.
+#pragma once
+
+#include <string>
+
+namespace dmc::obs {
+
+/// Writes `content` to `path` atomically (temp file + rename). Returns
+/// false on failure and, if `err` is non-null, stores a one-line reason;
+/// the temp file is removed on failure.
+bool write_file_atomic(const std::string& path, const std::string& content,
+                       std::string* err = nullptr);
+
+}  // namespace dmc::obs

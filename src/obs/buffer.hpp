@@ -16,13 +16,21 @@ namespace dmc::obs {
 class TraceBuffer final : public TraceSink {
  public:
   struct Item {
-    enum class Kind : std::uint8_t { RunBegin, Round, Phase, Fault, RunEnd };
+    enum class Kind : std::uint8_t {
+      RunBegin,
+      Round,
+      Phase,
+      Fault,
+      Quiescent,
+      RunEnd
+    };
     Kind kind = Kind::Round;
     // Exactly one of the following is meaningful, per `kind`.
     RunInfo run;
     RoundEvent round;
     PhaseEvent phase;
     FaultEvent fault;
+    QuiescentEvent quiescent;
   };
 
   void run_begin(const RunInfo& info) override {
@@ -57,6 +65,16 @@ class TraceBuffer final : public TraceSink {
     faults_.push_back(ev);
   }
 
+  // Stored compactly, not expanded: a million-vertex fast-forwarded run
+  // coalesces billions of rounds into a handful of these.
+  void quiescent(const QuiescentEvent& ev) override {
+    Item item;
+    item.kind = Item::Kind::Quiescent;
+    item.quiescent = ev;
+    items_.push_back(std::move(item));
+    quiescents_.push_back(ev);
+  }
+
   void run_end() override {
     Item item;
     item.kind = Item::Kind::RunEnd;
@@ -71,6 +89,8 @@ class TraceBuffer final : public TraceSink {
   const std::vector<PhaseEvent>& phases() const { return phases_; }
   /// All injected-fault events, in order.
   const std::vector<FaultEvent>& faults() const { return faults_; }
+  /// All coalesced quiescent stretches, in order.
+  const std::vector<QuiescentEvent>& quiescents() const { return quiescents_; }
   int num_runs() const { return num_runs_; }
 
   void clear() {
@@ -78,6 +98,7 @@ class TraceBuffer final : public TraceSink {
     rounds_.clear();
     phases_.clear();
     faults_.clear();
+    quiescents_.clear();
     num_runs_ = 0;
   }
 
@@ -86,6 +107,7 @@ class TraceBuffer final : public TraceSink {
   std::vector<RoundEvent> rounds_;
   std::vector<PhaseEvent> phases_;
   std::vector<FaultEvent> faults_;
+  std::vector<QuiescentEvent> quiescents_;
   int num_runs_ = 0;
 };
 

@@ -50,6 +50,20 @@ void ChromeTraceExporter::round(const RoundEvent& ev) {
   emit(counter("active nodes", ts, "active", ev.active_nodes));
 }
 
+void ChromeTraceExporter::quiescent(const QuiescentEvent& ev) {
+  // Two samples bracket the quiet stretch so the counter tracks render a
+  // flat zero plateau instead of interpolating across the gap — constant
+  // cost regardless of how many rounds were skipped.
+  for (const long round : {ev.first_round,
+                           ev.first_round + ev.skipped_rounds - 1}) {
+    const long ts = round * us_per_round_;
+    emit(counter("messages/round", ts, "messages", 0));
+    emit(counter("bits/round", ts, "bits", 0));
+    emit(counter("active nodes", ts, "active", ev.active_nodes));
+    if (ev.skipped_rounds == 1) break;
+  }
+}
+
 void ChromeTraceExporter::phase(const PhaseEvent& ev) {
   const char* ph = ev.kind == PhaseEvent::Kind::Begin ? "B" : "E";
   emit("{\"name\":\"" + detail::json_escape(ev.name) +

@@ -27,6 +27,7 @@ class ChromeTraceExporter final : public TraceSink {
   void run_begin(const RunInfo& info) override;
   void round(const RoundEvent& ev) override;
   void phase(const PhaseEvent& ev) override;
+  void quiescent(const QuiescentEvent& ev) override;
   void run_end() override {}
 
   /// Writes the trailer; further events are rejected. Idempotent.

@@ -1,0 +1,32 @@
+#include "obs/clock.hpp"
+
+#include <atomic>
+#include <chrono>
+
+namespace dmc::obs {
+
+namespace {
+std::atomic<long long> g_fake_ms{-1};
+}  // namespace
+
+long long now_ms() {
+  const long long fake = g_fake_ms.load(std::memory_order_relaxed);
+  if (fake >= 0) return fake;
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long long now_us() {
+  const long long fake = g_fake_ms.load(std::memory_order_relaxed);
+  if (fake >= 0) return fake * 1000;
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void set_now_ms_for_test(long long fake_ms) {
+  g_fake_ms.store(fake_ms, std::memory_order_relaxed);
+}
+
+}  // namespace dmc::obs

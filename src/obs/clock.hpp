@@ -1,0 +1,25 @@
+// obs::Clock — the sanctioned monotonic clock seam.
+//
+// Protocol code must stay deterministic (docs/STATIC_ANALYSIS.md): the
+// dmc-lint `raw-clock` rule bans raw std::chrono clock reads outside
+// src/obs and src/metrics. Everything that legitimately needs elapsed
+// time — serve::io deadlines, query spans, metrics snapshots, the flight
+// recorder — reads it through these two functions, so there is exactly
+// one place where simulated rounds and wall time can meet (and exactly
+// one place to fake in tests via set_now_ms_for_test).
+#pragma once
+
+namespace dmc::obs {
+
+/// Milliseconds on the monotonic clock (epoch unspecified; differences
+/// are meaningful, absolute values are not).
+long long now_ms();
+
+/// Microseconds on the same monotonic clock.
+long long now_us();
+
+/// Test seam: override now_ms()/now_us() with a fixed value (us = ms *
+/// 1000). Pass a negative value to restore the real clock.
+void set_now_ms_for_test(long long fake_ms);
+
+}  // namespace dmc::obs

@@ -1,0 +1,166 @@
+#include "obs/flight_recorder.hpp"
+
+#include <cstring>
+#include <sstream>
+
+namespace dmc::obs {
+
+namespace {
+
+void set_label(FlightRecorder::Entry& e, const char* text) {
+  std::strncpy(e.label, text, sizeof(e.label) - 1);
+  e.label[sizeof(e.label) - 1] = '\0';
+}
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+    : ring_(capacity == 0 ? 1 : capacity) {}
+
+void FlightRecorder::record(const Entry& e) {
+  ring_[next_] = e;
+  next_ = next_ + 1 == ring_.size() ? 0 : next_ + 1;
+  ++recorded_;
+}
+
+void FlightRecorder::record_run_begin(const RunInfo& info) {
+  Entry e;
+  e.kind = Kind::RunBegin;
+  e.round = info.first_round;
+  e.a = info.bandwidth;
+  e.c = info.n;
+  record(e);
+}
+
+void FlightRecorder::record_round(const RoundEvent& ev) {
+  Entry e;
+  e.kind = Kind::Round;
+  e.round = ev.round;
+  e.a = ev.messages;
+  e.b = ev.bits;
+  e.c = ev.active_nodes;
+  e.d = ev.done_nodes;
+  record(e);
+}
+
+void FlightRecorder::record_quiescent(const QuiescentEvent& ev) {
+  Entry e;
+  e.kind = Kind::Quiescent;
+  e.round = ev.first_round;
+  e.a = ev.skipped_rounds;
+  e.c = ev.active_nodes;
+  e.d = ev.done_nodes;
+  record(e);
+}
+
+void FlightRecorder::record_fault(const FaultEvent& ev) {
+  Entry e;
+  e.kind = Kind::Fault;
+  e.round = ev.round;
+  e.a = ev.detail;
+  e.c = ev.src;
+  e.d = ev.dst;
+  set_label(e, to_string(ev.kind));
+  record(e);
+}
+
+void FlightRecorder::record_phase(const PhaseEvent& ev) {
+  record_phase(ev.round, ev.depth, ev.kind == PhaseEvent::Kind::End, ev.name);
+}
+
+void FlightRecorder::record_phase(long round, int depth, bool end,
+                                  std::string_view name) {
+  Entry e;
+  e.kind = Kind::Phase;
+  e.round = round;
+  e.c = depth;
+  e.d = end ? 1 : 0;
+  const std::size_t len =
+      name.size() < sizeof(e.label) - 1 ? name.size() : sizeof(e.label) - 1;
+  std::memcpy(e.label, name.data(), len);
+  e.label[len] = '\0';
+  record(e);
+}
+
+void FlightRecorder::record_run_end(long round) {
+  Entry e;
+  e.kind = Kind::RunEnd;
+  e.round = round;
+  record(e);
+}
+
+void FlightRecorder::note(long round, const char* text) {
+  Entry e;
+  e.kind = Kind::Note;
+  e.round = round;
+  set_label(e, text);
+  record(e);
+}
+
+std::vector<FlightRecorder::Entry> FlightRecorder::snapshot() const {
+  std::vector<Entry> out;
+  const std::size_t kept = recorded_ < ring_.size() ? recorded_ : ring_.size();
+  out.reserve(kept);
+  // Oldest retained entry: `next_` when the ring has wrapped, slot 0
+  // otherwise.
+  const std::size_t start = recorded_ < ring_.size() ? 0 : next_;
+  for (std::size_t i = 0; i < kept; ++i)
+    out.push_back(ring_[(start + i) % ring_.size()]);
+  return out;
+}
+
+void FlightRecorder::dump_jsonl(std::ostream& out) const {
+  const std::vector<Entry> entries = snapshot();
+  const std::size_t dropped = recorded_ - entries.size();
+  out << "{\"type\":\"flight_header\",\"capacity\":" << ring_.size()
+      << ",\"recorded\":" << recorded_ << ",\"dropped\":" << dropped << "}\n";
+  for (const Entry& e : entries) {
+    switch (e.kind) {
+      case Kind::RunBegin:
+        out << "{\"type\":\"run_begin\",\"n\":" << e.c << ",\"bandwidth\":"
+            << e.a << ",\"first_round\":" << e.round << "}\n";
+        break;
+      case Kind::Round:
+        out << "{\"type\":\"round\",\"round\":" << e.round
+            << ",\"messages\":" << e.a << ",\"bits\":" << e.b
+            << ",\"active\":" << e.c << ",\"done\":" << e.d << "}\n";
+        break;
+      case Kind::Quiescent:
+        out << "{\"type\":\"quiescent\",\"first_round\":" << e.round
+            << ",\"skipped_rounds\":" << e.a << ",\"active\":" << e.c
+            << ",\"done\":" << e.d << "}\n";
+        break;
+      case Kind::Fault:
+        out << "{\"type\":\"fault\",\"kind\":\""
+            << detail::json_escape(e.label) << "\",\"round\":" << e.round
+            << ",\"src\":" << e.c << ",\"dst\":" << e.d
+            << ",\"detail\":" << e.a << "}\n";
+        break;
+      case Kind::Phase:
+        out << "{\"type\":\"" << (e.d == 1 ? "phase_end" : "phase_begin")
+            << "\",\"name\":\"" << detail::json_escape(e.label)
+            << "\",\"round\":" << e.round << ",\"depth\":" << e.c << "}\n";
+        break;
+      case Kind::Note:
+        out << "{\"type\":\"note\",\"round\":" << e.round << ",\"text\":\""
+            << detail::json_escape(e.label) << "\"}\n";
+        break;
+      case Kind::RunEnd:
+        out << "{\"type\":\"run_end\",\"round\":" << e.round << "}\n";
+        break;
+    }
+  }
+}
+
+std::string FlightRecorder::dump_string() const {
+  std::ostringstream out;
+  dump_jsonl(out);
+  return out.str();
+}
+
+void FlightRecorder::clear() {
+  next_ = 0;
+  recorded_ = 0;
+}
+
+}  // namespace dmc::obs

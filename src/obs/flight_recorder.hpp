@@ -1,0 +1,99 @@
+// obs::FlightRecorder — an always-on, fixed-size ring of the most recent
+// simulator events, for post-mortems of degraded runs.
+//
+// Tracing (`--trace`) is opt-in and unbounded; the flight recorder is the
+// opposite: every Network owns one, it costs a fixed pre-allocated block
+// of POD entries (no strings, no std::any, no per-event allocation — the
+// disabled-path zero-allocation pin in tests/obs_trace_test.cpp covers
+// traced and untraced runs alike), and it only ever remembers the last
+// `capacity` events. When a run ends degraded (exit codes 5–9), a dmcd
+// worker hits a deadline/crash outcome, or the daemon is SIGTERMed
+// mid-drain, the ring is dumped as JSONL (one self-describing object per
+// line, same field names as the jsonl.hpp trace schema) so "exit 7"
+// comes with the last-N-events story: which node crashed, at which
+// round, what the network was doing just before.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace dmc::obs {
+
+class FlightRecorder {
+ public:
+  enum class Kind : std::uint8_t {
+    RunBegin,
+    Round,
+    Quiescent,
+    Fault,
+    Phase,
+    Note,
+    RunEnd
+  };
+
+  /// One ring slot. POD on purpose: recording is a handful of stores.
+  /// Field meaning per kind:
+  ///   Round:     round, a=messages, b=bits, c=active, d=done
+  ///   Quiescent: round=first skipped, a=skipped_rounds, c=active, d=done
+  ///   Fault:     round, a=detail, c=src, d=dst, label=kind name
+  ///   Phase:     round, c=depth, d=(0 begin, 1 end), label=name
+  ///   Note:      round, label=free-form text (truncated)
+  ///   RunBegin:  round=first round, a=bandwidth, c=n
+  struct Entry {
+    Kind kind = Kind::Note;
+    long round = 0;
+    long long a = 0;
+    long long b = 0;
+    int c = 0;
+    int d = 0;
+    char label[24] = {};
+  };
+
+  static constexpr std::size_t kDefaultCapacity = 512;
+
+  explicit FlightRecorder(std::size_t capacity = kDefaultCapacity);
+
+  // Feeders. All are allocation-free after construction.
+  void record(const Entry& e);
+  void record_run_begin(const RunInfo& info);
+  void record_round(const RoundEvent& ev);
+  void record_quiescent(const QuiescentEvent& ev);
+  void record_fault(const FaultEvent& ev);
+  void record_phase(const PhaseEvent& ev);
+  /// Allocation-free variant for untraced networks (no PhaseEvent string).
+  void record_phase(long round, int depth, bool end, std::string_view name);
+  void record_run_end(long round);
+  /// Free-form marker ("churn epoch 3", "stall detected", ...).
+  void note(long round, const char* text);
+
+  std::size_t capacity() const { return ring_.size(); }
+  /// Total events ever recorded (recorded - min(recorded, capacity) were
+  /// overwritten).
+  std::size_t recorded() const { return recorded_; }
+
+  /// Retained entries, oldest first.
+  std::vector<Entry> snapshot() const;
+
+  /// Writes the ring as JSONL: a `flight_header` line (capacity, total
+  /// recorded, dropped count), then one line per retained entry, oldest
+  /// first, using the trace schema's field names.
+  void dump_jsonl(std::ostream& out) const;
+
+  /// dump_jsonl into a string (for write_file_atomic).
+  std::string dump_string() const;
+
+  void clear();
+
+ private:
+  std::vector<Entry> ring_;  // sized once in the constructor
+  std::size_t next_ = 0;     // slot the next record lands in
+  std::size_t recorded_ = 0;
+};
+
+}  // namespace dmc::obs

@@ -30,6 +30,13 @@ void JsonlExporter::fault(const FaultEvent& ev) {
        << ",\"dst\":" << ev.dst << ",\"detail\":" << ev.detail << "}\n";
 }
 
+void JsonlExporter::quiescent(const QuiescentEvent& ev) {
+  out_ << "{\"type\":\"quiescent\",\"first_round\":" << ev.first_round
+       << ",\"skipped_rounds\":" << ev.skipped_rounds
+       << ",\"active\":" << ev.active_nodes << ",\"done\":" << ev.done_nodes
+       << "}\n";
+}
+
 void JsonlExporter::run_end() { out_ << "{\"type\":\"run_end\"}\n"; }
 
 }  // namespace dmc::obs

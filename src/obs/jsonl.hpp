@@ -7,6 +7,8 @@
 //   {"type":"phase_begin","name":"elim-tree","round":0,"depth":0}
 //   {"type":"phase_end","name":"elim-tree","round":79,"depth":0}
 //   {"type":"fault","kind":"drop","round":12,"src":3,"dst":7,"detail":0}
+//   {"type":"quiescent","first_round":80,"skipped_rounds":500,
+//    "active":0,"done":32}
 //   {"type":"run_end"}
 //
 // Lines are written as events arrive, so a crashed run still leaves a
@@ -28,6 +30,7 @@ class JsonlExporter final : public TraceSink {
   void round(const RoundEvent& ev) override;
   void phase(const PhaseEvent& ev) override;
   void fault(const FaultEvent& ev) override;
+  void quiescent(const QuiescentEvent& ev) override;
   void run_end() override;
 
  private:

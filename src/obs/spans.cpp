@@ -1,0 +1,84 @@
+#include "obs/spans.hpp"
+
+#include <algorithm>
+
+#include "obs/trace.hpp"
+
+namespace dmc::obs {
+
+int SpanLog::open(const std::string& name, int parent) {
+  return open_at(name, now_ms(), parent);
+}
+
+int SpanLog::open_at(const std::string& name, long long start_ms, int parent) {
+  Span s;
+  s.name = name;
+  s.start_ms = start_ms;
+  s.parent = parent;
+  spans_.push_back(std::move(s));
+  return static_cast<int>(spans_.size()) - 1;
+}
+
+void SpanLog::close(int index) { close_at(index, now_ms()); }
+
+void SpanLog::close_at(int index, long long end_ms) {
+  if (index < 0 || index >= static_cast<int>(spans_.size())) return;
+  Span& s = spans_[static_cast<std::size_t>(index)];
+  if (s.end_ms < 0) s.end_ms = std::max(end_ms, s.start_ms);
+}
+
+const Span* SpanLog::find(const std::string& name) const {
+  for (const Span& s : spans_)
+    if (s.name == name) return &s;
+  return nullptr;
+}
+
+long long SpanLog::duration_ms(const std::string& name) const {
+  const Span* s = find(name);
+  return s == nullptr ? 0 : s->duration_ms();
+}
+
+std::string SpanLog::to_json() const {
+  std::string out = "{\"id\":\"" + detail::json_escape(query_id_) +
+                    "\",\"spans\":[";
+  for (std::size_t i = 0; i < spans_.size(); ++i) {
+    const Span& s = spans_[i];
+    if (i > 0) out += ',';
+    out += "{\"name\":\"" + detail::json_escape(s.name) +
+           "\",\"start_ms\":" + std::to_string(s.start_ms) +
+           ",\"dur_ms\":" + std::to_string(s.duration_ms()) +
+           ",\"parent\":" + std::to_string(s.parent) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string SpanLog::to_chrome_json() const {
+  // Timestamps are rebased to the earliest span so the timeline starts
+  // at t = 0; ms -> us for the trace_event clock.
+  long long base = 0;
+  for (const Span& s : spans_)
+    base = spans_.empty() ? 0 : std::min(base == 0 ? s.start_ms : base,
+                                         s.start_ms);
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto emit = [&](const std::string& json) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n" + json;
+  };
+  emit("{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":0,"
+       "\"args\":{\"name\":\"dmc query " +
+       detail::json_escape(query_id_) + "\"}}");
+  for (const Span& s : spans_) {
+    const long long ts = (s.start_ms - base) * 1000;
+    const long long dur = s.duration_ms() * 1000;
+    emit("{\"name\":\"" + detail::json_escape(s.name) +
+         "\",\"cat\":\"span\",\"ph\":\"X\",\"ts\":" + std::to_string(ts) +
+         ",\"dur\":" + std::to_string(dur) + ",\"pid\":0,\"tid\":0}");
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+}  // namespace dmc::obs

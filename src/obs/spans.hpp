@@ -1,0 +1,67 @@
+// obs::SpanLog — a per-query latency breakdown.
+//
+// One SpanLog follows one query from dmcd admission to response: each
+// layer opens a named span (queue wait, universe build or cache hit,
+// execution, persist) stamped with obs::now_ms() on open and close, and
+// spans form a tree via parent indices, so the log renders as one
+// causally-linked timeline. serve::Scheduler attaches the flattened
+// durations to every response as the `"spans"` object, the daemon keeps
+// the full logs of recent queries for the `trace <id>` protocol verb,
+// and to_chrome_json() renders a log as a chrome://tracing file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/clock.hpp"
+
+namespace dmc::obs {
+
+struct Span {
+  std::string name;        // "queue", "universe", "exec", ...
+  long long start_ms = 0;  // obs::now_ms() at open
+  long long end_ms = -1;   // -1 while still open
+  int parent = -1;         // index of the enclosing span, -1 = root
+
+  long long duration_ms() const {
+    return end_ms < 0 ? 0 : end_ms - start_ms;
+  }
+};
+
+class SpanLog {
+ public:
+  SpanLog() = default;
+  explicit SpanLog(std::string query_id) : query_id_(std::move(query_id)) {}
+
+  const std::string& query_id() const { return query_id_; }
+  void set_query_id(std::string id) { query_id_ = std::move(id); }
+
+  /// Opens a span (stamped now) and returns its index.
+  int open(const std::string& name, int parent = -1);
+  /// Opens a span with an explicit start stamp (e.g. the admission time
+  /// recorded before the SpanLog existed).
+  int open_at(const std::string& name, long long start_ms, int parent = -1);
+  /// Closes span `index` (stamped now). Closing twice keeps the first
+  /// stamp.
+  void close(int index);
+  void close_at(int index, long long end_ms);
+
+  const std::vector<Span>& spans() const { return spans_; }
+  const Span* find(const std::string& name) const;
+  /// Duration of the span named `name`, or 0 if absent/open.
+  long long duration_ms(const std::string& name) const;
+
+  /// One JSON object: {"id":...,"spans":[{"name":...,"start_ms":...,
+  /// "dur_ms":...,"parent":...},...]} — the `trace <id>` response body.
+  std::string to_json() const;
+
+  /// A chrome://tracing document (B/E duration events, one per span) for
+  /// the single-query flame view.
+  std::string to_chrome_json() const;
+
+ private:
+  std::string query_id_;
+  std::vector<Span> spans_;
+};
+
+}  // namespace dmc::obs

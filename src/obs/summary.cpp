@@ -89,6 +89,18 @@ Summary summarize(const TraceBuffer& buffer) {
             std::max(out.max_message_bits, ev.max_message_bits);
         break;
       }
+      case TraceBuffer::Item::Kind::Quiescent: {
+        // Skipped rounds count in full — coalesced, not dropped — so
+        // summary totals still reconcile against NetworkStats exactly.
+        const QuiescentEvent& ev = item.quiescent;
+        PhaseTotals& t = totals();
+        t.rounds += ev.skipped_rounds;
+        if (t.first_round < 0) t.first_round = ev.first_round;
+        t.last_round =
+            std::max(t.last_round, ev.first_round + ev.skipped_rounds - 1);
+        out.total_rounds += ev.skipped_rounds;
+        break;
+      }
     }
   }
   if (!stack.empty()) out.balanced = false;

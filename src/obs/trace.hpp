@@ -64,6 +64,18 @@ struct PhaseEvent {
   int depth = 0;     // nesting depth of the span (0 = outermost)
 };
 
+/// A coalesced stretch of quiescent rounds: the sparse scheduler's
+/// empty-active-set fast-forward skipped `skipped_rounds` consecutive
+/// rounds starting at `first_round` in one step. Nothing happened during
+/// them — no messages, no bits, no node steps — so active/done counts are
+/// constant across the whole stretch.
+struct QuiescentEvent {
+  long first_round = 0;    // global index of the first skipped round
+  long skipped_rounds = 0; // how many rounds were fast-forwarded (>= 1)
+  int active_nodes = 0;    // nodes not done, constant during the stretch
+  int done_nodes = 0;
+};
+
 /// One injected fault (emitted only when the network runs under a fault
 /// plan, see src/congest/faults.hpp). src/dst are node *ids* (not graph
 /// vertices); Crash events carry the crashed node in src and dst = -1.
@@ -89,6 +101,24 @@ class TraceSink {
   virtual void phase(const PhaseEvent&) = 0;
   /// Default no-op: sinks that predate fault injection ignore the stream.
   virtual void fault(const FaultEvent&) {}
+  /// A coalesced quiescent stretch. The default expands it into the
+  /// equivalent synthetic zero-delta round() calls, so sinks that predate
+  /// coalescing (digest sinks, custom test sinks) observe a stream
+  /// identical to dense stepping. Scale-aware sinks override this to store
+  /// or emit the compact event instead — a d = 9 million-vertex run skips
+  /// billions of rounds, which must not become billions of calls.
+  virtual void quiescent(const QuiescentEvent& ev) {
+    RoundEvent r;
+    r.messages = 0;
+    r.bits = 0;
+    r.max_message_bits = 0;
+    r.active_nodes = ev.active_nodes;
+    r.done_nodes = ev.done_nodes;
+    for (long i = 0; i < ev.skipped_rounds; ++i) {
+      r.round = ev.first_round + i;
+      round(r);
+    }
+  }
   virtual void run_end() {}
 };
 
@@ -113,6 +143,9 @@ class TeeSink final : public TraceSink {
   }
   void fault(const FaultEvent& ev) override {
     for (auto* s : sinks_) s->fault(ev);
+  }
+  void quiescent(const QuiescentEvent& ev) override {
+    for (auto* s : sinks_) s->quiescent(ev);
   }
   void run_end() override {
     for (auto* s : sinks_) s->run_end();

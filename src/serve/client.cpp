@@ -57,6 +57,15 @@ std::optional<Json> Client::shutdown(int timeout_ms) {
   return control("shutdown", timeout_ms);
 }
 
+std::optional<Json> Client::trace(const std::string& query_id,
+                                  int timeout_ms) {
+  JsonObject o;
+  o["id"] = std::string("ctl");
+  o["verb"] = std::string("trace");
+  o["target"] = query_id;
+  return call(Json(std::move(o)), timeout_ms);
+}
+
 std::map<std::string, Json> Client::pipeline(const std::vector<Query>& batch,
                                              int timeout_ms) {
   std::map<std::string, Json> out;

@@ -40,6 +40,9 @@ class Client {
   std::optional<Json> ping(int timeout_ms = 5000);
   std::optional<Json> metrics(int timeout_ms = 5000);
   std::optional<Json> shutdown(int timeout_ms = 5000);
+  /// Span timeline of a recently answered query (`trace` verb).
+  std::optional<Json> trace(const std::string& query_id,
+                            int timeout_ms = 5000);
 
   /// Sends `n` queries (ids forced to "<id_prefix><index>") pipelined,
   /// then collects all `n` responses keyed by id. Missing entries mean

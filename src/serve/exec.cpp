@@ -68,8 +68,11 @@ QueryResult finish(QueryResult r) {
 
 /// Degraded endings reuse the CLI's structured codes (docs/ROBUSTNESS.md):
 /// round budget -> 6, crash-stop -> 7. The canonical text names the code
-/// but never a partial verdict — degraded outputs are untrusted.
-QueryResult degraded(const congest::RunOutcome& run) {
+/// but never a partial verdict — degraded outputs are untrusted. The
+/// network's flight recorder is serialized here, while the Network still
+/// exists, so the caller can persist the post-mortem.
+QueryResult degraded(const congest::RunOutcome& run,
+                     const congest::Network& net) {
   QueryResult r;
   if (run.status == congest::RunStatus::kCrashed) {
     r.status = "crashed";
@@ -81,6 +84,7 @@ QueryResult degraded(const congest::RunOutcome& run) {
     r.result = "degraded: round budget exhausted";
   }
   r.rounds = run.rounds;
+  r.flight = net.flight_recorder().dump_string();
   return finish(std::move(r));
 }
 
@@ -164,7 +168,7 @@ QueryResult execute(const Prepared& p, bpt::Engine* engine) {
 
     if (p.q.verb == "decide") {
       const auto out = dist::run_decision(net, p.formula, p.q.dist, engine);
-      if (!out.run.ok()) return degraded(out.run);
+      if (!out.run.ok()) return degraded(out.run, net);
       if (out.treedepth_exceeded)
         return treedepth_exceeded(p.q.dist, out.total_rounds());
       QueryResult r;
@@ -184,7 +188,7 @@ QueryResult execute(const Prepared& p, bpt::Engine* engine) {
                                    engine)
               : dist::run_minimize(net, p.formula, var, sort, p.q.dist,
                                    engine);
-      if (!out.run.ok()) return degraded(out.run);
+      if (!out.run.ok()) return degraded(out.run, net);
       if (out.treedepth_exceeded)
         return treedepth_exceeded(p.q.dist, out.total_rounds());
       QueryResult r;
@@ -205,7 +209,7 @@ QueryResult execute(const Prepared& p, bpt::Engine* engine) {
     if (p.q.verb == "count") {
       const auto out =
           dist::run_count(net, p.formula, p.frees, p.q.dist, engine);
-      if (!out.run.ok()) return degraded(out.run);
+      if (!out.run.ok()) return degraded(out.run, net);
       if (out.treedepth_exceeded)
         return treedepth_exceeded(p.q.dist, out.total_rounds());
       QueryResult r;

@@ -54,6 +54,11 @@ struct QueryResult {
   std::string witness;  // optimization: selected solution (NOT digested)
   long rounds = 0;      // simulated rounds consumed
   std::size_t num_classes = 0;
+  /// Flight-recorder JSONL of the query's network, captured only on
+  /// degraded outcomes (codes 6/7) so a dmcd worker can dump the
+  /// last-events story next to the degraded response. Empty otherwise —
+  /// healthy responses never pay the serialization.
+  std::string flight;
 };
 
 /// Runs the prepared query in the CONGEST simulator. `engine` non-null

@@ -3,9 +3,10 @@
 #include "serve/io.hpp"
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <stdexcept>
+
+#include "obs/clock.hpp"
 
 #include <poll.h>
 #include <sys/socket.h>
@@ -37,11 +38,10 @@ int wait_readable(int fd, int timeout_ms) {
 
 long long now_ms() {
   // The daemon's one legitimate clock: deadlines and queue-latency
-  // metrics. Protocol verdicts never depend on it.
-  return std::chrono::duration_cast<std::chrono::milliseconds>(
-             std::chrono::steady_clock::now()  // dmc-lint: allow(nondeterminism)
-                 .time_since_epoch())
-      .count();
+  // metrics. Protocol verdicts never depend on it. Delegates to the
+  // sanctioned obs clock seam so tests can freeze time and dmc-lint can
+  // confine raw chrono reads to src/obs.
+  return obs::now_ms();
 }
 
 Socket& Socket::operator=(Socket&& other) noexcept {

@@ -36,6 +36,15 @@ Request parse_request(const std::string& line) {
     r.id = id;
     return r;
   }
+  if (verb == "trace") {
+    const std::string target = j["target"].as_string();
+    if (target.empty()) return malformed(id, "trace needs target (query id)");
+    Request r;
+    r.kind = Request::Kind::kTrace;
+    r.id = id;
+    r.target = target;
+    return r;
+  }
   if (verb != "decide" && verb != "maximize" && verb != "minimize" &&
       verb != "count")
     return malformed(id, "unknown verb '" + verb + "'");
@@ -101,7 +110,8 @@ JsonObject response_base(const std::string& id, const std::string& status,
 int status_exit_code(const std::string& status) {
   if (status == "ok" || status == "pong" || status == "shutting_down")
     return 0;
-  if (status == "fails" || status == "infeasible") return 1;
+  if (status == "fails" || status == "infeasible" || status == "not_found")
+    return 1;
   if (status == "treedepth") return 3;
   if (status == "error") return 4;
   if (status == "deadline" || status == "degraded") return kDeadlineExit;

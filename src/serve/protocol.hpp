@@ -2,7 +2,9 @@
 //
 // One JSON object per line in each direction. Query verbs name the four
 // pipelines (decide/maximize/minimize/count); control verbs (ping,
-// metrics, shutdown) are answered inline by the server. Every response
+// metrics, shutdown, trace) are answered inline by the server. `trace`
+// takes a `target` field — the id of a recently answered query — and
+// returns that query's span timeline (docs/OBSERVABILITY.md). Every response
 // carries a `status` string and the `code` it would exit with as a
 // one-shot dmc run — the daemon reuses the CLI's exit-code contract
 // (docs/ROBUSTNESS.md) instead of inventing a second error taxonomy:
@@ -42,11 +44,12 @@ struct Query {
 };
 
 struct Request {
-  enum class Kind { kQuery, kPing, kMetrics, kShutdown, kMalformed };
+  enum class Kind { kQuery, kPing, kMetrics, kShutdown, kTrace, kMalformed };
   Kind kind = Kind::kMalformed;
-  Query query;        // kQuery only
-  std::string id;     // echoed for control/malformed responses too
-  std::string error;  // kMalformed diagnostic
+  Query query;         // kQuery only
+  std::string id;      // echoed for control/malformed responses too
+  std::string target;  // kTrace: id of the past query to look up
+  std::string error;   // kMalformed diagnostic
 };
 
 /// Parses one protocol line. Never throws: anything unparsable or missing

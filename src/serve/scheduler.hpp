@@ -32,6 +32,7 @@
 
 #include "bpt/universe_tier.hpp"
 #include "metrics/metrics.hpp"
+#include "obs/spans.hpp"
 #include "par/thread.hpp"
 #include "serve/exec.hpp"
 #include "serve/json.hpp"
@@ -42,6 +43,10 @@ namespace dmc::serve {
 struct SchedulerOptions {
   int workers = 2;
   int max_queue = 64;  // admission bound (queries, across all groups)
+  /// Directory for per-query flight-recorder dumps ("" = disabled). A
+  /// worker whose query ends degraded (deadline/crash, codes 6/7) writes
+  /// the network's last-events ring there as flight-<id>.jsonl.
+  std::string flight_dir;
 };
 
 class Scheduler {
@@ -49,6 +54,11 @@ class Scheduler {
   /// Delivers one response object for a submitted query. Invoked from a
   /// worker thread; must be thread-safe (Connection::write_line is).
   using Respond = std::function<void(const JsonObject&)>;
+
+  /// Receives each answered query's completed span log (worker thread;
+  /// must be thread-safe). The server parks them in its SpanStore for
+  /// the `trace <id>` verb.
+  using SpanSink = std::function<void(obs::SpanLog&&)>;
 
   Scheduler(SchedulerOptions opts, bpt::UniverseTier& tier);
   ~Scheduler();
@@ -59,6 +69,10 @@ class Scheduler {
   /// Stops accepting and wakes the workers; already-admitted queries are
   /// drained (answered) before the workers exit. Idempotent.
   void stop();
+
+  /// Installs the span sink. Call before start(); not thread-safe against
+  /// running workers.
+  void set_span_sink(SpanSink sink) { span_sink_ = std::move(sink); }
 
   /// Admission. False = queue full: the caller answers `overloaded`.
   /// After stop(), admission always fails.
@@ -89,6 +103,7 @@ class Scheduler {
   core::GroupQueue<Task> queue_;
   bool started_ = false;
   std::vector<par::Thread> workers_;
+  SpanSink span_sink_;
   // Metric handles (null when no registry installed).
   metrics::Counter* met_accepted_ = nullptr;
   metrics::Counter* met_rejected_ = nullptr;
@@ -98,13 +113,18 @@ class Scheduler {
   metrics::Gauge* met_depth_ = nullptr;
   metrics::Gauge* met_peak_ = nullptr;
   metrics::Histogram* met_batch_size_ = nullptr;
+  metrics::Counter* met_flight_dumps_ = nullptr;
   std::map<std::string, metrics::Histogram*> met_latency_;
 };
 
 /// Full response assembly for an executed query (also used by the
-/// deadline path with a synthetic result).
+/// deadline path with a synthetic result). When `spans` is non-null the
+/// response carries a `"spans"` object: the query's flattened latency
+/// breakdown (queue_ms, universe_ms, exec_ms, total_ms) — the summary
+/// view of the same SpanLog the `trace <id>` verb returns in full.
 JsonObject make_response(const Query& q, const QueryResult& r,
                          bool engine_warm, std::size_t batch_size,
-                         long long queue_ms);
+                         long long queue_ms,
+                         const obs::SpanLog* spans = nullptr);
 
 }  // namespace dmc::serve

@@ -1,6 +1,7 @@
 // dmcd server core (see server.hpp).
 #include "serve/server.hpp"
 
+#include <cstdio>
 #include <list>
 #include <sstream>
 #include <stdexcept>
@@ -28,7 +29,10 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
   bpt::UniverseTier::Options tier_opts;
   tier_opts.disk_dir = opts_.universe_dir;
   tier_ = std::make_unique<bpt::UniverseTier>(tier_opts);
+  opts_.sched.flight_dir = opts_.flight_dir;
   sched_ = std::make_unique<Scheduler>(opts_.sched, *tier_);
+  sched_->set_span_sink(
+      [this](obs::SpanLog&& log) { spans_.put(std::move(log)); });
   if (metrics::Registry* reg = metrics::global()) {
     met_connections_ = &reg->counter("serve.connections");
     met_requests_ = &reg->counter("serve.requests");
@@ -40,6 +44,17 @@ Server::Server(ServerOptions opts) : opts_(std::move(opts)) {
 Server::~Server() { stop(); }
 
 void Server::stop() { stopping_.store(true); }
+
+void Server::flight_note(const char* text) {
+  const long seq = request_seq_.fetch_add(1) + 1;
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  flight_.note(seq, text);
+}
+
+std::string Server::flight_dump() const {
+  std::lock_guard<std::mutex> lock(flight_mu_);
+  return flight_.dump_string();
+}
 
 JsonObject Server::metrics_response(const std::string& id) const {
   JsonObject o = response_base(id, "ok", 0);
@@ -77,20 +92,43 @@ void Server::handle_line(const std::shared_ptr<io::Connection>& conn,
   Request req = parse_request(line);
   switch (req.kind) {
     case Request::Kind::kPing: {
+      flight_note("ping");
       conn->write_line(Json(response_base(req.id, "pong", 0)).dump());
       return;
     }
     case Request::Kind::kMetrics: {
+      flight_note("metrics");
       conn->write_line(Json(metrics_response(req.id)).dump());
       return;
     }
     case Request::Kind::kShutdown: {
+      flight_note("shutdown verb");
       conn->write_line(
           Json(response_base(req.id, "shutting_down", 0)).dump());
       stop();
       return;
     }
+    case Request::Kind::kTrace: {
+      // Answered inline like the other control verbs (bumps only
+      // serve.requests): reading a parked span log must stay responsive
+      // while the scheduler is saturated.
+      flight_note("trace");
+      const std::optional<std::string> json = spans_.find_json(req.target);
+      if (!json) {
+        JsonObject o = response_base(req.id, "not_found", 1);
+        o["error"] = "no span log for query id '" + req.target + "'";
+        conn->write_line(Json(std::move(o)).dump());
+        return;
+      }
+      JsonObject o = response_base(req.id, "ok", 0);
+      if (const auto parsed = json_parse(*json);
+          parsed && parsed->is_object())
+        o["trace"] = parsed->as_object();
+      conn->write_line(Json(std::move(o)).dump());
+      return;
+    }
     case Request::Kind::kMalformed: {
+      flight_note("malformed");
       if (met_malformed_) met_malformed_->add();
       JsonObject o = response_base(req.id, "malformed", kMalformedExit);
       o["error"] = req.error;
@@ -100,6 +138,7 @@ void Server::handle_line(const std::shared_ptr<io::Connection>& conn,
     case Request::Kind::kQuery:
       break;
   }
+  flight_note(req.query.verb.c_str());
 
   std::string error;
   std::optional<Prepared> prepared = prepare(req.query, error);
@@ -117,6 +156,7 @@ void Server::handle_line(const std::shared_ptr<io::Connection>& conn,
         conn->write_line(Json(resp).dump());
       });
   if (!admitted) {
+    flight_note("overloaded");
     if (met_overloaded_) met_overloaded_->add();
     JsonObject o = response_base(req.id, "overloaded", kOverloadedExit);
     o["error"] = "admission queue full";
@@ -165,8 +205,14 @@ int Server::run() {
   // joined before the scheduler goes away (handle_line uses it). Queued
   // queries are then drained and answered (Scheduler::stop contract) —
   // the respond callbacks keep their Connections alive via shared_ptr.
+  {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "drain: queued=%zu", sched_->queued());
+    flight_note(buf);
+  }
   sched_->stop();
   conns.clear();
+  flight_note("drained");
   sched_.reset();
   return 0;
 }

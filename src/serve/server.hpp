@@ -16,11 +16,14 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "bpt/universe_tier.hpp"
+#include "obs/flight_recorder.hpp"
 #include "serve/io.hpp"
 #include "serve/scheduler.hpp"
+#include "serve/span_store.hpp"
 
 namespace dmc::serve {
 
@@ -29,6 +32,9 @@ struct ServerOptions {
   SchedulerOptions sched;
   /// DMCU backing directory for the shared universe tier ("" = in-memory).
   std::string universe_dir;
+  /// Flight-recorder dump directory ("" = disabled). Copied into the
+  /// scheduler options so degraded workers dump there too.
+  std::string flight_dir;
 };
 
 class Server {
@@ -48,16 +54,31 @@ class Server {
 
   const bpt::UniverseTier& tier() const { return *tier_; }
 
+  /// Recent-query span logs (`trace <id>` verb; tests).
+  const SpanStore& spans() const { return spans_; }
+
+  /// JSONL dump of the daemon-level flight ring: one note per handled
+  /// request plus drain markers. dmcd writes this on a SIGTERM shutdown.
+  std::string flight_dump() const;
+
  private:
   struct ConnThread;
   void serve_connection(std::shared_ptr<io::Connection> conn);
   void handle_line(const std::shared_ptr<io::Connection>& conn,
                    const std::string& line);
   JsonObject metrics_response(const std::string& id) const;
+  /// Notes one daemon-level event in the flight ring (thread-safe; the
+  /// ring itself is single-writer by design, so notes serialize on a
+  /// mutex — connection handling is not a hot path at that granularity).
+  void flight_note(const char* text);
 
   ServerOptions opts_;
   std::unique_ptr<bpt::UniverseTier> tier_;
   std::unique_ptr<Scheduler> sched_;
+  SpanStore spans_;
+  mutable std::mutex flight_mu_;
+  obs::FlightRecorder flight_;
+  std::atomic<long> request_seq_{0};
   std::atomic<bool> stopping_{false};
   metrics::Counter* met_connections_ = nullptr;
   metrics::Counter* met_requests_ = nullptr;

@@ -1,0 +1,45 @@
+// Bounded recent-query span store (see span_store.hpp).
+#include "serve/span_store.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dmc::serve {
+
+SpanStore::SpanStore(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+void SpanStore::put(obs::SpanLog log) {
+  if (log.query_id().empty()) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string id = log.query_id();
+  const auto it = logs_.find(id);
+  if (it != logs_.end()) {
+    // Reused tag: replace the log and refresh its slot in the FIFO.
+    it->second = std::move(log);
+    const auto pos = std::find(order_.begin(), order_.end(), id);
+    if (pos != order_.end()) order_.erase(pos);
+    order_.push_back(id);
+    return;
+  }
+  while (logs_.size() >= capacity_ && !order_.empty()) {
+    logs_.erase(order_.front());
+    order_.pop_front();
+  }
+  order_.push_back(id);
+  logs_.emplace(id, std::move(log));
+}
+
+std::optional<std::string> SpanStore::find_json(const std::string& id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = logs_.find(id);
+  if (it == logs_.end()) return std::nullopt;
+  return it->second.to_json();
+}
+
+std::size_t SpanStore::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return logs_.size();
+}
+
+}  // namespace dmc::serve

@@ -1,0 +1,46 @@
+// Bounded store of recent per-query span logs, backing the `trace <id>`
+// protocol verb.
+//
+// The scheduler hands each answered query's obs::SpanLog to the server,
+// which parks it here; `trace <id>` looks the log up by the client's
+// echoed query id and returns the full span tree. The store is a fixed-
+// capacity FIFO — a long-lived daemon remembers the most recent
+// `capacity` queries and silently forgets older ones, the same bounded-
+// memory posture as the flight recorder. Re-answering a query id (clients
+// may reuse tags) replaces the old log and refreshes its eviction slot.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+
+#include "obs/spans.hpp"
+
+namespace dmc::serve {
+
+class SpanStore {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 256;
+
+  explicit SpanStore(std::size_t capacity = kDefaultCapacity);
+
+  /// Parks one finished query's span log (thread-safe; workers call this
+  /// concurrently). Logs without a query id are dropped — they could
+  /// never be looked up.
+  void put(obs::SpanLog log);
+
+  /// The stored log's to_json() for `id`, or nullopt if unknown/evicted.
+  std::optional<std::string> find_json(const std::string& id) const;
+
+  std::size_t size() const;
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::string> order_;  // insertion order, front = oldest
+  std::map<std::string, obs::SpanLog> logs_;
+};
+
+}  // namespace dmc::serve

@@ -29,7 +29,8 @@ void on_round(NodeCtx& ctx) {
   int r = rand();  // lint-expect: nondeterminism
   long t = time(nullptr);  // lint-expect: nondeterminism
   std::random_device rd;  // lint-expect: nondeterminism
-  auto tick = std::chrono::steady_clock::now();  // lint-expect: nondeterminism
+  auto tick = std::chrono::steady_clock::now();  // lint-expect: raw-clock
+  auto tock = Clock::now();  // lint-expect: raw-clock
   static int rounds_seen = 0;  // lint-expect: global-state
   ctx.send(0, Message(BadMsg{r}, 8));  // lint-expect: unregistered-payload
   ctx.send(0, Message(GoodMsg{1}, 8));  // registered above: clean

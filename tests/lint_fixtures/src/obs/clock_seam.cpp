@@ -1,0 +1,12 @@
+// dmc-lint --self-test fixture: the clock seam's own tree is exempt from
+// the raw-clock rule — src/obs implements obs::now_ms()/now_us(), so its
+// chrono reads are the sanctioned ones. No lint-expect markers: every
+// line below must stay clean. Never compiled.
+#include <chrono>
+
+long long seam_read_ms() {
+  const auto t = std::chrono::steady_clock::now();  // exempt: src/obs owns it
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             t.time_since_epoch())
+      .count();
+}

@@ -17,6 +17,8 @@
 #include <atomic>
 #include <condition_variable>
 #include <filesystem>
+#include <fstream>
+#include <sstream>
 #include <map>
 #include <mutex>
 #include <string>
@@ -24,11 +26,13 @@
 #include <vector>
 
 #include "metrics/metrics.hpp"
+#include "obs/spans.hpp"
 #include "serve/client.hpp"
 #include "serve/exec.hpp"
 #include "serve/protocol.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
+#include "serve/span_store.hpp"
 
 namespace dmc::serve {
 namespace {
@@ -350,6 +354,153 @@ TEST(ServeServer, SocketEndToEndWithShutdownDrain) {
   daemon.join();
   EXPECT_EQ(rc, 0);
   EXPECT_FALSE(fs::exists(sock)) << "socket file must be unlinked";
+}
+
+TEST(ServeSpans, ResponseCarriesSpanBreakdown) {
+  bpt::UniverseTier tier;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  Scheduler sched(opts, tier);
+  std::vector<obs::SpanLog> logs;
+  std::mutex logs_mu;
+  sched.set_span_sink([&](obs::SpanLog&& log) {
+    std::lock_guard<std::mutex> lock(logs_mu);
+    logs.push_back(std::move(log));
+  });
+  const std::vector<Query> qs = {probe_queries().front()};
+  const auto out = run_scheduled(sched, qs);
+  const JsonObject& resp = out.at(qs[0].id);
+
+  const auto spans_it = resp.find("spans");
+  ASSERT_NE(spans_it, resp.end()) << "response must carry a spans object";
+  const JsonObject& spans = spans_it->second.as_object();
+  for (const char* key : {"queue_ms", "universe_ms", "exec_ms", "total_ms"})
+    ASSERT_NE(spans.find(key), spans.end()) << key;
+  // The root covers its children: total >= queue + universe + exec.
+  EXPECT_GE(spans.find("total_ms")->second.as_int(),
+            spans.find("exec_ms")->second.as_int());
+
+  // The sink received the full log: root "query" with queue/exec children.
+  std::lock_guard<std::mutex> lock(logs_mu);
+  ASSERT_EQ(logs.size(), 1u);
+  EXPECT_EQ(logs[0].query_id(), qs[0].id);
+  ASSERT_NE(logs[0].find("query"), nullptr);
+  ASSERT_NE(logs[0].find("exec"), nullptr);
+  ASSERT_NE(logs[0].find("queue"), nullptr);
+  // The cold batch head also times its universe construction.
+  ASSERT_NE(logs[0].find("universe"), nullptr);
+}
+
+TEST(ServeSpans, SpanStoreEvictsOldestAndRefreshesReusedIds) {
+  SpanStore store;
+  for (int i = 0; i < 300; ++i)
+    store.put(obs::SpanLog("q" + std::to_string(i)));
+  EXPECT_EQ(store.size(), SpanStore::kDefaultCapacity);
+  EXPECT_FALSE(store.find_json("q0").has_value()) << "oldest must be evicted";
+  EXPECT_TRUE(store.find_json("q299").has_value());
+  EXPECT_FALSE(store.find_json("unknown").has_value());
+
+  // Re-using an id replaces the stored log and refreshes its FIFO slot.
+  obs::SpanLog replay("q44");
+  obs::set_now_ms_for_test(5);
+  const int s = replay.open("exec");
+  obs::set_now_ms_for_test(15);
+  replay.close(s);
+  obs::set_now_ms_for_test(-1);
+  store.put(std::move(replay));
+  EXPECT_EQ(store.size(), SpanStore::kDefaultCapacity) << "replace, not grow";
+  const auto json = store.find_json("q44");
+  ASSERT_TRUE(json.has_value());
+  EXPECT_NE(json->find("\"name\":\"exec\""), std::string::npos) << *json;
+
+  // Empty ids are dropped, not stored.
+  store.put(obs::SpanLog());
+  EXPECT_EQ(store.size(), SpanStore::kDefaultCapacity);
+}
+
+TEST(ServeFlight, DegradedQueryLeavesFlightDumpInFlightDir) {
+  TempDir tmp;
+  bpt::UniverseTier tier;
+  SchedulerOptions opts;
+  opts.workers = 1;
+  opts.flight_dir = tmp.path.string();
+  Scheduler sched(opts, tier);
+  // A one-round budget forces the round-limit degradation (code 6), the
+  // path that captures the network's flight ring into the result.
+  Query q = probe_queries().front();
+  q.id = "degraded/one";  // sanitizer must map this to a safe file name
+  q.max_rounds = 1;
+  const auto out = run_scheduled(sched, {q});
+  const JsonObject& resp = out.at(q.id);
+  EXPECT_EQ(text_of(resp, "status"), "degraded");
+  EXPECT_EQ(resp.find("code")->second.as_int(), 6);
+
+  const fs::path dump = tmp.path / "flight-degraded_one.jsonl";
+  ASSERT_TRUE(fs::exists(dump)) << "degraded query must leave a flight dump";
+  std::ifstream in(dump);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  EXPECT_NE(buf.str().find("\"type\":\"flight_header\""), std::string::npos);
+  EXPECT_NE(buf.str().find("\"type\":\"run_begin\""), std::string::npos);
+
+  // Healthy queries must not leave dumps.
+  const auto ok_out = run_scheduled(sched, {probe_queries().front()});
+  EXPECT_EQ(text_of(ok_out.at("dec"), "status"), "ok");
+  std::size_t dumps = 0;
+  for (const auto& entry : fs::directory_iterator(tmp.path)) {
+    (void)entry;
+    ++dumps;
+  }
+  EXPECT_EQ(dumps, 1u) << "only the degraded query may dump";
+}
+
+TEST(ServeServer, TraceVerbReturnsSpanTimeline) {
+  TempDir tmp;
+  const std::string sock = (tmp.path / "d.sock").string();
+  ServerOptions opts;
+  opts.socket_path = sock;
+  opts.sched.workers = 1;
+  Server server(opts);
+  int rc = -1;
+  std::thread daemon([&] { rc = server.run(); });
+  std::unique_ptr<Client> client;
+  for (int i = 0; i < 100 && !client; ++i) {
+    try {
+      client = std::make_unique<Client>(sock);
+    } catch (const std::exception&) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  }
+  ASSERT_TRUE(client) << "daemon socket never appeared";
+
+  const Query q = probe_queries().front();
+  const auto responses = client->pipeline({q});
+  ASSERT_EQ(responses.size(), 1u);
+
+  // trace <id> of an answered query returns its retained span timeline.
+  const auto trace = client->trace(q.id);
+  ASSERT_TRUE(trace);
+  EXPECT_EQ((*trace)["status"].as_string(), "ok");
+  ASSERT_TRUE((*trace)["trace"].is_object());
+  const Json& body = (*trace)["trace"];
+  EXPECT_EQ(body["id"].as_string(), q.id);
+  ASSERT_TRUE(body["spans"].is_array());
+  EXPECT_GT(body["spans"].as_array().size(), 0u);
+
+  // Unknown ids map to not_found / exit 1; malformed trace to code 2.
+  const auto missing = client->trace("never-submitted");
+  ASSERT_TRUE(missing);
+  EXPECT_EQ((*missing)["status"].as_string(), "not_found");
+  EXPECT_EQ((*missing)["code"].as_int(), 1);
+  ASSERT_TRUE(client->send_line("{\"id\":\"t\",\"verb\":\"trace\"}"));
+  const auto bad = client->recv(5000);
+  ASSERT_TRUE(bad);
+  EXPECT_EQ((*bad)["status"].as_string(), "malformed");
+
+  const auto down = client->shutdown();
+  ASSERT_TRUE(down);
+  daemon.join();
+  EXPECT_EQ(rc, 0);
 }
 
 }  // namespace

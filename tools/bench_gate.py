@@ -35,7 +35,7 @@ import sys
 TIMING_FIELD = re.compile(
     r"(^|[._])(real_time|cpu_time|iterations|time_unit|ns|us|ms|s|seconds"
     r"|speedup)$"
-    r"|(_ns|_us|_ms|_s|_seconds)(\.(count|sum|max))?$"
+    r"|(_ns|_us|_ms|_s|_seconds)(\.(count|sum|max|p50|p95))?$"
     r"|(busy|idle|wall|speedup)"
 )
 

@@ -44,6 +44,11 @@
 // back to a full recompute). Exit 5 = incremental/oracle digest mismatch,
 // exit 9 = at least one epoch ended repair-degraded. See
 // docs/ROBUSTNESS.md "Churn and repair".
+// --flight-record DIR (needs --dist) persists the network's always-on
+// flight-recorder ring — the last ~512 trace/fault/phase events — to
+// DIR/dmc-flight.jsonl whenever the run ends degraded (exit 5–9), so a
+// crashed or stalled run leaves its last-events story behind without any
+// tracing enabled. See docs/OBSERVABILITY.md "Flight recorder".
 // --metrics FILE (needs --dist) installs the aggregate metrics registry
 // (src/metrics) for the run — congestion histograms, transport counters,
 // pool and engine statistics — and writes a Prometheus-text snapshot to
@@ -79,6 +84,7 @@
 #include "graph/generators.hpp"
 #include "graph/io.hpp"
 #include "mso/parser.hpp"
+#include "obs/atomic_file.hpp"
 #include "obs/buffer.hpp"
 #include "obs/chrome.hpp"
 #include "obs/jsonl.hpp"
@@ -102,6 +108,7 @@ namespace {
                "           [--threads N] [--universe-cache DIR|auto]\n"
                "           [--sparse-flood]\n"
                "           [--metrics FILE|-] [--metrics-interval R]\n"
+               "           [--flight-record DIR]\n"
                "           [--churn SCRIPT e.g. add=0-5,del=2-3;random=8,"
                "seed=42]\n");
   std::exit(2);
@@ -188,8 +195,12 @@ std::optional<int> dist_budget(const Args& args) {
     if (args.has("metrics")) usage("--metrics requires --dist");
     if (args.has("churn")) usage("--churn requires --dist");
     if (args.has("sparse-flood")) usage("--sparse-flood requires --dist");
+    if (args.has("flight-record")) usage("--flight-record requires --dist");
     return std::nullopt;
   }
+  if (args.has("audit") && args.has("flight-record"))
+    usage("--flight-record needs a single run; the audit battery runs "
+          "several networks. Drop --audit");
   if (args.has("audit") && args.has("trace"))
     usage("--audit replaces the trace sink; drop --trace");
   if (args.has("audit") && args.has("faults"))
@@ -279,8 +290,9 @@ struct MetricsSetup {
   /// ("running" for periodic dumps, the RunOutcome status — or "audit" —
   /// at the end). Rewrites the whole file each time: the periodic dump is
   /// the textfile-collector pattern, last snapshot wins. Publication is
-  /// temp+rename (the DMCU cache idiom): a concurrent scraper either sees
-  /// the previous complete snapshot or the new one, never a torn file.
+  /// obs::write_file_atomic (temp+rename, the DMCU cache idiom): a
+  /// concurrent scraper either sees the previous complete snapshot or the
+  /// new one, never a torn file.
   void write_snapshot(const std::string& status) {
     std::ostringstream body;
     body << "# dmc metrics snapshot: run_status=" << status << "\n";
@@ -289,27 +301,10 @@ struct MetricsSetup {
       std::fputs(body.str().c_str(), stdout);
       return;
     }
-    const std::string tmp = path + ".tmp";
-    {
-      std::ofstream out(tmp, std::ios::trunc);
-      if (!out) {
-        std::fprintf(stderr, "warning: cannot write metrics file %s\n",
-                     tmp.c_str());
-        return;
-      }
-      out << body.str();
-      if (!out) {
-        std::remove(tmp.c_str());
-        std::fprintf(stderr, "warning: short write to metrics file %s\n",
-                     tmp.c_str());
-        return;
-      }
-    }
-    if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-      std::remove(tmp.c_str());
-      std::fprintf(stderr, "warning: cannot publish metrics file %s\n",
-                   path.c_str());
-    }
+    std::string err;
+    if (!obs::write_file_atomic(path, body.str(), &err))
+      std::fprintf(stderr, "warning: cannot publish metrics file %s: %s\n",
+                   path.c_str(), err.c_str());
   }
 };
 
@@ -400,6 +395,22 @@ int report_degraded(const congest::RunOutcome& run) {
                "(%ld protocol steps); no verdict\n",
                where.c_str(), run.rounds, run.virtual_rounds);
   return 6;
+}
+
+/// --flight-record DIR: persists a degraded run's flight-recorder ring
+/// (already serialized to JSONL) as DIR/dmc-flight.jsonl via temp+rename.
+/// Only degraded endings (exit 5-9) dump — a healthy run leaves nothing.
+void maybe_dump_flight(const Args& args, int rc, const std::string& jsonl) {
+  if (rc < 5 || jsonl.empty() || !args.has("flight-record")) return;
+  const std::string dir = args.get("flight-record");
+  if (dir.empty()) usage("--flight-record needs a directory");
+  const std::string path = dir + "/dmc-flight.jsonl";
+  std::string err;
+  if (!obs::write_file_atomic(path, jsonl, &err))
+    std::fprintf(stderr, "warning: cannot write flight record %s: %s\n",
+                 path.c_str(), err.c_str());
+  else
+    std::fprintf(stderr, "flight record: %s\n", path.c_str());
 }
 
 /// Transport/fault counters, printed after the per-phase summary whenever
@@ -553,14 +564,21 @@ int run_churn(const Args& args, Graph g, churn::Query query, int d) {
     }
   }
   if (ms) ms->write_snapshot(degraded ? "churn-degraded" : "churn-ok");
+  // The flight ring of the most recent degraded epoch, if any — churn
+  // runs one network per epoch, so the last degraded one tells the story.
+  std::string flight;
+  for (auto it = outs.rbegin(); it != outs.rend() && flight.empty(); ++it)
+    flight = it->flight;
   if (mismatch) {
     std::fprintf(stderr, "error: incremental digest diverged from the "
                          "from-scratch oracle\n");
+    maybe_dump_flight(args, 5, flight);
     return 5;
   }
   if (degraded) {
     std::fprintf(stderr, "degraded: at least one churn epoch could not be "
                          "repaired or re-solved; see per-epoch notes\n");
+    maybe_dump_flight(args, 9, flight);
     return 9;
   }
   return 0;
@@ -601,7 +619,9 @@ int cmd_decide(const Args& args) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
       finish_metrics(ms.get(), net.stats(), out.run);
-      return report_degraded(out.run);
+      const int rc = report_degraded(out.run);
+      maybe_dump_flight(args, rc, net.flight_recorder().dump_string());
+      return rc;
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d (reported by Algorithm 2)\n", *d);
@@ -668,7 +688,9 @@ int cmd_optimize(const Args& args, bool maximize) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
       finish_metrics(ms.get(), net.stats(), out.run);
-      return report_degraded(out.run);
+      const int rc = report_degraded(out.run);
+      maybe_dump_flight(args, rc, net.flight_recorder().dump_string());
+      return rc;
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);
@@ -755,7 +777,9 @@ int cmd_count(const Args& args) {
       print_phase_summary(trace->buffer, net.stats());
       print_fault_summary(net.stats(), out.run);
       finish_metrics(ms.get(), net.stats(), out.run);
-      return report_degraded(out.run);
+      const int rc = report_degraded(out.run);
+      maybe_dump_flight(args, rc, net.flight_recorder().dump_string());
+      return rc;
     }
     if (out.treedepth_exceeded) {
       std::printf("treedepth > %d\n", *d);

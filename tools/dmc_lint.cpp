@@ -9,9 +9,16 @@
 //                         order is implementation-defined, so any protocol
 //                         decision derived from it is nondeterministic.
 //   nondeterminism        rand()/srand()/std::random_device/time()/clock()
-//                         /steady_clock::now() and friends in protocol
-//                         code. Simulated nodes must be pure functions of
-//                         their messages, ids, and explicit seeds.
+//                         in protocol code. Simulated nodes must be pure
+//                         functions of their messages, ids, and explicit
+//                         seeds.
+//   raw-clock             <chrono clock>::now() reads outside src/obs and
+//                         src/metrics. Wall-clock reads scattered through
+//                         the stack cannot be faked in tests (obs::Clock's
+//                         fake override never sees them) and make timing
+//                         fields nondeterministic; go through
+//                         obs::now_ms()/now_us() (src/obs/clock.hpp), the
+//                         one sanctioned seam.
 //   global-state          mutable static variables. Cross-node state
 //                         sharing through globals breaks the model (nodes
 //                         only communicate through messages) and breaks
@@ -190,7 +197,11 @@ const std::regex kUnorderedDecl(
 const std::regex kRegisteredCodec(R"(register_codec\s*<\s*([A-Za-z_][\w:]*))");
 const std::regex kPayloadSend(R"(Message\s*\(\s*([A-Z]\w*)\s*\{)");
 const std::regex kBannedCall(
-    R"((?:^|[^\w.])(rand|srand|time|clock)\s*\(|std::random_device|_clock\s*::\s*now\s*\()");
+    R"((?:^|[^\w.])(rand|srand|time|clock)\s*\(|std::random_device)");
+// Any chrono-style clock read: steady_clock::now, system_clock::now,
+// high_resolution_clock::now, or a hand-rolled Clock::now. obs::now_ms is
+// fine — `now` must be reached through `::`.
+const std::regex kRawClock(R"((?:_clock|\bClock)\s*::\s*now\s*\()");
 const std::regex kMutableStatic(
     R"((?:^|\s)static\s+(?!const\b|constexpr\b|_\w)[A-Za-z_][\w:<>,\s*&]*?\s[A-Za-z_]\w*\s*[;={])");
 const std::regex kRawSend(R"(\bsend_unreliable\s*\()");
@@ -240,6 +251,16 @@ bool in_metrics_tree(const std::string& path) {
   std::replace(p.begin(), p.end(), '\\', '/');
   return p.find("src/metrics/") != std::string::npos ||
          p.find("src/metrics") == 0;
+}
+
+/// The raw-clock rule exempts the clock seam's own tree (src/obs owns
+/// obs::Clock and the now_ms/now_us helpers) and src/metrics; everywhere
+/// else must read time through the seam so tests can fake it.
+bool in_clock_exempt(const std::string& path) {
+  if (in_metrics_tree(path)) return true;
+  std::string p = path;
+  std::replace(p.begin(), p.end(), '\\', '/');
+  return p.find("src/obs/") != std::string::npos || p.find("src/obs") == 0;
 }
 
 /// The raw-io rule exempts the serving I/O layer itself (src/serve/io.hpp
@@ -303,15 +324,20 @@ void lint_file(const FileText& f, const std::set<std::string>& registered,
 
     if (std::regex_search(line, m, kBannedCall)) {
       const std::string what =
-          m[1].matched ? m[1].str() + "()"
-          : m[0].str().find("random_device") != std::string::npos
-              ? "std::random_device"
-              : "<clock>::now()";
+          m[1].matched ? m[1].str() + "()" : "std::random_device";
       add_finding(out, f, i, "nondeterminism",
                   "call to '" + what +
                       "' — protocol code must be a deterministic function of "
                       "messages, ids, and explicit seeds");
     }
+
+    if (!in_clock_exempt(f.path) && std::regex_search(line, m, kRawClock))
+      add_finding(out, f, i, "raw-clock",
+                  "raw '" + m[0].str() +
+                      ")' outside src/obs — wall-clock reads off the seam "
+                      "cannot be faked by obs::Clock in tests and make "
+                      "timing fields nondeterministic; use obs::now_ms()/"
+                      "now_us() (src/obs/clock.hpp)");
 
     if (std::regex_search(line, m, kMutableStatic))
       add_finding(out, f, i, "global-state",

@@ -9,6 +9,7 @@
 //
 //   dmcd --socket /tmp/dmcd.sock [--workers N] [--max-queue N]
 //        [--universe-dir DIR] [--metrics FILE [--metrics-period-ms N]]
+//        [--flight-record DIR]
 //
 // Exit: 0 after a clean drain (shutdown verb or SIGINT/SIGTERM), 2 on
 // usage errors, 4 if the socket cannot be bound.
@@ -16,22 +17,24 @@
 #include <chrono>
 #include <condition_variable>
 #include <csignal>
-#include <cstdio>
 #include <cstdlib>
-#include <fstream>
 #include <iostream>
 #include <mutex>
+#include <sstream>
 #include <string>
 
 #include "metrics/metrics.hpp"
+#include "obs/atomic_file.hpp"
 #include "par/thread.hpp"
 #include "serve/server.hpp"
 
 namespace {
 
 dmc::serve::Server* g_server = nullptr;
+volatile std::sig_atomic_t g_signaled = 0;
 
 void on_signal(int) {
+  g_signaled = 1;
   if (g_server != nullptr) g_server->stop();
 }
 
@@ -39,34 +42,28 @@ void on_signal(int) {
   if (!why.empty()) std::cerr << "dmcd: " << why << "\n";
   std::cerr << "usage: dmcd --socket PATH [--workers N] [--max-queue N]\n"
                "            [--universe-dir DIR] [--metrics FILE]\n"
-               "            [--metrics-period-ms N]\n";
+               "            [--metrics-period-ms N] [--flight-record DIR]\n";
   std::exit(2);
 }
 
-/// Publishes a metrics snapshot via temp+rename (the DMCU idiom): a
-/// concurrent scraper sees the previous complete file or the new one,
+/// Publishes a metrics snapshot via obs::write_file_atomic (temp+rename):
+/// a concurrent scraper sees the previous complete file or the new one,
 /// never a torn write.
 void write_snapshot(const std::string& path,
                     const dmc::metrics::Registry& registry) {
-  const std::string tmp = path + ".tmp";
-  {
-    std::ofstream out(tmp, std::ios::trunc);
-    if (!out) {
-      std::cerr << "dmcd: cannot write metrics snapshot " << tmp << "\n";
-      return;
-    }
-    registry.write_prometheus(out);
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    std::cerr << "dmcd: cannot publish metrics snapshot " << path << "\n";
-  }
+  std::ostringstream body;
+  registry.write_prometheus(body);
+  std::string err;
+  if (!dmc::obs::write_file_atomic(path, body.str(), &err))
+    std::cerr << "dmcd: cannot publish metrics snapshot " << path << ": "
+              << err << "\n";
 }
 
 struct Args {
   std::string socket;
   std::string universe_dir;
   std::string metrics_file;
+  std::string flight_dir;
   long long metrics_period_ms = 1000;
   dmc::serve::SchedulerOptions sched;
 };
@@ -102,6 +99,8 @@ Args parse_args(int argc, char** argv) {
     } else if (arg == "--metrics-period-ms") {
       a.metrics_period_ms = int_value(i, "--metrics-period-ms");
       if (a.metrics_period_ms < 10) usage("--metrics-period-ms too small");
+    } else if (arg == "--flight-record") {
+      a.flight_dir = value(i, "--flight-record");
     } else if (arg == "--help" || arg == "-h") {
       usage();
     } else {
@@ -126,6 +125,7 @@ int main(int argc, char** argv) {
   opts.socket_path = args.socket;
   opts.sched = args.sched;
   opts.universe_dir = args.universe_dir;
+  opts.flight_dir = args.flight_dir;
   dmc::serve::Server server(opts);
   g_server = &server;
   std::signal(SIGINT, on_signal);
@@ -162,6 +162,19 @@ int main(int argc, char** argv) {
   if (snapshotter.joinable()) snapshotter.join();
   // Final snapshot so post-mortem scrapes see the drained totals.
   if (!args.metrics_file.empty()) write_snapshot(args.metrics_file, registry);
+
+  // A signal-driven shutdown (vs the polite shutdown verb) is the
+  // degraded ending a post-mortem wants context for: dump the daemon's
+  // flight ring — one note per handled request plus the drain markers.
+  if (g_signaled != 0 && !args.flight_dir.empty()) {
+    const std::string path = args.flight_dir + "/dmcd-shutdown.jsonl";
+    std::string err;
+    if (!dmc::obs::write_file_atomic(path, server.flight_dump(), &err))
+      std::cerr << "dmcd: cannot write flight record " << path << ": " << err
+                << "\n";
+    else
+      std::cout << "dmcd flight record: " << path << std::endl;
+  }
 
   g_server = nullptr;
   dmc::metrics::set_global(nullptr);

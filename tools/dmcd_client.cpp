@@ -4,6 +4,7 @@
 // the daemon through this binary instead of open-coding socket I/O.
 //
 //   dmcd-client --socket PATH ping|metrics|shutdown
+//   dmcd-client --socket PATH trace QUERY_ID
 //   dmcd-client --socket PATH query '<json request line>'
 //   dmcd-client --socket PATH batch    # JSON request lines on stdin
 //
@@ -34,7 +35,8 @@ namespace {
 [[noreturn]] void usage(const std::string& why = "") {
   if (!why.empty()) std::cerr << "dmcd-client: " << why << "\n";
   std::cerr << "usage: dmcd-client --socket PATH [--timeout-ms N] "
-               "[--retries N] ping|metrics|shutdown|query LINE|batch\n";
+               "[--retries N] "
+               "ping|metrics|shutdown|trace ID|query LINE|batch\n";
   std::exit(2);
 }
 
@@ -106,7 +108,7 @@ int main(int argc, char** argv) {
       usage();
     } else if (verb.empty()) {
       verb = arg;
-    } else if (verb == "query" && query_line.empty()) {
+    } else if ((verb == "query" || verb == "trace") && query_line.empty()) {
       query_line = arg;
     } else {
       usage("unexpected argument: " + arg);
@@ -115,6 +117,7 @@ int main(int argc, char** argv) {
   if (socket.empty()) usage("--socket is required");
   if (verb.empty()) usage("missing verb");
   if (verb == "query" && query_line.empty()) usage("query needs a line");
+  if (verb == "trace" && query_line.empty()) usage("trace needs a query id");
 
   try {
     const std::unique_ptr<dmc::serve::Client> conn =
@@ -131,6 +134,16 @@ int main(int argc, char** argv) {
       }
       std::cout << resp->dump() << "\n";
       return 0;
+    }
+
+    if (verb == "trace") {
+      const auto resp = client.trace(query_line, timeout_ms);
+      if (!resp) {
+        std::cerr << "dmcd-client: no response\n";
+        return 4;
+      }
+      std::cout << resp->dump() << "\n";
+      return response_code(*resp);
     }
 
     if (verb == "query") {

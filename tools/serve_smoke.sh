@@ -14,6 +14,8 @@
 #   * the malformed line got `malformed` and did not kill the connection;
 #   * the warm-key run performed exactly ONE universe construction per
 #     engine key (single-flight tier, scraped from the metrics snapshot);
+#   * `trace <id>` returns the retained span timeline of an answered
+#     query, and does not count as a query response;
 #   * `shutdown` drains cleanly: daemon exits 0 and unlinks its socket.
 set -euo pipefail
 
@@ -88,6 +90,23 @@ assert bad["status"] == "malformed" and bad["code"] == 2, bad
 # Batch exit code = max per-response code: deadline (6) dominates.
 assert rc == 6, f"batch exit {rc}, want 6 (max of codes)"
 print("serve_smoke: batch responses and exit-code mapping OK")
+EOF
+
+# Span timeline over the protocol: the daemon retains each answered
+# query's wall-clock span tree (docs/SERVING.md §4); `trace w0` must
+# return it with the full query/queue/exec breakdown. This runs before
+# the metrics scrape so the serve.responses==10 assertion below doubles
+# as proof that trace requests are not counted as query responses.
+"$CLIENT" --socket "$SOCK" trace w0 >"$DIR/trace.json"
+python3 - "$DIR/trace.json" <<'EOF'
+import json, sys
+t = json.load(open(sys.argv[1]))
+assert t["status"] == "ok", t
+body = t["trace"]
+assert body["id"] == "w0", body
+names = {s["name"] for s in body["spans"]}
+assert {"query", "queue", "exec"} <= names, names
+print("serve_smoke: trace verb OK (span timeline retained for w0)")
 EOF
 
 # Metrics over the protocol: the warm-key group (2 engine keys in the
